@@ -1,0 +1,240 @@
+// Package repro is a Go reproduction of Liu, Zhang & Wong, "Controlling
+// False Positives in Association Rule Mining" (PVLDB 5(2), VLDB 2011).
+//
+// It mines class association rules X ⇒ c (closed frequent patterns over
+// categorical attribute–value items, class labels on the right-hand side),
+// scores each rule's statistical significance with the two-tailed Fisher
+// exact test, and controls false positives with any of the paper's three
+// multiple-testing correction approaches:
+//
+//   - direct adjustment — Bonferroni (FWER) or Benjamini–Hochberg (FDR);
+//   - permutation-based — Westfall–Young min-p cut-off (FWER) or pooled
+//     empirical p-values + BH (FDR), accelerated with the paper's
+//     mine-once, Diffsets and p-value-buffering optimisations;
+//   - holdout — mine on an exploratory half, validate survivors on an
+//     evaluation half (Webb, 2007).
+//
+// # Quick start
+//
+//	d, err := repro.LoadCSVFile("data.csv")          // last column = class
+//	res, err := repro.Mine(d, repro.Config{
+//	    MinSupFrac: 0.05,
+//	    Control:    repro.ControlFDR,
+//	    Method:     repro.MethodDirect,
+//	})
+//	for _, r := range res.Significant {
+//	    fmt.Println(r.Items, "=>", r.Class, r.P)
+//	}
+//
+// The heavy machinery lives in internal packages; this package is the
+// supported surface: datasets (LoadCSV/FromTable/Synthetic/UCIStandIn),
+// the pipeline (Mine), and the result types.
+package repro
+
+import (
+	"io"
+
+	"repro/internal/basket"
+	"repro/internal/core"
+	"repro/internal/correction"
+	"repro/internal/dataset"
+	"repro/internal/disc"
+	"repro/internal/mining"
+	"repro/internal/permute"
+	"repro/internal/synth"
+	"repro/internal/uci"
+)
+
+// Dataset is a categorical, class-labelled record table.
+type Dataset = dataset.Dataset
+
+// Schema describes a Dataset's attributes and class labels.
+type Schema = dataset.Schema
+
+// Attribute is one categorical attribute (name + value vocabulary).
+type Attribute = dataset.Attribute
+
+// Table is a raw string-valued table (the CSV intermediate form).
+type Table = dataset.Table
+
+// Config configures Mine. The zero value needs at least MinSup or
+// MinSupFrac; all other fields have sensible defaults (Alpha 0.05,
+// Method direct, Control FWER, 1000 permutations).
+type Config = core.Config
+
+// Result is the outcome of a Mine run.
+type Result = core.Result
+
+// Rule is one reported significant rule.
+type Rule = core.Rule
+
+// Control selects the error measure (FWER or FDR).
+type Control = core.Control
+
+// Method selects the correction approach.
+type Method = core.Method
+
+// OptLevel selects which permutation-cost optimisations are active.
+type OptLevel = permute.OptLevel
+
+// TestKind selects the significance test scoring each rule.
+type TestKind = mining.TestKind
+
+// SynthParams configures the synthetic dataset generator (Table 1 of the
+// paper).
+type SynthParams = synth.Params
+
+// SynthResult bundles a generated dataset with its embedded ground truth.
+type SynthResult = synth.Result
+
+// EmbeddedRule is one planted ground-truth rule.
+type EmbeddedRule = synth.EmbeddedRule
+
+const (
+	// ControlFWER controls the family-wise error rate.
+	ControlFWER = core.ControlFWER
+	// ControlFDR controls the false discovery rate.
+	ControlFDR = core.ControlFDR
+
+	// MethodNone reports every rule with p <= Alpha (no correction).
+	MethodNone = core.MethodNone
+	// MethodDirect is Bonferroni / Benjamini–Hochberg.
+	MethodDirect = core.MethodDirect
+	// MethodPermutation is the permutation-based approach.
+	MethodPermutation = core.MethodPermutation
+	// MethodHoldout is Webb's holdout evaluation.
+	MethodHoldout = core.MethodHoldout
+	// MethodLayered is Webb's layered critical values (FWER only).
+	MethodLayered = core.MethodLayered
+
+	// OptNone disables Diffsets and p-value buffering.
+	OptNone = permute.OptNone
+	// OptDynamicBuffer enables only the one-slot dynamic p-value buffer.
+	OptDynamicBuffer = permute.OptDynamicBuffer
+	// OptDiffsets adds Diffset storage to the dynamic buffer.
+	OptDiffsets = permute.OptDiffsets
+	// OptStaticBuffer adds the byte-budgeted static buffer (the default).
+	OptStaticBuffer = permute.OptStaticBuffer
+
+	// TestFisher is the paper's two-tailed Fisher exact test (default).
+	TestFisher = mining.TestFisher
+	// TestMidP is the less-conservative mid-p Fisher variant (extension).
+	TestMidP = mining.TestMidP
+	// TestChiSquare is Pearson's χ² test (the alternative in §2.2).
+	TestChiSquare = mining.TestChiSquare
+)
+
+// Mine runs the full pipeline — closed rule mining, Fisher significance,
+// and the configured correction — on d.
+func Mine(d *Dataset, cfg Config) (*Result, error) {
+	return core.Run(d, cfg)
+}
+
+// LoadCSV reads a CSV stream with a header row into a Dataset, treating
+// the LAST column as the class attribute and every other column as
+// categorical. Numeric columns are discretized with the supervised
+// Fayyad–Irani MDL method first. Missing values are "" or "?".
+func LoadCSV(r io.Reader) (*Dataset, error) {
+	tab, err := dataset.ReadTable(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromTable(tab, len(tab.Header)-1)
+}
+
+// LoadCSVFile is LoadCSV over a file path.
+func LoadCSVFile(path string) (*Dataset, error) {
+	tab, err := dataset.ReadTableFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return FromTable(tab, len(tab.Header)-1)
+}
+
+// FromTable converts a raw table into a Dataset with the given class
+// column, discretizing numeric columns with Fayyad–Irani first.
+func FromTable(tab *Table, classCol int) (*Dataset, error) {
+	dt, err := disc.DiscretizeTable(tab, classCol)
+	if err != nil {
+		return nil, err
+	}
+	return dt.ToDataset(classCol)
+}
+
+// Synthetic generates a dataset with embedded ground-truth rules using the
+// paper's Table 1 generator. See SynthParams; synth.PaperDefaults gives
+// the fixed parameters of §5.1.
+func Synthetic(p SynthParams) (*SynthResult, error) {
+	return synth.Generate(p)
+}
+
+// SyntheticDefaults returns the paper's fixed generator parameters
+// (#C=2, min_v=2, max_v=8, min_l=2, max_l=16); set N, Attrs, rule counts
+// and coverage/confidence ranges before calling Synthetic.
+func SyntheticDefaults() SynthParams { return synth.PaperDefaults() }
+
+// SyntheticPaired generates the paper's fair-holdout construction: two
+// independently generated N/2 halves over one schema, each embedding the
+// same rules at half coverage, catenated into the whole. Use the returned
+// halves as the exploratory and evaluation datasets.
+func SyntheticPaired(p SynthParams) (whole *SynthResult, first, second *Dataset, err error) {
+	return synth.GeneratePaired(p)
+}
+
+// UCIStandIn generates the offline stand-in for one of the paper's four
+// UCI datasets: "adult", "german", "hypo" or "mushroom". See DESIGN.md for
+// the substitution rationale.
+func UCIStandIn(name string, seed uint64) (*Dataset, error) {
+	return uci.Load(name, seed)
+}
+
+// UCINames lists the available stand-in names.
+func UCINames() []string { return uci.Names() }
+
+// BasketData is a market-basket transaction database (general association
+// rules X ⇒ y, the setting §2 of the paper generalises from).
+type BasketData = basket.Data
+
+// BasketRule is a general association rule with a single-item consequent.
+type BasketRule = basket.Rule
+
+// BasketOptions configures basket-rule mining.
+type BasketOptions = basket.Options
+
+// BasketFromTransactions builds a transaction database from item-name
+// transactions.
+func BasketFromTransactions(tx [][]string) *BasketData {
+	return basket.FromTransactions(tx)
+}
+
+// ReadBasket parses one transaction per line (items separated by spaces or
+// commas).
+func ReadBasket(r io.Reader) (*BasketData, error) { return basket.ReadBasket(r) }
+
+// MineBasket enumerates general association rules X ⇒ y (X a closed
+// frequent itemset, y a single item) scored with the two-tailed Fisher
+// exact test. Apply BasketBonferroni / BasketBH / BasketPermFWER to
+// control false positives.
+func MineBasket(d *BasketData, opts BasketOptions) ([]BasketRule, error) {
+	return basket.Mine(d, opts)
+}
+
+// BasketBonferroni controls FWER over basket rules.
+func BasketBonferroni(rules []BasketRule, alpha float64) *correction.Outcome {
+	return basket.Bonferroni(rules, alpha)
+}
+
+// BasketBH controls FDR over basket rules.
+func BasketBH(rules []BasketRule, alpha float64) *correction.Outcome {
+	return basket.BenjaminiHochberg(rules, alpha)
+}
+
+// BasketPermFWER controls FWER over basket rules with per-consequent
+// permutation nulls (see internal/basket for the composition argument).
+func BasketPermFWER(d *BasketData, rules []BasketRule, alpha float64, numPerms int, seed uint64) (*correction.Outcome, error) {
+	return basket.PermFWER(d, rules, alpha, numPerms, seed, 0)
+}
+
+// Outcome is a correction decision (indices of significant rules plus the
+// effective cut-off).
+type Outcome = correction.Outcome

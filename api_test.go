@@ -1,0 +1,159 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeLoadCSVAndMine(t *testing.T) {
+	csv := `age,color,class
+25,red,yes
+30,red,yes
+35,red,yes
+28,red,yes
+31,red,yes
+61,blue,no
+64,blue,no
+67,blue,no
+66,blue,no
+63,blue,no
+`
+	d, err := LoadCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRecords() != 10 {
+		t.Fatalf("records = %d", d.NumRecords())
+	}
+	// The numeric age column must have been discretized into intervals.
+	ageAttr := d.Schema.Attrs[0]
+	if ageAttr.Name != "age" {
+		t.Fatalf("first attribute %q", ageAttr.Name)
+	}
+	for _, v := range ageAttr.Values {
+		if !strings.Contains(v, "(") {
+			t.Fatalf("age value %q does not look like an interval", v)
+		}
+	}
+
+	res, err := Mine(d, Config{MinSup: 3, Method: MethodDirect, Control: ControlFWER})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumTested == 0 {
+		t.Fatal("nothing tested")
+	}
+	// The perfectly separating color attribute must be significant even
+	// under Bonferroni on this tiny dataset... p = 2/C(10,5) ≈ 0.0079 for
+	// coverage 5; with few tests it clears alpha/Nt only if Nt is small.
+	// Just assert the pipeline produced sane output.
+	for _, r := range res.Significant {
+		if r.P > res.Cutoff {
+			t.Errorf("rule above cutoff reported")
+		}
+	}
+}
+
+func TestFacadeSynthetic(t *testing.T) {
+	p := SyntheticDefaults()
+	p.N = 200
+	p.Attrs = 6
+	p.Seed = 1
+	res, err := Synthetic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Data.NumRecords() != 200 {
+		t.Fatalf("records = %d", res.Data.NumRecords())
+	}
+	whole, first, second, err := SyntheticPaired(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.Data.NumRecords() != first.NumRecords()+second.NumRecords() {
+		t.Error("paired halves do not sum to the whole")
+	}
+}
+
+func TestFacadeUCIStandIn(t *testing.T) {
+	for _, name := range UCINames() {
+		d, err := UCIStandIn(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.NumRecords() == 0 {
+			t.Errorf("%s: empty dataset", name)
+		}
+	}
+	if _, err := UCIStandIn("nope", 1); err == nil {
+		t.Error("unknown stand-in accepted")
+	}
+}
+
+func TestFacadeBasket(t *testing.T) {
+	d := BasketFromTransactions([][]string{
+		{"a", "b", "c"}, {"a", "b"}, {"a", "b", "c"}, {"b", "c"},
+		{"a", "b", "c"}, {"a", "c"}, {"a", "b", "c"}, {"a", "b", "c"},
+	})
+	rules, err := MineBasket(d, BasketOptions{MinSup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("no basket rules")
+	}
+	bc := BasketBonferroni(rules, 0.05)
+	bh := BasketBH(rules, 0.05)
+	if len(bh.Significant) < len(bc.Significant) {
+		t.Error("BH fewer than Bonferroni")
+	}
+	if _, err := BasketPermFWER(d, rules, 0.05, 30, 1); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := ReadBasket(strings.NewReader("a b\nb c\n"))
+	if err != nil || rd.NumTx != 2 {
+		t.Errorf("ReadBasket: %v, %d tx", err, rd.NumTx)
+	}
+}
+
+func TestFacadeEndToEndWithGroundTruth(t *testing.T) {
+	p := SyntheticDefaults()
+	p.N = 800
+	p.Attrs = 12
+	p.NumRules = 1
+	p.MinLen, p.MaxLen = 3, 3
+	p.MinCvg, p.MaxCvg = 150, 150
+	p.MinConf, p.MaxConf = 0.9, 0.9
+	p.Seed = 3
+	gen, err := Synthetic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Mine(gen.Data, Config{
+		MinSup:       60,
+		Method:       MethodPermutation,
+		Control:      ControlFWER,
+		Permutations: 100,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Significant) == 0 {
+		t.Fatal("planted rule not recovered")
+	}
+	// The top rule should involve the planted attributes.
+	truth := gen.Rules[0]
+	top := res.Significant[0]
+	overlap := 0
+	for _, a := range top.Attrs {
+		for _, ta := range truth.Attrs {
+			if a == ta {
+				overlap++
+			}
+		}
+	}
+	if overlap == 0 {
+		t.Errorf("top rule %v shares no attributes with the planted rule %v", top.Attrs, truth.Attrs)
+	}
+}

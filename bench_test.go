@@ -1,0 +1,250 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§5). Each benchmark runs its experiment at a reduced but
+// shape-preserving scale (a few Monte-Carlo datasets, tens of
+// permutations); `go run ./cmd/experiments -fig <id> -full` runs the
+// paper-scale version. EXPERIMENTS.md records paper-vs-measured for each.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchOptions returns deterministic, benchmark-sized experiment options.
+func benchOptions() experiments.Options {
+	return experiments.Options{
+		Datasets: 2,
+		Perms:    20,
+		Seed:     1,
+	}
+}
+
+// sink prevents dead-code elimination of experiment results.
+var sink any
+
+func BenchmarkFig01PValueCurves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = experiments.Fig1()
+	}
+}
+
+func BenchmarkFig02PValueBuffer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = experiments.Fig2()
+	}
+}
+
+func BenchmarkFig03PValueDistribution(b *testing.B) {
+	o := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Fig3(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = f
+	}
+}
+
+func BenchmarkFig04OptimizationLadder(b *testing.B) {
+	o := benchOptions()
+	o.Perms = 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Fig4(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = f
+	}
+}
+
+func BenchmarkFig05ApproachRuntime(b *testing.B) {
+	o := benchOptions()
+	o.Perms = 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Fig5(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = f
+	}
+}
+
+func BenchmarkFig06RandomDatasets(b *testing.B) {
+	o := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Fig6(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = f
+	}
+}
+
+func BenchmarkFig07RulesTested(b *testing.B) {
+	o := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Fig7(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = f
+	}
+}
+
+func BenchmarkFig08PowerFWER(b *testing.B) {
+	o := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Fig8(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = f
+	}
+}
+
+func BenchmarkFig09PValueHalving(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = experiments.Fig9()
+	}
+}
+
+func BenchmarkFig10PowerFDR(b *testing.B) {
+	o := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Fig10(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = f
+	}
+}
+
+func BenchmarkFig11RulesTestedMinSup(b *testing.B) {
+	o := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Fig11(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = f
+	}
+}
+
+func BenchmarkFig12MinSupFWER(b *testing.B) {
+	o := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Fig12(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = f
+	}
+}
+
+func BenchmarkFig13MinSupFDR(b *testing.B) {
+	o := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Fig13(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = f
+	}
+}
+
+func BenchmarkFig14RealFWER(b *testing.B) {
+	o := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Fig14(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = f
+	}
+}
+
+func BenchmarkFig15RealPDistribution(b *testing.B) {
+	o := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Fig15(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = f
+	}
+}
+
+func BenchmarkFig16RealFDR(b *testing.B) {
+	o := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Fig16(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = f
+	}
+}
+
+func BenchmarkTable4ConfidencePValue(b *testing.B) {
+	o := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table4(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = t
+	}
+}
+
+// Extension ablations (beyond the paper's figures; see EXPERIMENTS.md).
+
+func BenchmarkExtRedundancyAblation(b *testing.B) {
+	o := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.ExtRedundancy(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = f
+	}
+}
+
+func BenchmarkExtTestKinds(b *testing.B) {
+	o := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.ExtTestKinds(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = t
+	}
+}
+
+func BenchmarkExtBufferBudget(b *testing.B) {
+	o := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.ExtBufferBudget(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = t
+	}
+}

@@ -1,0 +1,121 @@
+// Command armine mines statistically significant class association rules
+// from a CSV file (header row; the LAST column is the class label; numeric
+// columns are discretized automatically with Fayyad–Irani).
+//
+// Examples:
+//
+//	armine -in data.csv -minsup-frac 0.05 -control fdr -method direct
+//	armine -in data.csv -minsup 60 -method permutation -perms 1000
+//	armine -uci german -minsup 60 -method holdout -control fwer
+//
+// Output: one rule per line, most significant first, with coverage,
+// support, confidence and p-value.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		in         = flag.String("in", "", "input CSV file (header row, class label last)")
+		uciName    = flag.String("uci", "", "use a built-in UCI stand-in instead of -in (adult|german|hypo|mushroom)")
+		minSup     = flag.Int("minsup", 0, "absolute minimum support")
+		minSupFrac = flag.Float64("minsup-frac", 0, "relative minimum support (fraction of records)")
+		minConf    = flag.Float64("minconf", 0, "minimum confidence (domain filter; default 0)")
+		alpha      = flag.Float64("alpha", 0.05, "error level")
+		control    = flag.String("control", "fwer", "error measure: fwer | fdr")
+		method     = flag.String("method", "direct", "correction: none | direct | permutation | holdout | layered")
+		perms      = flag.Int("perms", 1000, "permutations for -method permutation")
+		seed       = flag.Uint64("seed", 1, "random seed (permutations, holdout split, stand-ins)")
+		maxLen     = flag.Int("maxlen", 0, "maximum rule LHS length (0 = unlimited)")
+		limit      = flag.Int("limit", 50, "print at most this many rules (0 = all)")
+		quiet      = flag.Bool("q", false, "print rules only, no summary")
+	)
+	flag.Parse()
+
+	d, err := loadDataset(*in, *uciName, *seed)
+	if err != nil {
+		fail(err)
+	}
+
+	cfg := repro.Config{
+		MinSup:       *minSup,
+		MinSupFrac:   *minSupFrac,
+		MinConf:      *minConf,
+		Alpha:        *alpha,
+		Permutations: *perms,
+		Seed:         *seed,
+		MaxLen:       *maxLen,
+	}
+	switch strings.ToLower(*control) {
+	case "fwer":
+		cfg.Control = repro.ControlFWER
+	case "fdr":
+		cfg.Control = repro.ControlFDR
+	default:
+		fail(fmt.Errorf("unknown -control %q (want fwer or fdr)", *control))
+	}
+	switch strings.ToLower(*method) {
+	case "none":
+		cfg.Method = repro.MethodNone
+	case "direct":
+		cfg.Method = repro.MethodDirect
+	case "permutation":
+		cfg.Method = repro.MethodPermutation
+	case "holdout":
+		cfg.Method = repro.MethodHoldout
+		cfg.HoldoutRandom = true
+	case "layered":
+		cfg.Method = repro.MethodLayered
+	default:
+		fail(fmt.Errorf("unknown -method %q", *method))
+	}
+
+	res, err := repro.Mine(d, cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	if !*quiet {
+		fmt.Printf("# %d records, %d rules tested (min_sup=%d), method=%s control=%s alpha=%g\n",
+			res.NumRecords, res.NumTested, res.MinSup, res.Method, res.Control, res.Alpha)
+		fmt.Printf("# %d significant rules, cutoff p <= %.4g, mine %v + correct %v\n",
+			len(res.Significant), res.Cutoff, res.MineTime.Round(1e6), res.CorrectTime.Round(1e6))
+	}
+	n := len(res.Significant)
+	if *limit > 0 && n > *limit {
+		n = *limit
+	}
+	for _, r := range res.Significant[:n] {
+		fmt.Printf("%s => %s=%s  cvg=%d supp=%d conf=%.3f p=%.4g\n",
+			strings.Join(r.Items, " ^ "), d.Schema.Class.Name, r.Class,
+			r.Coverage, r.Support, r.Confidence, r.P)
+	}
+	if !*quiet && n < len(res.Significant) {
+		fmt.Printf("# ... %d more (raise -limit)\n", len(res.Significant)-n)
+	}
+}
+
+func loadDataset(in, uciName string, seed uint64) (*repro.Dataset, error) {
+	switch {
+	case in != "" && uciName != "":
+		return nil, fmt.Errorf("use either -in or -uci, not both")
+	case in != "":
+		return repro.LoadCSVFile(in)
+	case uciName != "":
+		return repro.UCIStandIn(uciName, seed)
+	default:
+		return nil, fmt.Errorf("need -in FILE or -uci NAME")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "armine:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadDatasetSelection(t *testing.T) {
+	if _, err := loadDataset("", "", 1); err == nil {
+		t.Error("neither -in nor -uci should fail")
+	}
+	if _, err := loadDataset("x.csv", "german", 1); err == nil {
+		t.Error("both -in and -uci should fail")
+	}
+	if _, err := loadDataset("", "german", 1); err != nil {
+		t.Errorf("-uci german failed: %v", err)
+	}
+	if _, err := loadDataset("/nonexistent/file.csv", "", 1); err == nil {
+		t.Error("missing file should fail")
+	}
+	// A real CSV file loads.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.csv")
+	if err := os.WriteFile(path, []byte("a,class\nx,y\nz,w\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := loadDataset(path, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRecords() != 2 {
+		t.Errorf("records = %d", d.NumRecords())
+	}
+}

@@ -1,0 +1,171 @@
+// Command experiments regenerates the figures and tables of Liu, Zhang &
+// Wong (VLDB 2011). Each figure is printed as aligned text series (x
+// column plus one column per line in the paper's plot); tables print as
+// aligned text tables.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -fig fig6 [-full] [-datasets N] [-perms N] [-seed S]
+//	experiments -fig all
+//
+// The default scale is reduced (≈10 Monte-Carlo datasets, 100
+// permutations) so every figure finishes quickly; -full switches to the
+// paper's scale (100 datasets, 1000 permutations).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// runner produces the renderable outputs of one figure/table.
+type runner func(o experiments.Options) ([]string, error)
+
+func figs(fs []*experiments.Figure, err error) ([]string, error) {
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.Render())
+	}
+	return out, nil
+}
+
+func fig(f *experiments.Figure, err error) ([]string, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []string{f.Render()}, nil
+}
+
+func tab(t *experiments.Table, err error) ([]string, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []string{t.Render()}, nil
+}
+
+var runners = map[string]runner{
+	"fig1":   func(o experiments.Options) ([]string, error) { return fig(experiments.Fig1(), nil) },
+	"fig2":   func(o experiments.Options) ([]string, error) { return tab(experiments.Fig2(), nil) },
+	"fig3":   func(o experiments.Options) ([]string, error) { return fig(experiments.Fig3(o)) },
+	"fig4":   func(o experiments.Options) ([]string, error) { return figs(experiments.Fig4(o)) },
+	"fig5":   func(o experiments.Options) ([]string, error) { return figs(experiments.Fig5(o)) },
+	"fig6":   func(o experiments.Options) ([]string, error) { return figs(experiments.Fig6(o)) },
+	"fig7":   func(o experiments.Options) ([]string, error) { return fig(experiments.Fig7(o)) },
+	"fig8":   func(o experiments.Options) ([]string, error) { return figs(experiments.Fig8(o)) },
+	"fig9":   func(o experiments.Options) ([]string, error) { return fig(experiments.Fig9(), nil) },
+	"fig10":  func(o experiments.Options) ([]string, error) { return figs(experiments.Fig10(o)) },
+	"fig11":  func(o experiments.Options) ([]string, error) { return fig(experiments.Fig11(o)) },
+	"fig12":  func(o experiments.Options) ([]string, error) { return figs(experiments.Fig12(o)) },
+	"fig13":  func(o experiments.Options) ([]string, error) { return figs(experiments.Fig13(o)) },
+	"fig14":  func(o experiments.Options) ([]string, error) { return figs(experiments.Fig14(o)) },
+	"fig15":  func(o experiments.Options) ([]string, error) { return fig(experiments.Fig15(o)) },
+	"fig16":  func(o experiments.Options) ([]string, error) { return figs(experiments.Fig16(o)) },
+	"table4": func(o experiments.Options) ([]string, error) { return tab(experiments.Table4(o)) },
+	// Extensions beyond the paper's figures (ablations of this
+	// reproduction's design choices; see EXPERIMENTS.md).
+	"ext-redundancy":   func(o experiments.Options) ([]string, error) { return fig(experiments.ExtRedundancy(o)) },
+	"ext-testkinds":    func(o experiments.Options) ([]string, error) { return tab(experiments.ExtTestKinds(o)) },
+	"ext-bufferbudget": func(o experiments.Options) ([]string, error) { return tab(experiments.ExtBufferBudget(o)) },
+}
+
+func names() []string {
+	out := make([]string, 0, len(runners))
+	for k := range runners {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// figN numerically, then tables, then extensions alphabetically.
+		key := func(s string) (int, int) {
+			if strings.HasPrefix(s, "fig") {
+				var n int
+				fmt.Sscanf(s, "fig%d", &n)
+				return 0, n
+			}
+			if strings.HasPrefix(s, "table") {
+				return 1, 0
+			}
+			return 2, 0
+		}
+		ti, ni := key(out[i])
+		tj, nj := key(out[j])
+		if ti != tj {
+			return ti < tj
+		}
+		if ni != nj {
+			return ni < nj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+func main() {
+	var (
+		figFlag  = flag.String("fig", "", "figure/table id to run (e.g. fig6, table4, all)")
+		list     = flag.Bool("list", false, "list available figures and tables")
+		full     = flag.Bool("full", false, "paper-scale run (100 datasets, 1000 permutations)")
+		datasets = flag.Int("datasets", 0, "override Monte-Carlo dataset count per point")
+		perms    = flag.Int("perms", 0, "override permutation count")
+		seed     = flag.Uint64("seed", 1, "base random seed")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *figFlag == "" {
+		fmt.Fprintln(os.Stderr, "usage: experiments -fig <id|all> [-full] [-datasets N] [-perms N]")
+		fmt.Fprintln(os.Stderr, "       experiments -list")
+		os.Exit(2)
+	}
+
+	o := experiments.Options{
+		Full:     *full,
+		Datasets: *datasets,
+		Perms:    *perms,
+		Seed:     *seed,
+		Workers:  *workers,
+	}
+	if !*quiet {
+		o.Progress = func(msg string) { fmt.Fprintln(os.Stderr, "  "+msg) }
+	}
+
+	targets := []string{*figFlag}
+	if *figFlag == "all" {
+		targets = names()
+	}
+	for _, name := range targets {
+		r, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q; use -list\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		outputs, err := r(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		for _, s := range outputs {
+			fmt.Println(s)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "  %s done in %v\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestParseIntRange(t *testing.T) {
+	lo, hi, err := parseIntRange("2:8")
+	if err != nil || lo != 2 || hi != 8 {
+		t.Errorf("parseIntRange(2:8) = %d,%d,%v", lo, hi, err)
+	}
+	if _, _, err := parseIntRange("nope"); err == nil {
+		t.Error("malformed range accepted")
+	}
+	if _, _, err := parseIntRange("5"); err == nil {
+		t.Error("missing colon accepted")
+	}
+}
+
+func TestParseFloatRange(t *testing.T) {
+	lo, hi, err := parseFloatRange("0.6:0.8")
+	if err != nil || lo != 0.6 || hi != 0.8 {
+		t.Errorf("parseFloatRange = %g,%g,%v", lo, hi, err)
+	}
+	if _, _, err := parseFloatRange("x:y"); err == nil {
+		t.Error("malformed float range accepted")
+	}
+}

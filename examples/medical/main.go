@@ -1,0 +1,81 @@
+// Medical screening scenario: exploratory rule discovery on a
+// hypothyroid-style dataset (the paper's "hypo") where the class of
+// interest is rare (≈5%) and the cost of chasing false leads is high.
+//
+// This is the regime the paper highlights in §5.6/§7: hypo has a thick
+// band of rules with moderate p-values (between alpha/Nt and alpha), so
+// the permutation approach certifies noticeably more rules than the
+// Bonferroni-style direct adjustment, while "no correction" floods the
+// analyst with noise. FDR control fits the exploratory goal: a candidate
+// set of which a known small fraction may be false.
+//
+//	go run ./examples/medical
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	data, err := repro.UCIStandIn("hypo", 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, c := range data.Labels {
+		counts[data.Schema.Class.Values[c]]++
+	}
+	fmt.Printf("hypo stand-in: %d patients, %d attributes, class split %v\n\n",
+		data.NumRecords(), data.Schema.NumAttrs(), counts)
+
+	// Exploratory study: control FDR at 5% so the reported candidate set
+	// is ~95% real, then follow up on the survivors.
+	const minSup = 1600
+	run := func(m repro.Method, label string) *repro.Result {
+		res, err := repro.Mine(data, repro.Config{
+			MinSup:        minSup,
+			Control:       repro.ControlFDR,
+			Method:        m,
+			Permutations:  300,
+			Seed:          3,
+			HoldoutRandom: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %5d tested  %5d reported significant\n",
+			label, res.NumTested, len(res.Significant))
+		return res
+	}
+
+	run(repro.MethodNone, "no correction")
+	direct := run(repro.MethodDirect, "Benjamini-Hochberg")
+	perm := run(repro.MethodPermutation, "permutation FDR")
+	run(repro.MethodHoldout, "holdout (BH)")
+
+	fmt.Println("\nstrongest certified risk indicators (permutation FDR):")
+	seen := 0
+	for _, r := range perm.Significant {
+		if r.Class != "hypothyroid" {
+			continue
+		}
+		fmt.Printf("  %-58s conf=%.2f p=%.2g\n",
+			strings.Join(r.Items, " ^ "), r.Confidence, r.P)
+		seen++
+		if seen == 5 {
+			break
+		}
+	}
+	if seen == 0 {
+		fmt.Println("  (none pointing at the rare class at this min_sup)")
+	}
+
+	fmt.Printf("\nThe permutation approach certified %d rules vs %d for direct BH —\n",
+		len(perm.Significant), len(direct.Significant))
+	fmt.Println("on hypo-like p-value distributions it recovers real rules the")
+	fmt.Println("conservative direct adjustment throws away (paper §5.6).")
+}

@@ -1,0 +1,57 @@
+// Permutation-cost ladder: demonstrates how much each of the paper's §4.2
+// optimisations — the dynamic p-value buffer, Diffsets, and the static
+// buffer — cuts the cost of a 300-permutation test on a german-style
+// dataset (the workload of Fig 4b).
+//
+//	go run ./examples/permopt
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	data, err := repro.UCIStandIn("german", 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("german stand-in: %d records, %d attributes; min_sup=60, 300 permutations\n\n",
+		data.NumRecords(), data.Schema.NumAttrs())
+
+	fmt.Printf("%-40s %10s %12s %9s\n", "optimisation level", "time", "significant", "speedup")
+	var base time.Duration
+	for _, opt := range []repro.OptLevel{
+		repro.OptNone, repro.OptDynamicBuffer, repro.OptDiffsets, repro.OptStaticBuffer,
+	} {
+		start := time.Now()
+		res, err := repro.Mine(data, repro.Config{
+			MinSup:       60,
+			Control:      repro.ControlFWER,
+			Method:       repro.MethodPermutation,
+			Permutations: 300,
+			Seed:         1,
+			Opt:          opt,
+			OptSet:       true,
+			Workers:      1, // single-threaded, like the paper's measurements
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		took := time.Since(start)
+		if base == 0 {
+			base = took
+		}
+		fmt.Printf("%-40s %10v %12d %8.1fx\n",
+			opt, took.Round(time.Millisecond), len(res.Significant),
+			float64(base)/float64(took))
+	}
+
+	fmt.Println("\nAll levels certify the identical rule set — the optimisations are")
+	fmt.Println("exact. The dynamic buffer alone removes most of the p-value cost;")
+	fmt.Println("Diffsets shrink the support-counting work; the static buffer mainly")
+	fmt.Println("helps when many rules share coverages (paper Fig 4).")
+}

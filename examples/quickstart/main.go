@@ -1,0 +1,73 @@
+// Quickstart: generate a small dataset with one planted rule, mine it with
+// each correction approach, and show why correction matters.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	// A synthetic dataset with known ground truth: 1000 records, 15
+	// attributes, and ONE real rule of coverage 200 and confidence 0.85.
+	// Everything else in the data is noise.
+	params := repro.SyntheticDefaults()
+	params.N = 1000
+	params.Attrs = 15
+	params.NumRules = 1
+	params.MinLen, params.MaxLen = 3, 3 // short LHS: few by-product rules
+	params.MinCvg, params.MaxCvg = 200, 200
+	params.MinConf, params.MaxConf = 0.85, 0.85
+	params.Seed = 42
+
+	gen, err := repro.Synthetic(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := gen.Rules[0]
+	var lhs []string
+	for i, a := range truth.Attrs {
+		lhs = append(lhs, fmt.Sprintf("%s=%s",
+			gen.Data.Schema.Attrs[a].Name, gen.Data.Schema.Attrs[a].Values[truth.Vals[i]]))
+	}
+	fmt.Printf("ground truth: %s => class=%s (coverage %d, confidence %.2f)\n\n",
+		strings.Join(lhs, " ^ "), gen.Data.Schema.Class.Values[truth.Class],
+		truth.Coverage(), truth.Conf)
+
+	// Mine with each approach at the same error level.
+	for _, m := range []repro.Method{
+		repro.MethodNone, repro.MethodDirect, repro.MethodPermutation, repro.MethodHoldout,
+	} {
+		res, err := repro.Mine(gen.Data, repro.Config{
+			MinSup:        80,
+			Alpha:         0.05,
+			Control:       repro.ControlFWER,
+			Method:        m,
+			Permutations:  300,
+			Seed:          7,
+			HoldoutRandom: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s: %4d rules tested, %4d significant (cutoff p <= %.3g)\n",
+			res.Method, res.NumTested, len(res.Significant), res.Cutoff)
+		for i, r := range res.Significant {
+			if i == 3 {
+				fmt.Printf("              ... and %d more\n", len(res.Significant)-3)
+				break
+			}
+			fmt.Printf("              %s => class=%s (cvg=%d conf=%.2f p=%.3g)\n",
+				strings.Join(r.Items, " ^ "), r.Class, r.Coverage, r.Confidence, r.P)
+		}
+	}
+
+	fmt.Println("\nWithout correction, dozens of noise rules pass p <= 0.05; the")
+	fmt.Println("corrected approaches report only the planted rule and its closely")
+	fmt.Println("related sub/super-patterns.")
+}

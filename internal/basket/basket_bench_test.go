@@ -1,0 +1,46 @@
+package basket
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func benchData(b *testing.B) *Data {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(1, 2))
+	return FromTransactions(groceries(2000, rng))
+}
+
+func BenchmarkMineBasket(b *testing.B) {
+	d := benchData(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rules, err := Mine(d, Options{MinSup: 100, MinRuleSup: 50})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkRules = rules
+	}
+}
+
+func BenchmarkBasketPermFWER(b *testing.B) {
+	d := benchData(b)
+	rules, err := Mine(d, Options{MinSup: 100, MinRuleSup: 50, MinConf: 0.4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := PermFWER(d, rules, 0.05, 50, 3, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkOutcome = out
+	}
+}
+
+var (
+	sinkRules   []Rule
+	sinkOutcome any
+)

@@ -1,0 +1,154 @@
+package basket
+
+import (
+	"sort"
+
+	"repro/internal/correction"
+	"repro/internal/dataset"
+	"repro/internal/mining"
+	"repro/internal/permute"
+)
+
+// mineClosedEncoded runs the shared closed miner over a basket encoding.
+func mineClosedEncoded(enc *dataset.Encoded, opts Options) (*mining.Tree, error) {
+	return mining.MineClosed(enc, mining.Options{
+		MinSup:        opts.MinSup,
+		StoreDiffsets: true,
+		MaxLen:        opts.MaxLen,
+		MaxNodes:      opts.MaxNodes,
+	})
+}
+
+// Bonferroni controls FWER at alpha over the mined rules.
+func Bonferroni(rules []Rule, alpha float64) *correction.Outcome {
+	ps := pvalues(rules)
+	return correction.Bonferroni(ps, len(ps), alpha)
+}
+
+// BenjaminiHochberg controls FDR at alpha over the mined rules.
+func BenjaminiHochberg(rules []Rule, alpha float64) *correction.Outcome {
+	ps := pvalues(rules)
+	return correction.BenjaminiHochberg(ps, len(ps), alpha)
+}
+
+// PermFWER controls FWER at alpha with per-consequent permutation nulls:
+// rules are grouped by consequent y; each group's null is built by
+// shuffling the "contains y" labels (N permutations) — exactly the paper's
+// §4.2 procedure on the induced two-class problem — and the alpha budget
+// is split evenly across consequent groups (Bonferroni across groups,
+// Westfall–Young within). Joint permutation across consequents would
+// require permuting transaction contents themselves; the split is the
+// conservative composition.
+//
+// The returned outcome indexes the input rules slice. Cutoff is -1 because
+// thresholds are per consequent.
+func PermFWER(d *Data, rules []Rule, alpha float64, numPerms int, seed uint64, workers int) (*correction.Outcome, error) {
+	groups := make(map[int][]int) // consequent -> rule indices
+	for i := range rules {
+		groups[rules[i].Consequent] = append(groups[rules[i].Consequent], i)
+	}
+	out := &correction.Outcome{
+		Method:   "Basket_Perm_FWER",
+		Alpha:    alpha,
+		NumTests: len(rules),
+		Cutoff:   -1,
+	}
+	if len(groups) == 0 {
+		return out, nil
+	}
+	perGroupAlpha := alpha / float64(len(groups))
+
+	consequents := make([]int, 0, len(groups))
+	for y := range groups {
+		consequents = append(consequents, y)
+	}
+	sort.Ints(consequents)
+
+	for _, y := range consequents {
+		idx := groups[y]
+		minSup := rules[idx[0]].Coverage
+		for _, i := range idx {
+			if rules[i].Coverage < minSup {
+				minSup = rules[i].Coverage
+			}
+		}
+		enc := d.LabeledByItem(y)
+		tree, err := mineClosedEncoded(enc, Options{MinSup: minSup})
+		if err != nil {
+			return nil, err
+		}
+
+		// Map each basket rule to the tree node carrying its antecedent.
+		// Closedness is label-independent, so every antecedent (a closed
+		// itemset of the same transaction data) appears in this tree.
+		nodeOf := make(map[string]*mining.Node, len(tree.Nodes))
+		for _, node := range tree.Nodes {
+			nodeOf[closureKey(node.Closure)] = node
+		}
+		classRules := make([]mining.Rule, 0, len(idx))
+		kept := make([]int, 0, len(idx))
+		for _, i := range idx {
+			node, ok := nodeOf[anteKey(rules[i].Antecedent)]
+			if !ok {
+				continue
+			}
+			classRules = append(classRules, mining.Rule{
+				Node:       node,
+				Class:      1, // "contains y"
+				Support:    rules[i].Support,
+				Coverage:   rules[i].Coverage,
+				Confidence: rules[i].Confidence,
+				P:          rules[i].P,
+			})
+			kept = append(kept, i)
+		}
+		if len(classRules) == 0 {
+			continue
+		}
+		engine, err := permute.NewEngine(tree, classRules, permute.Config{
+			NumPerms: numPerms,
+			Seed:     seed ^ uint64(y)*0x9e3779b97f4a7c15,
+			Opt:      permute.OptStaticBuffer,
+			Workers:  workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cutoff := correction.PermFWERCutoff(engine.MinP(), perGroupAlpha)
+		if cutoff < 0 {
+			continue
+		}
+		for gi, cr := range classRules {
+			if cr.P <= cutoff {
+				out.Significant = append(out.Significant, kept[gi])
+			}
+		}
+	}
+	sort.Ints(out.Significant)
+	return out, nil
+}
+
+// closureKey renders a closure as a map key.
+func closureKey(items []dataset.Item) string {
+	b := make([]byte, 0, 4*len(items))
+	for _, it := range items {
+		b = append(b, byte(it), byte(it>>8), byte(it>>16), byte(it>>24))
+	}
+	return string(b)
+}
+
+func anteKey(items []int) string {
+	b := make([]byte, 0, 4*len(items))
+	for _, it := range items {
+		b = append(b, byte(it), byte(it>>8), byte(it>>16), byte(it>>24))
+	}
+	return string(b)
+}
+
+func pvalues(rules []Rule) []float64 {
+	ps := make([]float64, len(rules))
+	for i := range rules {
+		ps[i] = rules[i].P
+	}
+	return ps
+}

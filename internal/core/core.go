@@ -1,0 +1,420 @@
+// Package core wires the substrates into the paper's end-to-end pipeline:
+// dataset → closed class-association-rule mining → Fisher p-values → one
+// of the multiple-testing correction approaches → the statistically
+// significant rule set. It is the implementation behind the repo's public
+// facade (the root package).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/correction"
+	"repro/internal/dataset"
+	"repro/internal/mining"
+	"repro/internal/permute"
+	"repro/internal/redundancy"
+)
+
+// Control selects the error measure being controlled (§2.3).
+type Control int
+
+const (
+	// ControlFWER controls the family-wise error rate: the probability of
+	// reporting at least one false positive.
+	ControlFWER Control = iota
+	// ControlFDR controls the false discovery rate: the expected fraction
+	// of false positives among reported rules.
+	ControlFDR
+)
+
+// String returns "FWER" or "FDR".
+func (c Control) String() string {
+	if c == ControlFDR {
+		return "FDR"
+	}
+	return "FWER"
+}
+
+// Method selects the correction approach (§4).
+type Method int
+
+const (
+	// MethodNone applies no correction: every rule with p <= Alpha is
+	// reported (the paper's baseline, and a demonstration of why
+	// correction is needed).
+	MethodNone Method = iota
+	// MethodDirect is the direct adjustment approach: Bonferroni under
+	// ControlFWER, Benjamini–Hochberg under ControlFDR.
+	MethodDirect
+	// MethodPermutation is the permutation-based approach of §4.2.
+	MethodPermutation
+	// MethodHoldout is Webb's holdout evaluation (§4.3): the dataset is
+	// split, rules are mined on the exploratory half and validated on the
+	// evaluation half.
+	MethodHoldout
+	// MethodLayered is Webb's layered critical values [19] (an extension
+	// the paper discusses in related work): the FWER budget is split
+	// evenly across rule lengths and Bonferroni-divided within each
+	// length. FWER control only.
+	MethodLayered
+)
+
+// String returns the method's name.
+func (m Method) String() string {
+	switch m {
+	case MethodNone:
+		return "none"
+	case MethodDirect:
+		return "direct"
+	case MethodPermutation:
+		return "permutation"
+	case MethodHoldout:
+		return "holdout"
+	case MethodLayered:
+		return "layered"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Config configures a mining-plus-correction run.
+type Config struct {
+	// MinSup is the absolute minimum coverage of a rule LHS. If 0,
+	// MinSupFrac·NumRecords is used instead.
+	MinSup int
+	// MinSupFrac is the relative minimum support (used when MinSup == 0).
+	MinSupFrac float64
+	// MinConf drops rules below this confidence before testing. The
+	// paper's experiments use 0 (statistical and domain significance are
+	// orthogonal filters; see §2.3).
+	MinConf float64
+	// Alpha is the error level (default 0.05).
+	Alpha float64
+	// Control selects FWER or FDR.
+	Control Control
+	// Method selects the correction approach.
+	Method Method
+	// Permutations is N for MethodPermutation (default 1000, the paper's
+	// setting).
+	Permutations int
+	// Seed drives permutation shuffles and holdout splits.
+	Seed uint64
+	// Opt is the permutation optimisation level (default OptStaticBuffer,
+	// i.e. everything on).
+	Opt permute.OptLevel
+	// OptSet marks Opt as explicitly set (lets callers request OptNone,
+	// which is otherwise indistinguishable from "unset").
+	OptSet bool
+	// StaticBudget is the static p-value buffer budget in bytes under
+	// OptStaticBuffer (default 16 MB).
+	StaticBudget int
+	// Workers caps permutation worker goroutines (default GOMAXPROCS).
+	Workers int
+	// MaxLen caps mined pattern length (0 = unlimited).
+	MaxLen int
+	// MaxNodes caps the closed-pattern count (0 = unlimited); mining
+	// fails loudly when exceeded.
+	MaxNodes int
+	// Policy selects rule generation (default mining.PaperPolicy).
+	Policy mining.RuleClassPolicy
+	// FixedClass is the RHS class under mining.FixedClass.
+	FixedClass int32
+	// HoldoutRandom uses a random split for MethodHoldout (the paper's
+	// "random holdout"); false splits into first/second halves, which is
+	// exact for synth.GeneratePaired data.
+	HoldoutRandom bool
+	// HoldoutMinSupDivisor divides MinSup for the exploratory half
+	// (default 2, the paper's setting).
+	HoldoutMinSupDivisor int
+	// Test selects the significance test (default: the paper's two-tailed
+	// Fisher exact test). TestChiSquare and TestMidP are extensions; the
+	// holdout method currently supports Fisher only.
+	Test mining.TestKind
+	// RedundancyEpsilon, when > 0, folds near-duplicate patterns before
+	// testing (the §7 future-work reduction): a pattern keeping at least
+	// a (1-epsilon) fraction of its tree parent representative's records
+	// is not tested separately. Reducing the tested count raises the
+	// power of every correction method. 0 disables.
+	RedundancyEpsilon float64
+}
+
+func (c Config) withDefaults(n int) (Config, error) {
+	if c.Alpha == 0 {
+		c.Alpha = 0.05
+	}
+	if c.Alpha < 0 || c.Alpha > 1 {
+		return c, fmt.Errorf("core: Alpha %g outside [0,1]", c.Alpha)
+	}
+	if c.MinSup == 0 {
+		if c.MinSupFrac <= 0 || c.MinSupFrac > 1 {
+			return c, fmt.Errorf("core: need MinSup or MinSupFrac in (0,1], got %d / %g", c.MinSup, c.MinSupFrac)
+		}
+		c.MinSup = int(c.MinSupFrac * float64(n))
+		if c.MinSup < 1 {
+			c.MinSup = 1
+		}
+	}
+	if c.Permutations == 0 {
+		c.Permutations = 1000
+	}
+	if !c.OptSet {
+		c.Opt = permute.OptStaticBuffer
+	}
+	if c.HoldoutMinSupDivisor == 0 {
+		c.HoldoutMinSupDivisor = 2
+	}
+	return c, nil
+}
+
+// Rule is a reported significant rule in user-facing form.
+type Rule struct {
+	// Items renders the LHS as "attribute=value" strings.
+	Items []string
+	// Attrs/Vals are the LHS in index form (parallel slices).
+	Attrs []int
+	Vals  []int32
+	// Class is the RHS label; ClassIndex its index.
+	Class      string
+	ClassIndex int32
+	// Coverage, Support, Confidence and P are the rule's statistics on
+	// the dataset it was validated on (the evaluation half for holdout,
+	// the whole dataset otherwise).
+	Coverage   int
+	Support    int
+	Confidence float64
+	P          float64
+}
+
+// Result reports one pipeline run.
+type Result struct {
+	// Method/Control/Alpha echo the effective configuration.
+	Method  Method
+	Control Control
+	Alpha   float64
+	MinSup  int
+	// NumRecords is the dataset size; NumPatterns the closed frequent
+	// pattern count; NumTested the number of rules tested (for holdout:
+	// on the exploratory half).
+	NumRecords  int
+	NumPatterns int
+	NumTested   int
+	// Cutoff is the effective p-value threshold (negative = none).
+	Cutoff float64
+	// Significant lists the reported rules, most significant first.
+	Significant []Rule
+	// Tested exposes the full tested rule set with p-values (nil for
+	// holdout, whose tested rules live on the exploratory half).
+	Tested []mining.Rule
+	// Outcome is the raw correction decision over Tested (or over the
+	// holdout candidates).
+	Outcome *correction.Outcome
+	// Holdout carries the two-phase detail when Method == MethodHoldout.
+	Holdout *correction.HoldoutResult
+	// MineTime and CorrectTime split the wall-clock cost.
+	MineTime    time.Duration
+	CorrectTime time.Duration
+}
+
+// Run executes the configured pipeline on d.
+func Run(d *dataset.Dataset, cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults(d.NumRecords())
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Method == MethodHoldout {
+		if cfg.Test != mining.TestFisher {
+			return nil, fmt.Errorf("core: the holdout method supports the Fisher test only")
+		}
+		return runHoldout(d, cfg)
+	}
+
+	start := time.Now()
+	enc := dataset.Encode(d)
+	tree, err := mining.MineClosed(enc, mining.Options{
+		MinSup:        cfg.MinSup,
+		StoreDiffsets: cfg.Method != MethodPermutation || cfg.Opt.WantDiffsets(),
+		MaxLen:        cfg.MaxLen,
+		MaxNodes:      cfg.MaxNodes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rules, err := mining.GenerateRules(tree, mining.RuleOptions{
+		Policy:  cfg.Policy,
+		Class:   cfg.FixedClass,
+		MinConf: cfg.MinConf,
+		Test:    cfg.Test,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Optional §7 redundancy reduction: test only representative rules.
+	var reduction *redundancy.Reduction
+	if cfg.RedundancyEpsilon > 0 {
+		reduction, err = redundancy.Reduce(tree, rules, cfg.RedundancyEpsilon)
+		if err != nil {
+			return nil, err
+		}
+		rules = reduction.KeptRules
+	}
+	mineTime := time.Since(start)
+
+	start = time.Now()
+	ps := make([]float64, len(rules))
+	for i := range rules {
+		ps[i] = rules[i].P
+	}
+	var outcome *correction.Outcome
+	switch cfg.Method {
+	case MethodNone:
+		outcome = correction.None(ps, cfg.Alpha)
+	case MethodLayered:
+		if cfg.Control != ControlFWER {
+			return nil, fmt.Errorf("core: layered critical values control FWER only")
+		}
+		lengths := make([]int, len(rules))
+		for i := range rules {
+			lengths[i] = rules[i].Length()
+		}
+		outcome, err = correction.LayeredCriticalValues(ps, lengths, 0, cfg.Alpha)
+		if err != nil {
+			return nil, err
+		}
+	case MethodDirect:
+		if cfg.Control == ControlFWER {
+			outcome = correction.Bonferroni(ps, len(ps), cfg.Alpha)
+		} else {
+			outcome = correction.BenjaminiHochberg(ps, len(ps), cfg.Alpha)
+		}
+	case MethodPermutation:
+		engine, err := permute.NewEngine(tree, rules, permute.Config{
+			NumPerms:     cfg.Permutations,
+			Seed:         cfg.Seed,
+			Opt:          cfg.Opt,
+			StaticBudget: cfg.StaticBudget,
+			Workers:      cfg.Workers,
+			Test:         cfg.Test,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Control == ControlFWER {
+			outcome = correction.PermFWER(engine, rules, cfg.Alpha)
+		} else {
+			outcome = correction.PermFDR(engine, rules, cfg.Alpha)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown method %d", cfg.Method)
+	}
+	correctTime := time.Since(start)
+
+	res := &Result{
+		Method:      cfg.Method,
+		Control:     cfg.Control,
+		Alpha:       cfg.Alpha,
+		MinSup:      cfg.MinSup,
+		NumRecords:  d.NumRecords(),
+		NumPatterns: tree.NumPatterns(),
+		NumTested:   len(rules),
+		Cutoff:      outcome.Cutoff,
+		Tested:      rules,
+		Outcome:     outcome,
+		MineTime:    mineTime,
+		CorrectTime: correctTime,
+	}
+	for _, i := range outcome.Significant {
+		res.Significant = append(res.Significant, toRule(&rules[i], enc.Enc))
+	}
+	sortRules(res.Significant)
+	return res, nil
+}
+
+// runHoldout executes the two-phase holdout pipeline.
+func runHoldout(d *dataset.Dataset, cfg Config) (*Result, error) {
+	start := time.Now()
+	var explore, eval *dataset.Dataset
+	if cfg.HoldoutRandom {
+		explore, eval = d.RandomSplit(cfg.Seed)
+	} else {
+		explore, eval = d.SplitHalves()
+	}
+	minSupExplore := cfg.MinSup / cfg.HoldoutMinSupDivisor
+	if minSupExplore < 1 {
+		minSupExplore = 1
+	}
+	hres, err := correction.Holdout(explore, eval, correction.HoldoutConfig{
+		MinSupExplore: minSupExplore,
+		Alpha:         cfg.Alpha,
+		UseFDR:        cfg.Control == ControlFDR,
+		Policy:        cfg.Policy,
+		Class:         cfg.FixedClass,
+		MaxLen:        cfg.MaxLen,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Method:      MethodHoldout,
+		Control:     cfg.Control,
+		Alpha:       cfg.Alpha,
+		MinSup:      cfg.MinSup,
+		NumRecords:  d.NumRecords(),
+		NumTested:   hres.NumExploreTested,
+		Cutoff:      hres.Outcome.Cutoff,
+		Outcome:     hres.Outcome,
+		Holdout:     hres,
+		CorrectTime: time.Since(start),
+	}
+	for _, i := range hres.Outcome.Significant {
+		c := &hres.Candidates[i]
+		r := Rule{
+			Attrs:      c.Attrs,
+			Vals:       c.Vals,
+			Class:      d.Schema.Class.Values[c.Class],
+			ClassIndex: c.Class,
+			Coverage:   c.EvalCvg,
+			Support:    c.EvalSupp,
+			Confidence: c.EvalConf,
+			P:          c.EvalP,
+		}
+		for k, a := range c.Attrs {
+			r.Items = append(r.Items, fmt.Sprintf("%s=%s",
+				d.Schema.Attrs[a].Name, d.Schema.Attrs[a].Values[c.Vals[k]]))
+		}
+		res.Significant = append(res.Significant, r)
+	}
+	sortRules(res.Significant)
+	return res, nil
+}
+
+// toRule converts a mined rule into user-facing form.
+func toRule(r *mining.Rule, enc *dataset.Encoding) Rule {
+	out := Rule{
+		Class:      enc.Schema.Class.Values[r.Class],
+		ClassIndex: r.Class,
+		Coverage:   r.Coverage,
+		Support:    r.Support,
+		Confidence: r.Confidence,
+		P:          r.P,
+	}
+	for _, it := range r.Node.Closure {
+		a, v := enc.AttrValue(it)
+		out.Attrs = append(out.Attrs, a)
+		out.Vals = append(out.Vals, v)
+		out.Items = append(out.Items, enc.String(it))
+	}
+	return out
+}
+
+// sortRules orders reported rules by ascending p, then descending
+// coverage.
+func sortRules(rules []Rule) {
+	sort.SliceStable(rules, func(i, j int) bool {
+		if rules[i].P != rules[j].P {
+			return rules[i].P < rules[j].P
+		}
+		return rules[i].Coverage > rules[j].Coverage
+	})
+}

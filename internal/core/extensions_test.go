@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mining"
+)
+
+func TestRunChiSquareTest(t *testing.T) {
+	res := signalDataset(t, 21)
+	fisher, err := Run(res.Data, Config{MinSup: 100, Method: MethodDirect, Control: ControlFWER})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chi, err := Run(res.Data, Config{
+		MinSup: 100, Method: MethodDirect, Control: ControlFWER, Test: mining.TestChiSquare,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chi.NumTested != fisher.NumTested {
+		t.Fatalf("test kind changed the tested count: %d vs %d", chi.NumTested, fisher.NumTested)
+	}
+	// Both recover the strong embedded rule; the certified sets are close
+	// (chi-square is the asymptotic approximation of Fisher).
+	if len(chi.Significant) == 0 {
+		t.Fatal("chi-square found nothing")
+	}
+	ratio := float64(len(chi.Significant)) / float64(len(fisher.Significant)+1)
+	if ratio < 0.3 || ratio > 3 {
+		t.Errorf("chi2 found %d vs fisher %d — implausibly far apart",
+			len(chi.Significant), len(fisher.Significant))
+	}
+}
+
+func TestRunChiSquarePermutation(t *testing.T) {
+	res := signalDataset(t, 22)
+	out, err := Run(res.Data, Config{
+		MinSup: 120, Method: MethodPermutation, Control: ControlFWER,
+		Permutations: 60, Seed: 4, Test: mining.TestChiSquare,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Significant) == 0 {
+		t.Error("permutation with chi-square found nothing")
+	}
+}
+
+func TestRunMidPTest(t *testing.T) {
+	res := signalDataset(t, 23)
+	std, err := Run(res.Data, Config{MinSup: 100, Method: MethodDirect, Control: ControlFDR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := Run(res.Data, Config{
+		MinSup: 100, Method: MethodDirect, Control: ControlFDR, Test: mining.TestMidP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mid-p is uniformly less conservative: it cannot find fewer rules.
+	if len(mid.Significant) < len(std.Significant) {
+		t.Errorf("mid-p found %d < standard %d", len(mid.Significant), len(std.Significant))
+	}
+}
+
+func TestRunHoldoutRejectsNonFisher(t *testing.T) {
+	res := signalDataset(t, 24)
+	if _, err := Run(res.Data, Config{
+		MinSup: 100, Method: MethodHoldout, Test: mining.TestChiSquare,
+	}); err == nil {
+		t.Error("holdout with chi-square should be rejected")
+	}
+}
+
+func TestRunRedundancyReduction(t *testing.T) {
+	res := signalDataset(t, 25)
+	full, err := Run(res.Data, Config{MinSup: 100, Method: MethodDirect, Control: ControlFWER})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := Run(res.Data, Config{
+		MinSup: 100, Method: MethodDirect, Control: ControlFWER, RedundancyEpsilon: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reduced.NumTested > full.NumTested {
+		t.Fatalf("reduction increased tested count: %d > %d", reduced.NumTested, full.NumTested)
+	}
+	if reduced.NumTested == full.NumTested {
+		t.Skip("no redundancy on this dataset")
+	}
+	// Fewer tests => looser Bonferroni cutoff.
+	if reduced.Cutoff <= full.Cutoff {
+		t.Errorf("reduced cutoff %g not looser than %g", reduced.Cutoff, full.Cutoff)
+	}
+	// The embedded rule (or its representative) is still found.
+	if len(reduced.Significant) == 0 {
+		t.Error("reduction lost the embedded rule")
+	}
+}
+
+func TestRunRedundancyWithPermutation(t *testing.T) {
+	res := signalDataset(t, 26)
+	out, err := Run(res.Data, Config{
+		MinSup: 120, Method: MethodPermutation, Control: ControlFWER,
+		Permutations: 60, Seed: 2, RedundancyEpsilon: 0.15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumTested == 0 || len(out.Significant) == 0 {
+		t.Error("permutation over the reduced rule set failed")
+	}
+}
+
+func TestRunRedundancyInvalidEpsilon(t *testing.T) {
+	res := signalDataset(t, 27)
+	if _, err := Run(res.Data, Config{
+		MinSup: 100, Method: MethodDirect, RedundancyEpsilon: 1.5,
+	}); err == nil {
+		t.Error("epsilon > 1 accepted")
+	}
+}

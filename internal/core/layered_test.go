@@ -1,0 +1,34 @@
+package core
+
+import "testing"
+
+func TestRunLayeredCriticalValues(t *testing.T) {
+	res := signalDataset(t, 41)
+	out, err := Run(res.Data, Config{MinSup: 100, Method: MethodLayered, Control: ControlFWER})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Outcome.Method != "LCV" {
+		t.Errorf("method = %q, want LCV", out.Outcome.Method)
+	}
+	if len(out.Significant) == 0 {
+		t.Error("layered critical values found nothing on a strong signal")
+	}
+	// Sanity vs plain Bonferroni: LCV reallocates the same total budget,
+	// so both control FWER; the discovered sets need not nest but should
+	// be within an order of magnitude on this clean workload.
+	bc, err := Run(res.Data, Config{MinSup: 100, Method: MethodDirect, Control: ControlFWER})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Significant) > 20*len(bc.Significant)+20 {
+		t.Errorf("LCV found %d vs BC %d — implausible", len(out.Significant), len(bc.Significant))
+	}
+}
+
+func TestRunLayeredRejectsFDR(t *testing.T) {
+	res := signalDataset(t, 42)
+	if _, err := Run(res.Data, Config{MinSup: 100, Method: MethodLayered, Control: ControlFDR}); err == nil {
+		t.Error("layered + FDR should be rejected")
+	}
+}

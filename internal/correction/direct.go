@@ -1,0 +1,188 @@
+// Package correction implements the three multiple-testing correction
+// families of §4: direct adjustment (Bonferroni for FWER, Benjamini–
+// Hochberg for FDR), the permutation-based approach (min-p cut-off for
+// FWER, pooled empirical p-values + BH for FDR), and Webb's holdout
+// evaluation. Webb's layered critical values [19] are included as an
+// extension.
+//
+// All procedures consume plain p-value slices (plus whatever auxiliary
+// data they need) and return an Outcome identifying the significant rules
+// and the effective cut-off; they are agnostic to how the p-values were
+// produced.
+package correction
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Outcome reports the decision of a correction procedure.
+type Outcome struct {
+	// Method is a short label ("BC", "BH", "Perm_FWER", ...; Table 3).
+	Method string
+	// Alpha is the error level the procedure controlled.
+	Alpha float64
+	// NumTests is the test count the procedure corrected for.
+	NumTests int
+	// Cutoff is the effective p-value threshold: rules with p <= Cutoff
+	// are significant. Negative when nothing can be significant.
+	Cutoff float64
+	// Significant lists the indices of significant rules, ascending.
+	Significant []int
+}
+
+// IsSignificant reports whether rule index i was declared significant.
+// O(log n).
+func (o *Outcome) IsSignificant(i int) bool {
+	k := sort.SearchInts(o.Significant, i)
+	return k < len(o.Significant) && o.Significant[k] == i
+}
+
+// None returns an outcome declaring every rule with p <= alpha significant
+// — the paper's "No correction" baseline.
+func None(ps []float64, alpha float64) *Outcome {
+	o := &Outcome{Method: "No correction", Alpha: alpha, NumTests: len(ps), Cutoff: alpha}
+	for i, p := range ps {
+		if p <= alpha {
+			o.Significant = append(o.Significant, i)
+		}
+	}
+	return o
+}
+
+// Bonferroni controls FWER at alpha by the direct adjustment of §4.1:
+// rules with p <= alpha/numTests are significant. numTests may exceed
+// len(ps) (e.g. holdout corrects candidate rules by the candidate count,
+// and multi-class mining tests m rules per pattern); it must be >= 1.
+func Bonferroni(ps []float64, numTests int, alpha float64) *Outcome {
+	if numTests < 1 {
+		numTests = 1
+	}
+	cutoff := alpha / float64(numTests)
+	o := &Outcome{Method: "BC", Alpha: alpha, NumTests: numTests, Cutoff: cutoff}
+	for i, p := range ps {
+		if p <= cutoff {
+			o.Significant = append(o.Significant, i)
+		}
+	}
+	return o
+}
+
+// Sidak controls FWER at alpha under the (slightly less conservative)
+// Šidák correction of the paper's reference [1]: rules with
+// p <= 1 - (1-alpha)^(1/numTests) are significant. Exact under
+// independence of the tests; Bonferroni is its first-order approximation.
+func Sidak(ps []float64, numTests int, alpha float64) *Outcome {
+	if numTests < 1 {
+		numTests = 1
+	}
+	cutoff := 1 - math.Pow(1-alpha, 1/float64(numTests))
+	o := &Outcome{Method: "Sidak", Alpha: alpha, NumTests: numTests, Cutoff: cutoff}
+	for i, p := range ps {
+		if p <= cutoff {
+			o.Significant = append(o.Significant, i)
+		}
+	}
+	return o
+}
+
+// BenjaminiHochberg controls FDR at alpha (§4.1): with the p-values sorted
+// ascending p(1) <= ... <= p(n), find the largest k with
+// p(k) <= k·alpha/numTests and declare the k smallest p-values
+// significant. numTests defaults to len(ps) when 0.
+func BenjaminiHochberg(ps []float64, numTests int, alpha float64) *Outcome {
+	if numTests <= 0 {
+		numTests = len(ps)
+	}
+	o := &Outcome{Method: "BH", Alpha: alpha, NumTests: numTests, Cutoff: -1}
+	if len(ps) == 0 {
+		return o
+	}
+	order := make([]int, len(ps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return ps[order[a]] < ps[order[b]] })
+
+	k := -1
+	for i := len(order) - 1; i >= 0; i-- {
+		if ps[order[i]] <= float64(i+1)*alpha/float64(numTests) {
+			k = i
+			break
+		}
+	}
+	if k < 0 {
+		return o
+	}
+	o.Cutoff = ps[order[k]]
+	for i, p := range ps {
+		if p <= o.Cutoff {
+			o.Significant = append(o.Significant, i)
+		}
+	}
+	return o
+}
+
+// BHAdjustedP returns the BH-adjusted p-values ("q-values"):
+// q(i) = min_{j >= i} ( numTests · p(j) / j ) over the ascending order,
+// clamped to 1. A rule is significant at level alpha iff q <= alpha.
+// Provided for library users; the experiments use BenjaminiHochberg.
+func BHAdjustedP(ps []float64, numTests int) []float64 {
+	if numTests <= 0 {
+		numTests = len(ps)
+	}
+	n := len(ps)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return ps[order[a]] < ps[order[b]] })
+	out := make([]float64, n)
+	minSoFar := math.Inf(1)
+	for i := n - 1; i >= 0; i-- {
+		q := float64(numTests) * ps[order[i]] / float64(i+1)
+		if q < minSoFar {
+			minSoFar = q
+		}
+		v := minSoFar
+		if v > 1 {
+			v = 1
+		}
+		out[order[i]] = v
+	}
+	return out
+}
+
+// LayeredCriticalValues implements Webb's layered critical values [19] as
+// an extension: the FWER budget alpha is split evenly across rule lengths
+// 1..maxLen, and within length l the budget alpha/maxLen is Bonferroni-
+// divided by the number of rules of that length. lengths[i] is the LHS
+// length of rule i.
+func LayeredCriticalValues(ps []float64, lengths []int, maxLen int, alpha float64) (*Outcome, error) {
+	if len(ps) != len(lengths) {
+		return nil, fmt.Errorf("correction: %d p-values but %d lengths", len(ps), len(lengths))
+	}
+	if maxLen < 1 {
+		for _, l := range lengths {
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+	}
+	counts := make([]int, maxLen+1)
+	for _, l := range lengths {
+		if l < 1 || l > maxLen {
+			return nil, fmt.Errorf("correction: rule length %d outside [1,%d]", l, maxLen)
+		}
+		counts[l]++
+	}
+	o := &Outcome{Method: "LCV", Alpha: alpha, NumTests: len(ps), Cutoff: -1}
+	perLayer := alpha / float64(maxLen)
+	for i, p := range ps {
+		if p <= perLayer/float64(counts[lengths[i]]) {
+			o.Significant = append(o.Significant, i)
+		}
+	}
+	return o, nil
+}

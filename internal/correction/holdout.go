@@ -1,0 +1,153 @@
+package correction
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/mining"
+	"repro/internal/stats"
+)
+
+// HoldoutConfig configures Webb-style holdout evaluation (§4.3).
+type HoldoutConfig struct {
+	// MinSupExplore is the minimum support used when mining the
+	// exploratory dataset. The paper sets it to half of the whole-dataset
+	// min_sup in all experiments (§5.1).
+	MinSupExplore int
+	// Alpha is the error level; it doubles as the candidate filter on the
+	// exploratory dataset (rules with exploratory p <= Alpha advance).
+	Alpha float64
+	// UseFDR selects Benjamini–Hochberg on the evaluation dataset (HD_BH);
+	// false selects Bonferroni (HD_BC).
+	UseFDR bool
+	// Policy/Class control rule generation (see mining.RuleOptions).
+	Policy mining.RuleClassPolicy
+	Class  int32
+	// MaxLen caps mined pattern length (0 = unlimited).
+	MaxLen int
+}
+
+// HoldoutRule is one candidate rule with its statistics on both halves.
+type HoldoutRule struct {
+	Attrs []int   // LHS attribute indices
+	Vals  []int32 // LHS value index per attribute
+	Class int32   // RHS class
+
+	ExploreCvg, ExploreSupp int
+	ExploreP                float64
+	EvalCvg, EvalSupp       int
+	EvalConf                float64
+	EvalP                   float64
+}
+
+// HoldoutResult reports a holdout run.
+type HoldoutResult struct {
+	// NumExploreTested is the number of rules tested on the exploratory
+	// dataset (before the p <= alpha filter).
+	NumExploreTested int
+	// Candidates are the rules that passed the exploratory filter, in
+	// exploratory p-value order of discovery; Outcome indexes into it.
+	Candidates []HoldoutRule
+	// Outcome is the Bonferroni/BH decision over the candidates'
+	// evaluation p-values, with NumTests = len(Candidates).
+	Outcome *Outcome
+}
+
+// Holdout mines the exploratory dataset, filters rules with exploratory
+// p-value <= Alpha, recomputes their p-values on the evaluation dataset,
+// and corrects those with Bonferroni (FWER) or Benjamini–Hochberg (FDR)
+// over the candidate count only — typically orders of magnitude smaller
+// than the number of rules tested on the whole dataset (§4.3).
+//
+// The two datasets must share the same schema (they are the two halves of
+// one dataset).
+func Holdout(explore, eval *dataset.Dataset, cfg HoldoutConfig) (*HoldoutResult, error) {
+	if explore.Schema != eval.Schema {
+		return nil, fmt.Errorf("correction: holdout halves must share a schema")
+	}
+	if cfg.MinSupExplore < 1 {
+		return nil, fmt.Errorf("correction: MinSupExplore must be >= 1, got %d", cfg.MinSupExplore)
+	}
+	enc := dataset.Encode(explore)
+	tree, err := mining.MineClosed(enc, mining.Options{
+		MinSup:        cfg.MinSupExplore,
+		StoreDiffsets: true,
+		MaxLen:        cfg.MaxLen,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rules, err := mining.GenerateRules(tree, mining.RuleOptions{Policy: cfg.Policy, Class: cfg.Class})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &HoldoutResult{NumExploreTested: len(rules)}
+
+	// Evaluation-side statistics substrate.
+	evalN := eval.NumRecords()
+	evalClassCounts := eval.ClassCounts()
+	lf := stats.NewLogFact(evalN)
+	hyper := make([]*stats.Hypergeom, len(evalClassCounts))
+	for c := range hyper {
+		hyper[c] = stats.NewHypergeom(evalN, evalClassCounts[c], lf)
+	}
+
+	for i := range rules {
+		r := &rules[i]
+		if r.P > cfg.Alpha {
+			continue
+		}
+		attrs, vals := patternOf(enc.Enc, r.Node.Closure)
+		cvg, supp := 0, 0
+		for rec := 0; rec < evalN; rec++ {
+			if eval.ContainsPattern(rec, attrs, vals) {
+				cvg++
+				if eval.Labels[rec] == r.Class {
+					supp++
+				}
+			}
+		}
+		hr := HoldoutRule{
+			Attrs:       attrs,
+			Vals:        vals,
+			Class:       r.Class,
+			ExploreCvg:  r.Coverage,
+			ExploreSupp: r.Support,
+			ExploreP:    r.P,
+			EvalCvg:     cvg,
+			EvalSupp:    supp,
+			EvalP:       1,
+		}
+		if cvg > 0 {
+			hr.EvalConf = float64(supp) / float64(cvg)
+			hr.EvalP = hyper[r.Class].FisherTwoTailed(supp, cvg)
+		}
+		res.Candidates = append(res.Candidates, hr)
+	}
+
+	evalPs := make([]float64, len(res.Candidates))
+	for i := range res.Candidates {
+		evalPs[i] = res.Candidates[i].EvalP
+	}
+	if cfg.UseFDR {
+		res.Outcome = BenjaminiHochberg(evalPs, len(evalPs), cfg.Alpha)
+		res.Outcome.Method = "HD_BH"
+	} else {
+		res.Outcome = Bonferroni(evalPs, len(evalPs), cfg.Alpha)
+		res.Outcome.Method = "HD_BC"
+	}
+	return res, nil
+}
+
+// patternOf converts a closure's item ids into parallel attribute/value
+// slices (items are sorted, and items of one attribute are contiguous, so
+// the attrs come out ascending).
+func patternOf(e *dataset.Encoding, items []dataset.Item) (attrs []int, vals []int32) {
+	attrs = make([]int, len(items))
+	vals = make([]int32, len(items))
+	for i, it := range items {
+		attrs[i], vals[i] = e.AttrValue(it)
+	}
+	return attrs, vals
+}

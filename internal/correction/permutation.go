@@ -1,0 +1,67 @@
+package correction
+
+import (
+	"sort"
+
+	"repro/internal/mining"
+	"repro/internal/permute"
+)
+
+// PermFWERCutoff derives the FWER-controlling cut-off from the per-
+// permutation minimum p-values (§4.2): sort them ascending and take the
+// ⌊alpha·N⌋-th (1-based). Any rule at or below this threshold would have
+// been the most extreme rule on at most an alpha fraction of null
+// datasets. Returns a negative cut-off (nothing significant) when
+// ⌊alpha·N⌋ < 1, i.e. when too few permutations were run to certify the
+// level.
+func PermFWERCutoff(minP []float64, alpha float64) float64 {
+	k := int(alpha * float64(len(minP)))
+	if k < 1 {
+		return -1
+	}
+	sorted := make([]float64, len(minP))
+	copy(sorted, minP)
+	sort.Float64s(sorted)
+	return sorted[k-1]
+}
+
+// PermFWER runs the full permutation FWER procedure: build the min-p null
+// distribution with the engine, derive the cut-off, and mark the rules at
+// or below it.
+func PermFWER(engine *permute.Engine, rules []mining.Rule, alpha float64) *Outcome {
+	minP := engine.MinP()
+	cutoff := PermFWERCutoff(minP, alpha)
+	o := &Outcome{Method: "Perm_FWER", Alpha: alpha, NumTests: len(rules), Cutoff: cutoff}
+	if cutoff < 0 {
+		return o
+	}
+	for i := range rules {
+		if rules[i].P <= cutoff {
+			o.Significant = append(o.Significant, i)
+		}
+	}
+	return o
+}
+
+// PermAdjustedP converts pooled ≤-counts into the empirical adjusted
+// p-values of §4.2: p_adj(R) = |{p' : p' <= p(R)}| / (N·Nt), where the
+// pool holds all Nt rules' p-values on all N permutations.
+func PermAdjustedP(countLE []int64, numPerms, numTests int) []float64 {
+	den := float64(numPerms) * float64(numTests)
+	out := make([]float64, len(countLE))
+	for i, c := range countLE {
+		out[i] = float64(c) / den
+	}
+	return out
+}
+
+// PermFDR runs the full permutation FDR procedure (§4.2): each rule's
+// p-value is replaced by its pooled empirical adjusted p-value, then
+// Benjamini–Hochberg is applied to the adjusted values at level alpha.
+func PermFDR(engine *permute.Engine, rules []mining.Rule, alpha float64) *Outcome {
+	adj := PermAdjustedP(engine.CountLE(), engine.NumPerms(), len(rules))
+	o := BenjaminiHochberg(adj, len(rules), alpha)
+	o.Method = "Perm_FDR"
+	o.NumTests = len(rules)
+	return o
+}

@@ -1,0 +1,50 @@
+package correction
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSidakKnownCutoff(t *testing.T) {
+	// 1 - (1-0.05)^(1/10) = 0.0051162...
+	o := Sidak([]float64{0.004, 0.006}, 10, 0.05)
+	if math.Abs(o.Cutoff-0.00511620) > 1e-7 {
+		t.Errorf("cutoff = %g, want 0.0051162", o.Cutoff)
+	}
+	if len(o.Significant) != 1 || o.Significant[0] != 0 {
+		t.Errorf("Significant = %v, want [0]", o.Significant)
+	}
+	// Single test degenerates to plain alpha.
+	o = Sidak([]float64{0.05}, 1, 0.05)
+	if len(o.Significant) != 1 {
+		t.Error("single test at p=alpha should pass")
+	}
+}
+
+func TestSidakDominatesBonferroni(t *testing.T) {
+	// The Šidák cutoff is always >= the Bonferroni cutoff, so every
+	// Bonferroni discovery is a Šidák discovery.
+	f := func(raw []float64, n16 uint16) bool {
+		n := int(n16%1000) + 1
+		ps := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			v = math.Abs(v)
+			ps = append(ps, v-math.Floor(v))
+		}
+		bc := Bonferroni(ps, n, 0.05)
+		sk := Sidak(ps, n, 0.05)
+		if sk.Cutoff < bc.Cutoff-1e-18 {
+			return false
+		}
+		for _, i := range bc.Significant {
+			if !sk.IsSignificant(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

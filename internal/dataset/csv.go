@@ -1,0 +1,170 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// Table is a raw string-valued table, the intermediate form between CSV
+// files and a categorical Dataset. Continuous columns are discretized on a
+// Table (see internal/disc) before conversion.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// ReadTable reads a CSV stream with a header row.
+func ReadTable(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = false
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	t := &Table{Header: header}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV row %d: %w", len(t.Rows)+2, err)
+		}
+		t.Rows = append(t.Rows, rec)
+	}
+	return t, nil
+}
+
+// ReadTableFile reads a CSV file with a header row.
+func ReadTableFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTable(f)
+}
+
+// NumericColumn reports whether every non-missing value in column c parses
+// as a float (used to decide which columns need discretization). Missing
+// values are the empty string and "?".
+func (t *Table) NumericColumn(c int) bool {
+	seen := false
+	for _, row := range t.Rows {
+		v := row[c]
+		if v == "" || v == "?" {
+			continue
+		}
+		if _, err := strconv.ParseFloat(v, 64); err != nil {
+			return false
+		}
+		seen = true
+	}
+	return seen
+}
+
+// ToDataset converts the table into a categorical Dataset, treating column
+// classCol as the class attribute and every other column as categorical
+// (each distinct string becomes a value). Missing values ("" or "?") map to
+// cell value -1. Records with a missing class label are rejected.
+func (t *Table) ToDataset(classCol int) (*Dataset, error) {
+	if classCol < 0 || classCol >= len(t.Header) {
+		return nil, fmt.Errorf("dataset: class column %d out of range [0,%d)", classCol, len(t.Header))
+	}
+	schema := &Schema{}
+	attrCols := make([]int, 0, len(t.Header)-1)
+	for c := range t.Header {
+		if c != classCol {
+			attrCols = append(attrCols, c)
+		}
+	}
+	// Build vocabularies in first-appearance order for determinism.
+	vocabs := make([]map[string]int32, len(attrCols))
+	for i, c := range attrCols {
+		schema.Attrs = append(schema.Attrs, Attribute{Name: t.Header[c]})
+		vocabs[i] = make(map[string]int32)
+	}
+	classVocab := make(map[string]int32)
+	schema.Class = Attribute{Name: t.Header[classCol]}
+
+	d := New(schema, len(t.Rows))
+	for ri, row := range t.Rows {
+		if len(row) != len(t.Header) {
+			return nil, fmt.Errorf("dataset: row %d has %d fields, header has %d", ri+2, len(row), len(t.Header))
+		}
+		cv := row[classCol]
+		if cv == "" || cv == "?" {
+			return nil, fmt.Errorf("dataset: row %d has a missing class label", ri+2)
+		}
+		ci, ok := classVocab[cv]
+		if !ok {
+			ci = int32(len(schema.Class.Values))
+			classVocab[cv] = ci
+			schema.Class.Values = append(schema.Class.Values, cv)
+		}
+		cells := make([]int32, len(attrCols))
+		for i, c := range attrCols {
+			v := row[c]
+			if v == "" || v == "?" {
+				cells[i] = -1
+				continue
+			}
+			vi, ok := vocabs[i][v]
+			if !ok {
+				vi = int32(len(schema.Attrs[i].Values))
+				vocabs[i][v] = vi
+				schema.Attrs[i].Values = append(schema.Attrs[i].Values, v)
+			}
+			cells[i] = vi
+		}
+		d.Append(cells, ci)
+	}
+	return d, nil
+}
+
+// WriteCSV writes the dataset as CSV with a header row; the class column is
+// written last under its schema name. Missing cells are written as "?".
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, d.Schema.NumAttrs()+1)
+	for _, a := range d.Schema.Attrs {
+		header = append(header, a.Name)
+	}
+	header = append(header, d.Schema.Class.Name)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for r, cells := range d.Cells {
+		for a, v := range cells {
+			if v < 0 {
+				row[a] = "?"
+			} else {
+				row[a] = d.Schema.Attrs[a].Values[v]
+			}
+		}
+		row[len(row)-1] = d.Schema.Class.Values[d.Labels[r]]
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the dataset to a CSV file.
+func (d *Dataset) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

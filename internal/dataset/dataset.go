@@ -1,0 +1,207 @@
+// Package dataset defines the attribute-valued, class-labelled record model
+// used throughout the reproduction (§2.1 of the paper): records over
+// categorical attributes A1..Am plus a class attribute C, with every
+// attribute–value pair mapped to a dense item id for mining.
+//
+// The package also provides CSV I/O, dataset splitting (for the holdout
+// approach), and basic summary statistics.
+package dataset
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+)
+
+// Attribute is a categorical attribute: a name plus its value vocabulary.
+// Values are indexed by their position in Values.
+type Attribute struct {
+	Name   string
+	Values []string
+}
+
+// ValueIndex returns the index of value v, or -1 if v is not in the
+// vocabulary.
+func (a *Attribute) ValueIndex(v string) int {
+	for i, s := range a.Values {
+		if s == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Schema describes the attributes and the class attribute of a dataset.
+type Schema struct {
+	Attrs []Attribute
+	Class Attribute
+}
+
+// NumAttrs returns the number of (non-class) attributes.
+func (s *Schema) NumAttrs() int { return len(s.Attrs) }
+
+// NumClasses returns the number of class labels.
+func (s *Schema) NumClasses() int { return len(s.Class.Values) }
+
+// Dataset is a table of records over a Schema. Cells[r][a] holds the value
+// index of attribute a in record r (-1 for a missing value); Labels[r]
+// holds the class index of record r.
+type Dataset struct {
+	Schema *Schema
+	Cells  [][]int32
+	Labels []int32
+}
+
+// New returns an empty dataset with capacity for n records over schema s.
+func New(s *Schema, n int) *Dataset {
+	return &Dataset{
+		Schema: s,
+		Cells:  make([][]int32, 0, n),
+		Labels: make([]int32, 0, n),
+	}
+}
+
+// NumRecords returns the number of records.
+func (d *Dataset) NumRecords() int { return len(d.Cells) }
+
+// Append adds a record. cells must have one entry per attribute; label must
+// be a valid class index.
+func (d *Dataset) Append(cells []int32, label int32) {
+	if len(cells) != d.Schema.NumAttrs() {
+		panic(fmt.Sprintf("dataset: Append: record has %d cells, schema has %d attributes",
+			len(cells), d.Schema.NumAttrs()))
+	}
+	d.Cells = append(d.Cells, cells)
+	d.Labels = append(d.Labels, label)
+}
+
+// ClassCounts returns the number of records in each class.
+func (d *Dataset) ClassCounts() []int {
+	counts := make([]int, d.Schema.NumClasses())
+	for _, c := range d.Labels {
+		counts[c]++
+	}
+	return counts
+}
+
+// Validate checks structural invariants: cell values within vocabulary
+// bounds (or -1) and labels within class bounds. It returns the first
+// violation found, or nil.
+func (d *Dataset) Validate() error {
+	m := d.Schema.NumAttrs()
+	nc := d.Schema.NumClasses()
+	for r, row := range d.Cells {
+		if len(row) != m {
+			return fmt.Errorf("record %d has %d cells, want %d", r, len(row), m)
+		}
+		for a, v := range row {
+			if v < -1 || int(v) >= len(d.Schema.Attrs[a].Values) {
+				return fmt.Errorf("record %d attribute %q: value index %d out of range [0,%d)",
+					r, d.Schema.Attrs[a].Name, v, len(d.Schema.Attrs[a].Values))
+			}
+		}
+		if d.Labels[r] < 0 || int(d.Labels[r]) >= nc {
+			return fmt.Errorf("record %d: class index %d out of range [0,%d)", r, d.Labels[r], nc)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the dataset (sharing the schema, which is
+// immutable by convention).
+func (d *Dataset) Clone() *Dataset {
+	out := New(d.Schema, d.NumRecords())
+	for r, row := range d.Cells {
+		cells := make([]int32, len(row))
+		copy(cells, row)
+		out.Append(cells, d.Labels[r])
+	}
+	return out
+}
+
+// Subset returns a new dataset containing the records with the given
+// indices, in order. Cell slices are shared with the receiver.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	out := New(d.Schema, len(idx))
+	for _, r := range idx {
+		out.Cells = append(out.Cells, d.Cells[r])
+		out.Labels = append(out.Labels, d.Labels[r])
+	}
+	return out
+}
+
+// Concat returns a new dataset holding the records of a followed by the
+// records of b. The two datasets must share the same schema pointer. This
+// is the paper's construction for fair holdout evaluation (§5.1): two
+// sub-datasets are generated independently and then catenated.
+func Concat(a, b *Dataset) *Dataset {
+	if a.Schema != b.Schema {
+		panic("dataset: Concat: schemas differ")
+	}
+	out := New(a.Schema, a.NumRecords()+b.NumRecords())
+	out.Cells = append(out.Cells, a.Cells...)
+	out.Cells = append(out.Cells, b.Cells...)
+	out.Labels = append(out.Labels, a.Labels...)
+	out.Labels = append(out.Labels, b.Labels...)
+	return out
+}
+
+// SplitHalves splits the dataset into its first and second halves (the
+// inverse of Concat for the paper's paired synthetic construction).
+func (d *Dataset) SplitHalves() (first, second *Dataset) {
+	h := d.NumRecords() / 2
+	idx := make([]int, d.NumRecords())
+	for i := range idx {
+		idx[i] = i
+	}
+	return d.Subset(idx[:h]), d.Subset(idx[h:])
+}
+
+// RandomSplit partitions the records uniformly at random into two datasets
+// of sizes ⌈n/2⌉ and ⌊n/2⌋ using the given seed. This is the paper's
+// "random holdout" partitioning.
+func (d *Dataset) RandomSplit(seed uint64) (first, second *Dataset) {
+	n := d.NumRecords()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	h := (n + 1) / 2
+	return d.Subset(idx[:h]), d.Subset(idx[h:])
+}
+
+// StratifiedSplit partitions the records into two halves preserving the
+// class proportions (each class's records are shuffled and split evenly).
+// Stratification removes the class-balance noise that a plain random split
+// adds to holdout evaluation.
+func (d *Dataset) StratifiedSplit(seed uint64) (first, second *Dataset) {
+	rng := rand.New(rand.NewPCG(seed, 0xc2b2ae3d27d4eb4f))
+	byClass := make([][]int, d.Schema.NumClasses())
+	for r, c := range d.Labels {
+		byClass[c] = append(byClass[c], r)
+	}
+	var aIdx, bIdx []int
+	for _, ids := range byClass {
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		h := (len(ids) + 1) / 2
+		aIdx = append(aIdx, ids[:h]...)
+		bIdx = append(bIdx, ids[h:]...)
+	}
+	sort.Ints(aIdx)
+	sort.Ints(bIdx)
+	return d.Subset(aIdx), d.Subset(bIdx)
+}
+
+// ContainsPattern reports whether record r contains every (attribute,
+// value) pair of the pattern given as parallel slices attrs/vals.
+func (d *Dataset) ContainsPattern(r int, attrs []int, vals []int32) bool {
+	row := d.Cells[r]
+	for i, a := range attrs {
+		if row[a] != vals[i] {
+			return false
+		}
+	}
+	return true
+}

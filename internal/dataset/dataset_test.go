@@ -1,0 +1,246 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func tinySchema() *Schema {
+	return &Schema{
+		Attrs: []Attribute{
+			{Name: "color", Values: []string{"red", "green", "blue"}},
+			{Name: "size", Values: []string{"S", "L"}},
+		},
+		Class: Attribute{Name: "class", Values: []string{"yes", "no"}},
+	}
+}
+
+func tinyDataset() *Dataset {
+	d := New(tinySchema(), 4)
+	d.Append([]int32{0, 0}, 0)  // red, S, yes
+	d.Append([]int32{0, 1}, 0)  // red, L, yes
+	d.Append([]int32{1, 1}, 1)  // green, L, no
+	d.Append([]int32{2, -1}, 1) // blue, ?, no
+	return d
+}
+
+func TestDatasetBasics(t *testing.T) {
+	d := tinyDataset()
+	if d.NumRecords() != 4 {
+		t.Fatalf("NumRecords = %d, want 4", d.NumRecords())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	counts := d.ClassCounts()
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Errorf("ClassCounts = %v, want [2 2]", counts)
+	}
+}
+
+func TestValidateCatchesBadCells(t *testing.T) {
+	d := tinyDataset()
+	d.Cells[1][0] = 5 // out of vocabulary
+	if err := d.Validate(); err == nil {
+		t.Error("Validate accepted an out-of-range cell")
+	}
+	d = tinyDataset()
+	d.Labels[0] = 9
+	if err := d.Validate(); err == nil {
+		t.Error("Validate accepted an out-of-range label")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := tinyDataset()
+	c := d.Clone()
+	c.Cells[0][0] = 2
+	c.Labels[0] = 1
+	if d.Cells[0][0] != 0 || d.Labels[0] != 0 {
+		t.Error("Clone shares mutable state with the original")
+	}
+}
+
+func TestConcatAndSplitHalves(t *testing.T) {
+	d := tinyDataset()
+	a, b := d.SplitHalves()
+	if a.NumRecords() != 2 || b.NumRecords() != 2 {
+		t.Fatalf("halves sized %d/%d, want 2/2", a.NumRecords(), b.NumRecords())
+	}
+	back := Concat(a, b)
+	if back.NumRecords() != 4 {
+		t.Fatalf("Concat size = %d, want 4", back.NumRecords())
+	}
+	for r := range back.Cells {
+		if back.Labels[r] != d.Labels[r] {
+			t.Errorf("record %d label changed after round-trip", r)
+		}
+		for a2 := range back.Cells[r] {
+			if back.Cells[r][a2] != d.Cells[r][a2] {
+				t.Errorf("record %d cell %d changed after round-trip", r, a2)
+			}
+		}
+	}
+}
+
+func TestRandomSplit(t *testing.T) {
+	s := tinySchema()
+	d := New(s, 101)
+	for i := 0; i < 101; i++ {
+		d.Append([]int32{int32(i % 3), int32(i % 2)}, int32(i%2))
+	}
+	a, b := d.RandomSplit(42)
+	if a.NumRecords() != 51 || b.NumRecords() != 50 {
+		t.Fatalf("split sizes %d/%d, want 51/50", a.NumRecords(), b.NumRecords())
+	}
+	// Same seed → same partition.
+	a2, _ := d.RandomSplit(42)
+	for r := range a.Cells {
+		if a.Labels[r] != a2.Labels[r] {
+			t.Fatal("RandomSplit not deterministic for equal seeds")
+		}
+	}
+	// Every record appears exactly once across the two parts (count by
+	// multiset of label+cells signature).
+	if a.NumRecords()+b.NumRecords() != d.NumRecords() {
+		t.Error("records lost or duplicated by RandomSplit")
+	}
+}
+
+func TestEncodingRoundTrip(t *testing.T) {
+	s := tinySchema()
+	e := NewEncoding(s)
+	if e.NumItems() != 5 {
+		t.Fatalf("NumItems = %d, want 5", e.NumItems())
+	}
+	for a := range s.Attrs {
+		for v := range s.Attrs[a].Values {
+			it := e.ItemOf(a, int32(v))
+			ga, gv := e.AttrValue(it)
+			if ga != a || gv != int32(v) {
+				t.Errorf("round trip (%d,%d) -> item %d -> (%d,%d)", a, v, it, ga, gv)
+			}
+		}
+	}
+	if got := e.String(e.ItemOf(1, 1)); got != "size=L" {
+		t.Errorf("String = %q, want size=L", got)
+	}
+}
+
+func TestEncodeVertical(t *testing.T) {
+	d := tinyDataset()
+	enc := Encode(d)
+	if enc.NumRecords != 4 || enc.NumClasses != 2 {
+		t.Fatalf("enc dims wrong: %d records, %d classes", enc.NumRecords, enc.NumClasses)
+	}
+	e := enc.Enc
+	// color=red appears in records 0,1.
+	red := enc.Tids[e.ItemOf(0, 0)]
+	if len(red) != 2 || red[0] != 0 || red[1] != 1 {
+		t.Errorf("tids(color=red) = %v, want [0 1]", red)
+	}
+	// size=L appears in records 1,2.
+	l := enc.Tids[e.ItemOf(1, 1)]
+	if len(l) != 2 || l[0] != 1 || l[1] != 2 {
+		t.Errorf("tids(size=L) = %v, want [1 2]", l)
+	}
+	// Record 3's missing size appears in no size tid-list.
+	sCount := len(enc.Tids[e.ItemOf(1, 0)]) + len(enc.Tids[e.ItemOf(1, 1)])
+	if sCount != 3 {
+		t.Errorf("size tid-lists cover %d records, want 3 (one missing)", sCount)
+	}
+	if enc.ClassCounts[0] != 2 || enc.ClassCounts[1] != 2 {
+		t.Errorf("ClassCounts = %v", enc.ClassCounts)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := tinyDataset()
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := ReadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tab.ToDataset(len(tab.Header) - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRecords() != d.NumRecords() {
+		t.Fatalf("round trip records = %d, want %d", got.NumRecords(), d.NumRecords())
+	}
+	// The missing cell must survive the round trip.
+	if got.Cells[3][1] != -1 {
+		t.Errorf("missing cell read back as %d, want -1", got.Cells[3][1])
+	}
+	// Re-encode and compare class counts and per-item supports.
+	e1, e2 := Encode(d), Encode(got)
+	if e1.NumRecords != e2.NumRecords {
+		t.Fatal("record counts differ")
+	}
+	for r := range d.Labels {
+		lbl1 := d.Schema.Class.Values[d.Labels[r]]
+		lbl2 := got.Schema.Class.Values[got.Labels[r]]
+		if lbl1 != lbl2 {
+			t.Errorf("record %d label %q != %q", r, lbl1, lbl2)
+		}
+	}
+}
+
+func TestReadTableErrors(t *testing.T) {
+	if _, err := ReadTable(strings.NewReader("")); err == nil {
+		t.Error("empty stream should fail")
+	}
+	// Ragged rows fail.
+	if _, err := ReadTable(strings.NewReader("a,b,c\n1,2\n")); err == nil {
+		t.Error("ragged CSV should fail")
+	}
+}
+
+func TestToDatasetMissingClass(t *testing.T) {
+	tab := &Table{
+		Header: []string{"a", "class"},
+		Rows:   [][]string{{"x", "?"}},
+	}
+	if _, err := tab.ToDataset(1); err == nil {
+		t.Error("missing class label should be rejected")
+	}
+}
+
+func TestNumericColumn(t *testing.T) {
+	tab := &Table{
+		Header: []string{"num", "cat", "mixed", "allmissing"},
+		Rows: [][]string{
+			{"1.5", "a", "1", "?"},
+			{"2", "b", "x", ""},
+			{"?", "c", "3", "?"},
+		},
+	}
+	if !tab.NumericColumn(0) {
+		t.Error("column 0 should be numeric")
+	}
+	if tab.NumericColumn(1) {
+		t.Error("column 1 should not be numeric")
+	}
+	if tab.NumericColumn(2) {
+		t.Error("column 2 (mixed) should not be numeric")
+	}
+	if tab.NumericColumn(3) {
+		t.Error("column of only missing values should not be numeric")
+	}
+}
+
+func TestContainsPattern(t *testing.T) {
+	d := tinyDataset()
+	// Pattern color=red, size=L matches only record 1.
+	attrs, vals := []int{0, 1}, []int32{0, 1}
+	want := []bool{false, true, false, false}
+	for r := range d.Cells {
+		if got := d.ContainsPattern(r, attrs, vals); got != want[r] {
+			t.Errorf("record %d: ContainsPattern = %v, want %v", r, got, want[r])
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package dataset
+
+import "fmt"
+
+// Item identifies an attribute–value pair ("item" in §2.1). Items are
+// numbered densely: item ids of attribute a occupy a contiguous range, so
+// the mapping in both directions is O(1) via offset tables.
+type Item int32
+
+// Encoding maps between items and (attribute, value) pairs for a schema.
+type Encoding struct {
+	Schema  *Schema
+	offsets []int32 // offsets[a] = first item id of attribute a
+	total   int32
+}
+
+// NewEncoding builds the item encoding of a schema.
+func NewEncoding(s *Schema) *Encoding {
+	offsets := make([]int32, len(s.Attrs)+1)
+	var total int32
+	for a := range s.Attrs {
+		offsets[a] = total
+		total += int32(len(s.Attrs[a].Values))
+	}
+	offsets[len(s.Attrs)] = total
+	return &Encoding{Schema: s, offsets: offsets, total: total}
+}
+
+// NumItems returns the total number of items.
+func (e *Encoding) NumItems() int { return int(e.total) }
+
+// ItemOf returns the item id of attribute a taking value index v.
+func (e *Encoding) ItemOf(a int, v int32) Item {
+	return Item(e.offsets[a] + v)
+}
+
+// AttrValue returns the (attribute index, value index) pair of an item.
+func (e *Encoding) AttrValue(it Item) (a int, v int32) {
+	// Binary search over offsets (attribute count is small; this is cheap
+	// and keeps the encoding compact).
+	lo, hi := 0, len(e.offsets)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if e.offsets[mid] <= int32(it) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, int32(it) - e.offsets[lo]
+}
+
+// String returns the human-readable "Attr=value" form of an item.
+func (e *Encoding) String(it Item) string {
+	a, v := e.AttrValue(it)
+	return fmt.Sprintf("%s=%s", e.Schema.Attrs[a].Name, e.Schema.Attrs[a].Values[v])
+}
+
+// Encoded is the vertical (item → tid-list) representation of a dataset
+// that the miner consumes. Tids[i] lists, in increasing order, the ids of
+// the records containing item i. Missing values (-1 cells) simply appear in
+// no tid-list of their attribute.
+type Encoded struct {
+	Enc         *Encoding
+	NumRecords  int
+	Tids        [][]uint32
+	Labels      []int32
+	NumClasses  int
+	ClassCounts []int
+}
+
+// Encode builds the vertical representation of d.
+func Encode(d *Dataset) *Encoded {
+	enc := NewEncoding(d.Schema)
+	tids := make([][]uint32, enc.NumItems())
+	// First pass: count, to allocate exactly.
+	counts := make([]int, enc.NumItems())
+	for _, row := range d.Cells {
+		for a, v := range row {
+			if v >= 0 {
+				counts[enc.ItemOf(a, v)]++
+			}
+		}
+	}
+	for i := range tids {
+		tids[i] = make([]uint32, 0, counts[i])
+	}
+	for r, row := range d.Cells {
+		for a, v := range row {
+			if v >= 0 {
+				it := enc.ItemOf(a, v)
+				tids[it] = append(tids[it], uint32(r))
+			}
+		}
+	}
+	return &Encoded{
+		Enc:         enc,
+		NumRecords:  d.NumRecords(),
+		Tids:        tids,
+		Labels:      d.Labels,
+		NumClasses:  d.Schema.NumClasses(),
+		ClassCounts: d.ClassCounts(),
+	}
+}
+
+// Support returns the support (tid-list length) of item i.
+func (e *Encoded) Support(i Item) int { return len(e.Tids[i]) }

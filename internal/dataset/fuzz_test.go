@@ -1,0 +1,55 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzCSVRoundTrip feeds arbitrary CSV text through ReadTable → ToDataset
+// → WriteCSV → ReadTable and checks the parsers never panic and that a
+// successfully parsed dataset survives the round trip with identical
+// record count and class labels.
+func FuzzCSVRoundTrip(f *testing.F) {
+	f.Add("a,b,class\n1,x,yes\n2,y,no\n")
+	f.Add("c1,c2\n?,lab\n,lab2\n")
+	f.Add("h\nv\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tab, err := ReadTable(strings.NewReader(in))
+		if err != nil {
+			return // malformed CSV is allowed to fail
+		}
+		if len(tab.Header) == 0 {
+			return
+		}
+		d, err := tab.ToDataset(len(tab.Header) - 1)
+		if err != nil {
+			return // missing class labels etc. are allowed to fail
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("parsed dataset invalid: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := d.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV: %v", err)
+		}
+		tab2, err := ReadTable(&buf)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		d2, err := tab2.ToDataset(len(tab2.Header) - 1)
+		if err != nil {
+			t.Fatalf("re-convert failed: %v", err)
+		}
+		if d2.NumRecords() != d.NumRecords() {
+			t.Fatalf("round trip changed record count %d -> %d", d.NumRecords(), d2.NumRecords())
+		}
+		for r := range d.Labels {
+			l1 := d.Schema.Class.Values[d.Labels[r]]
+			l2 := d2.Schema.Class.Values[d2.Labels[r]]
+			if l1 != l2 {
+				t.Fatalf("record %d label %q -> %q", r, l1, l2)
+			}
+		}
+	})
+}

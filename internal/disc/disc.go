@@ -1,0 +1,250 @@
+// Package disc implements Fayyad & Irani's MDL-based supervised
+// discretization (the default entropy discretizer of MLC++, which the
+// paper used to discretize the continuous attributes of its UCI datasets).
+//
+// The method recursively picks the binary cut that minimises the
+// class-label entropy of the induced partition and accepts it only when
+// the information gain passes the Minimum Description Length criterion;
+// otherwise the interval is left whole.
+package disc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// FayyadIrani returns the sorted cut points for one numeric attribute.
+// values[i] is the attribute value of record i and labels[i] its class
+// (in [0, numClasses)). Records with NaN values are ignored. The returned
+// cut points partition the real line into len(cuts)+1 intervals; an empty
+// result means the attribute carries no MDL-acceptable class information
+// and should become a single interval.
+func FayyadIrani(values []float64, labels []int32, numClasses int) []float64 {
+	type pair struct {
+		v float64
+		c int32
+	}
+	pairs := make([]pair, 0, len(values))
+	for i, v := range values {
+		if !math.IsNaN(v) {
+			pairs = append(pairs, pair{v, labels[i]})
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
+
+	vs := make([]float64, len(pairs))
+	cs := make([]int32, len(pairs))
+	for i, p := range pairs {
+		vs[i] = p.v
+		cs[i] = p.c
+	}
+	var cuts []float64
+	splitMDL(vs, cs, numClasses, &cuts)
+	sort.Float64s(cuts)
+	return cuts
+}
+
+// entropy returns the class entropy (bits) of counts over total.
+func entropy(counts []int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	e := 0.0
+	for _, c := range counts {
+		if c > 0 {
+			p := float64(c) / float64(total)
+			e -= p * math.Log2(p)
+		}
+	}
+	return e
+}
+
+// distinctClasses returns the number of classes with non-zero count.
+func distinctClasses(counts []int) int {
+	k := 0
+	for _, c := range counts {
+		if c > 0 {
+			k++
+		}
+	}
+	return k
+}
+
+// splitMDL recursively splits the (sorted) value range, appending accepted
+// cut points.
+func splitMDL(vs []float64, cs []int32, numClasses int, cuts *[]float64) {
+	n := len(vs)
+	if n < 2 {
+		return
+	}
+	total := make([]int, numClasses)
+	for _, c := range cs {
+		total[c]++
+	}
+	entS := entropy(total, n)
+	if entS == 0 {
+		return // pure interval
+	}
+
+	// Scan all boundaries between distinct adjacent values; maintain left
+	// counts incrementally. (Fayyad & Irani prove the optimal cut lies on
+	// a class boundary, but scanning every value boundary is O(n) anyway
+	// and simpler to verify.)
+	left := make([]int, numClasses)
+	bestEnt := math.Inf(1)
+	bestIdx := -1
+	for i := 0; i < n-1; i++ {
+		left[cs[i]]++
+		if vs[i] == vs[i+1] {
+			continue
+		}
+		nl := i + 1
+		nr := n - nl
+		right := make([]int, numClasses)
+		for c := range right {
+			right[c] = total[c] - left[c]
+		}
+		e := (float64(nl)*entropy(left, nl) + float64(nr)*entropy(right, nr)) / float64(n)
+		if e < bestEnt {
+			bestEnt = e
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		return // all values equal
+	}
+
+	// Recompute the winning partition's statistics for the MDL test.
+	nl := bestIdx + 1
+	nr := n - nl
+	leftCounts := make([]int, numClasses)
+	for _, c := range cs[:nl] {
+		leftCounts[c]++
+	}
+	rightCounts := make([]int, numClasses)
+	for c := range rightCounts {
+		rightCounts[c] = total[c] - leftCounts[c]
+	}
+	entL := entropy(leftCounts, nl)
+	entR := entropy(rightCounts, nr)
+	gain := entS - bestEnt
+
+	k := distinctClasses(total)
+	k1 := distinctClasses(leftCounts)
+	k2 := distinctClasses(rightCounts)
+	delta := math.Log2(math.Pow(3, float64(k))-2) -
+		(float64(k)*entS - float64(k1)*entL - float64(k2)*entR)
+	threshold := (math.Log2(float64(n-1)) + delta) / float64(n)
+	if gain <= threshold {
+		return // MDL rejects the split
+	}
+
+	cut := (vs[bestIdx] + vs[bestIdx+1]) / 2
+	*cuts = append(*cuts, cut)
+	splitMDL(vs[:nl], cs[:nl], numClasses, cuts)
+	splitMDL(vs[nl:], cs[nl:], numClasses, cuts)
+}
+
+// Apply maps each value to its interval index under the given sorted cut
+// points: bin i covers (cuts[i-1], cuts[i]]. NaN maps to -1 (missing).
+func Apply(values []float64, cuts []float64) []int32 {
+	out := make([]int32, len(values))
+	for i, v := range values {
+		if math.IsNaN(v) {
+			out[i] = -1
+			continue
+		}
+		out[i] = int32(sort.SearchFloat64s(cuts, v))
+		// SearchFloat64s returns the first cut >= v, i.e. v <= cuts[j]
+		// lands in bin j — the (lo, hi] convention above.
+	}
+	return out
+}
+
+// IntervalName renders bin i of the given cuts as a human-readable label,
+// e.g. "(-inf,37.5]", "(37.5,61.5]", "(61.5,+inf)".
+func IntervalName(cuts []float64, i int) string {
+	lo, hi := "-inf", "+inf"
+	if i > 0 {
+		lo = fmt.Sprintf("%.4g", cuts[i-1])
+	}
+	if i < len(cuts) {
+		hi = fmt.Sprintf("%.4g", cuts[i])
+	}
+	if i < len(cuts) {
+		return fmt.Sprintf("(%s,%s]", lo, hi)
+	}
+	return fmt.Sprintf("(%s,%s)", lo, hi)
+}
+
+// Column discretizes one numeric column, returning the value vocabulary
+// (interval names) and per-record value indices. Records with NaN get -1.
+func Column(values []float64, labels []int32, numClasses int) (vocab []string, idx []int32) {
+	cuts := FayyadIrani(values, labels, numClasses)
+	idx = Apply(values, cuts)
+	vocab = make([]string, len(cuts)+1)
+	for i := range vocab {
+		vocab[i] = IntervalName(cuts, i)
+	}
+	return vocab, idx
+}
+
+// DiscretizeTable converts every numeric column of a raw table (other than
+// the class column) into interval-labelled categorical values, using the
+// class column for supervision. Non-numeric columns pass through.
+func DiscretizeTable(t *dataset.Table, classCol int) (*dataset.Table, error) {
+	if classCol < 0 || classCol >= len(t.Header) {
+		return nil, fmt.Errorf("disc: class column %d out of range", classCol)
+	}
+	// Class vocabulary.
+	classIdx := make(map[string]int32)
+	labels := make([]int32, len(t.Rows))
+	for r, row := range t.Rows {
+		v := row[classCol]
+		ci, ok := classIdx[v]
+		if !ok {
+			ci = int32(len(classIdx))
+			classIdx[v] = ci
+		}
+		labels[r] = ci
+	}
+
+	out := &dataset.Table{Header: t.Header}
+	rows := make([][]string, len(t.Rows))
+	for r := range rows {
+		rows[r] = make([]string, len(t.Header))
+		copy(rows[r], t.Rows[r])
+	}
+	for c := range t.Header {
+		if c == classCol || !t.NumericColumn(c) {
+			continue
+		}
+		values := make([]float64, len(t.Rows))
+		for r, row := range t.Rows {
+			v := row[c]
+			if v == "" || v == "?" {
+				values[r] = math.NaN()
+				continue
+			}
+			var f float64
+			if _, err := fmt.Sscanf(v, "%g", &f); err != nil {
+				return nil, fmt.Errorf("disc: row %d column %q: %w", r, t.Header[c], err)
+			}
+			values[r] = f
+		}
+		cuts := FayyadIrani(values, labels, len(classIdx))
+		bins := Apply(values, cuts)
+		for r := range rows {
+			if bins[r] < 0 {
+				rows[r][c] = "?"
+			} else {
+				rows[r][c] = IntervalName(cuts, int(bins[r]))
+			}
+		}
+	}
+	out.Rows = rows
+	return out, nil
+}

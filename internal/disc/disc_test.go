@@ -1,0 +1,176 @@
+package disc
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestFayyadIraniCleanSplit(t *testing.T) {
+	// Values below 10 are class 0, above are class 1: one clean cut.
+	var values []float64
+	var labels []int32
+	for i := 0; i < 50; i++ {
+		values = append(values, float64(i%10))
+		labels = append(labels, 0)
+	}
+	for i := 0; i < 50; i++ {
+		values = append(values, float64(20+i%10))
+		labels = append(labels, 1)
+	}
+	cuts := FayyadIrani(values, labels, 2)
+	if len(cuts) != 1 {
+		t.Fatalf("cuts = %v, want exactly one", cuts)
+	}
+	if cuts[0] <= 9 || cuts[0] >= 20 {
+		t.Errorf("cut %g not between the classes", cuts[0])
+	}
+}
+
+func TestFayyadIraniNoSignal(t *testing.T) {
+	// Labels independent of values: MDL must reject every split.
+	rng := rand.New(rand.NewPCG(1, 2))
+	values := make([]float64, 500)
+	labels := make([]int32, 500)
+	for i := range values {
+		values[i] = rng.Float64() * 100
+		labels[i] = int32(rng.IntN(2))
+	}
+	cuts := FayyadIrani(values, labels, 2)
+	if len(cuts) > 1 {
+		t.Errorf("random data produced %d cuts: %v", len(cuts), cuts)
+	}
+}
+
+func TestFayyadIraniPureAndTiny(t *testing.T) {
+	if cuts := FayyadIrani([]float64{1, 2, 3}, []int32{0, 0, 0}, 2); len(cuts) != 0 {
+		t.Errorf("pure labels produced cuts %v", cuts)
+	}
+	if cuts := FayyadIrani([]float64{1}, []int32{0}, 2); len(cuts) != 0 {
+		t.Errorf("single record produced cuts %v", cuts)
+	}
+	if cuts := FayyadIrani(nil, nil, 2); len(cuts) != 0 {
+		t.Errorf("empty input produced cuts %v", cuts)
+	}
+	// All-equal values cannot be cut.
+	if cuts := FayyadIrani([]float64{5, 5, 5, 5}, []int32{0, 1, 0, 1}, 2); len(cuts) != 0 {
+		t.Errorf("constant values produced cuts %v", cuts)
+	}
+}
+
+func TestFayyadIraniThreeWay(t *testing.T) {
+	// Three separated clusters with distinct labels: expect two cuts.
+	var values []float64
+	var labels []int32
+	for cl := 0; cl < 3; cl++ {
+		for i := 0; i < 60; i++ {
+			values = append(values, float64(cl*100+i))
+			labels = append(labels, int32(cl))
+		}
+	}
+	cuts := FayyadIrani(values, labels, 3)
+	if len(cuts) != 2 {
+		t.Fatalf("cuts = %v, want two", cuts)
+	}
+}
+
+func TestFayyadIraniIgnoresNaN(t *testing.T) {
+	values := []float64{1, 2, math.NaN(), 30, 31, math.NaN()}
+	labels := []int32{0, 0, 1, 1, 1, 0}
+	cuts := FayyadIrani(values, labels, 2)
+	// 4 usable records, clean split at ~16.
+	if len(cuts) != 1 || cuts[0] < 2 || cuts[0] > 30 {
+		t.Errorf("cuts = %v", cuts)
+	}
+}
+
+func TestApply(t *testing.T) {
+	cuts := []float64{10, 20}
+	values := []float64{5, 10, 15, 20, 25, math.NaN()}
+	want := []int32{0, 0, 1, 1, 2, -1}
+	got := Apply(values, cuts)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Apply[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIntervalName(t *testing.T) {
+	cuts := []float64{10, 20}
+	names := []string{"(-inf,10]", "(10,20]", "(20,+inf)"}
+	for i, want := range names {
+		if got := IntervalName(cuts, i); got != want {
+			t.Errorf("IntervalName(%d) = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestColumnRoundTrip(t *testing.T) {
+	var values []float64
+	var labels []int32
+	for i := 0; i < 100; i++ {
+		values = append(values, float64(i))
+		if i < 50 {
+			labels = append(labels, 0)
+		} else {
+			labels = append(labels, 1)
+		}
+	}
+	vocab, idx := Column(values, labels, 2)
+	if len(vocab) < 2 {
+		t.Fatalf("vocab = %v, want >= 2 intervals", vocab)
+	}
+	for i, v := range idx {
+		if v < 0 || int(v) >= len(vocab) {
+			t.Errorf("record %d assigned bin %d outside vocab", i, v)
+		}
+	}
+	// Bin assignment is monotone in the value.
+	for i := 1; i < len(values); i++ {
+		if idx[i] < idx[i-1] {
+			t.Error("bins not monotone in value")
+		}
+	}
+}
+
+func TestDiscretizeTable(t *testing.T) {
+	tab := &dataset.Table{
+		Header: []string{"num", "cat", "class"},
+		Rows: [][]string{
+			{"1", "a", "yes"}, {"2", "a", "yes"}, {"3", "b", "yes"},
+			{"100", "b", "no"}, {"101", "a", "no"}, {"102", "b", "no"},
+			{"?", "a", "yes"},
+		},
+	}
+	out, err := DiscretizeTable(tab, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Numeric column became intervals; missing stayed missing.
+	if out.Rows[0][0] == "1" {
+		t.Error("numeric column not discretized")
+	}
+	if out.Rows[6][0] != "?" {
+		t.Errorf("missing numeric value became %q", out.Rows[6][0])
+	}
+	// Categorical column untouched.
+	for r := range out.Rows {
+		if out.Rows[r][1] != tab.Rows[r][1] {
+			t.Error("categorical column modified")
+		}
+	}
+	// The discretized table converts into a dataset cleanly.
+	ds, err := out.ToDataset(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DiscretizeTable(tab, 9); err == nil {
+		t.Error("bad class column accepted")
+	}
+}

@@ -1,0 +1,243 @@
+// Package evalx implements the evaluation protocol of §5.2: deciding which
+// reported rules are false positives in the presence of embedded rules
+// (whose sub- and super-patterns legitimately carry low p-values and must
+// not be counted as false discoveries), and aggregating power, FWER and
+// FDR over batches of generated datasets.
+package evalx
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/intset"
+	"repro/internal/mining"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+// Judge classifies reported rules against the embedded rules of one
+// synthetic dataset.
+type Judge struct {
+	data  *dataset.Dataset
+	alpha float64
+	n     int
+
+	embedded []synth.EmbeddedRule
+	// embTids[i] is T(Xt_i): ALL records containing embedded pattern i
+	// (planted records plus chance matches).
+	embTids [][]uint32
+
+	hyper []*stats.Hypergeom // per class
+}
+
+// NewJudge precomputes the record sets of the embedded patterns. alpha is
+// the error level at which the adjusted-p false-positive test is applied
+// (the paper uses the same 5% as the correction procedures).
+func NewJudge(data *dataset.Dataset, embedded []synth.EmbeddedRule, alpha float64) *Judge {
+	n := data.NumRecords()
+	classCounts := data.ClassCounts()
+	lf := stats.NewLogFact(n)
+	hyper := make([]*stats.Hypergeom, len(classCounts))
+	for c := range hyper {
+		hyper[c] = stats.NewHypergeom(n, classCounts[c], lf)
+	}
+	j := &Judge{data: data, alpha: alpha, n: n, embedded: embedded, hyper: hyper}
+	for i := range embedded {
+		var tids []uint32
+		for r := 0; r < n; r++ {
+			if data.ContainsPattern(r, embedded[i].Attrs, embedded[i].Vals) {
+				tids = append(tids, uint32(r))
+			}
+		}
+		j.embTids = append(j.embTids, tids)
+	}
+	return j
+}
+
+// IsEmbedded reports whether rule R *is* embedded rule t, identified by
+// record-set equality: the miner represents the embedded pattern Xt by its
+// closure, which occurs in exactly T(Xt).
+func (j *Judge) IsEmbedded(r *mining.Rule, t int) bool {
+	return j.isEmbeddedRaw(rawOf(r), t)
+}
+
+func (j *Judge) isEmbeddedRaw(r RawRule, t int) bool {
+	if r.Class != j.embedded[t].Class {
+		return false
+	}
+	return intset.Equal(r.Tids, j.embTids[t])
+}
+
+// AdjustedP returns p(R|¬Rt), the p-value rule R would have if embedded
+// rule t did not exist (§5.2): the class-c records that Rt pushed into
+// T(X) ∩ T(Xt) are replaced by the expectation under independence,
+//
+//	supp(R|¬Rt) = supp(X ∪ Xt)·n_c/n + (supp(R) − supp(X ∪ Xt ∪ c)),
+//
+// and the Fisher test is re-run at the adjusted support (rounded to the
+// nearest attainable integer).
+func (j *Judge) AdjustedP(r *mining.Rule, t int) float64 {
+	return j.adjustedPRaw(rawOf(r), t)
+}
+
+func (j *Judge) adjustedPRaw(r RawRule, t int) float64 {
+	inter := intset.Intersect(r.Tids, j.embTids[t])
+	suppXXt := len(inter)
+	suppXXtC := 0
+	for _, rec := range inter {
+		if j.data.Labels[rec] == r.Class {
+			suppXXtC++
+		}
+	}
+	h := j.hyper[r.Class]
+	exp := float64(suppXXt) * float64(h.NC()) / float64(j.n)
+	adj := exp + float64(r.Support-suppXXtC)
+	k := int(math.Round(adj))
+	lo, hi := h.Bounds(r.Coverage)
+	if k < lo {
+		k = lo
+	}
+	if k > hi {
+		k = hi
+	}
+	return h.FisherTwoTailed(k, r.Coverage)
+}
+
+// IsFalsePositive classifies one reported significant rule per §5.2:
+//
+//   - if no rules are embedded, every reported rule is a false positive;
+//   - a rule identical to an embedded rule is a true positive;
+//   - a rule whose record set is disjoint from every embedded pattern's is
+//     a false positive (nothing real could explain it);
+//   - a rule overlapping an embedded pattern is a false positive only if
+//     its adjusted p-value — with that embedded rule's effect removed —
+//     still passes alpha (its significance is NOT explained by the
+//     embedded rule). Otherwise it is an excused by-product.
+//
+// With several embedded rules, a rule is excused if at least one embedded
+// rule explains it.
+func (j *Judge) IsFalsePositive(r *mining.Rule) bool {
+	return j.isFalsePositiveRaw(rawOf(r))
+}
+
+func (j *Judge) isFalsePositiveRaw(r RawRule) bool {
+	if len(j.embedded) == 0 {
+		return true
+	}
+	for t := range j.embedded {
+		if j.isEmbeddedRaw(r, t) {
+			return false
+		}
+	}
+	for t := range j.embedded {
+		if intset.IntersectCount(r.Tids, j.embTids[t]) == 0 {
+			continue // this embedded rule cannot explain R
+		}
+		if j.adjustedPRaw(r, t) > j.alpha {
+			return false // by-product of embedded rule t: excused
+		}
+	}
+	return true
+}
+
+// DatasetEval summarises one dataset × one correction method.
+type DatasetEval struct {
+	RulesTested    int
+	NumSignificant int
+	FalsePositives int
+	// Detected counts embedded rules reported significant.
+	Detected int
+	Embedded int
+}
+
+// Power returns Detected/Embedded (0 when nothing was embedded).
+func (e DatasetEval) Power() float64 {
+	if e.Embedded == 0 {
+		return 0
+	}
+	return float64(e.Detected) / float64(e.Embedded)
+}
+
+// FDR returns FalsePositives/NumSignificant (0 when nothing was reported).
+func (e DatasetEval) FDR() float64 {
+	if e.NumSignificant == 0 {
+		return 0
+	}
+	return float64(e.FalsePositives) / float64(e.NumSignificant)
+}
+
+// AnyFalsePositive reports whether at least one false positive was made
+// (the per-dataset FWER indicator).
+func (e DatasetEval) AnyFalsePositive() bool { return e.FalsePositives > 0 }
+
+// Evaluate judges the significant rules (indices into rules) of one
+// correction outcome.
+func (j *Judge) Evaluate(rules []mining.Rule, significant []int) DatasetEval {
+	ev := DatasetEval{
+		RulesTested:    len(rules),
+		NumSignificant: len(significant),
+		Embedded:       len(j.embedded),
+	}
+	detected := make([]bool, len(j.embedded))
+	for _, i := range significant {
+		r := &rules[i]
+		isEmb := false
+		for t := range j.embedded {
+			if j.IsEmbedded(r, t) {
+				detected[t] = true
+				isEmb = true
+			}
+		}
+		if isEmb {
+			continue
+		}
+		if j.IsFalsePositive(r) {
+			ev.FalsePositives++
+		}
+	}
+	for _, d := range detected {
+		if d {
+			ev.Detected++
+		}
+	}
+	return ev
+}
+
+// Batch aggregates per-dataset evaluations over a Monte-Carlo batch
+// exactly as §5.2 prescribes: FWER is the fraction of datasets with at
+// least one false positive; FDR and power are averaged per dataset.
+type Batch struct {
+	Datasets          int
+	FWER              float64
+	FDR               float64
+	Power             float64
+	AvgFalsePositives float64
+	AvgSignificant    float64
+	AvgRulesTested    float64
+}
+
+// Aggregate combines per-dataset evaluations into batch-level metrics.
+func Aggregate(evals []DatasetEval) Batch {
+	b := Batch{Datasets: len(evals)}
+	if len(evals) == 0 {
+		return b
+	}
+	for _, e := range evals {
+		if e.AnyFalsePositive() {
+			b.FWER++
+		}
+		b.FDR += e.FDR()
+		b.Power += e.Power()
+		b.AvgFalsePositives += float64(e.FalsePositives)
+		b.AvgSignificant += float64(e.NumSignificant)
+		b.AvgRulesTested += float64(e.RulesTested)
+	}
+	k := float64(len(evals))
+	b.FWER /= k
+	b.FDR /= k
+	b.Power /= k
+	b.AvgFalsePositives /= k
+	b.AvgSignificant /= k
+	b.AvgRulesTested /= k
+	return b
+}

@@ -1,0 +1,191 @@
+package evalx
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/correction"
+	"repro/internal/dataset"
+	"repro/internal/mining"
+	"repro/internal/synth"
+)
+
+// mineCase generates a dataset, mines it and returns everything needed.
+func mineCase(t *testing.T, p synth.Params, minSup int) (*synth.Result, []mining.Rule) {
+	t.Helper()
+	res, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := dataset.Encode(res.Data)
+	tree, err := mining.MineClosed(enc, mining.Options{MinSup: minSup, StoreDiffsets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := mining.GenerateRules(tree, mining.RuleOptions{Policy: mining.PaperPolicy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rules
+}
+
+func TestJudgeAllFPOnRandomData(t *testing.T) {
+	p := synth.PaperDefaults()
+	p.N = 300
+	p.Attrs = 10
+	p.Seed = 1
+	res, rules := mineCase(t, p, 20)
+	j := NewJudge(res.Data, res.Rules, 0.05)
+	for i := range rules {
+		if !j.IsFalsePositive(&rules[i]) {
+			t.Fatal("rule on a pure-random dataset not judged a false positive")
+		}
+	}
+	// Everything reported significant counts as FP.
+	all := make([]int, len(rules))
+	for i := range all {
+		all[i] = i
+	}
+	ev := j.Evaluate(rules, all)
+	if ev.FalsePositives != len(rules) || ev.Detected != 0 {
+		t.Errorf("Evaluate = %+v, want all FP, none detected", ev)
+	}
+	if ev.Power() != 0 || !ev.AnyFalsePositive() {
+		t.Error("power/FWER flags wrong on random data")
+	}
+}
+
+func TestJudgeEmbeddedRuleIsTruePositive(t *testing.T) {
+	p := synth.PaperDefaults()
+	p.N = 1000
+	p.Attrs = 15
+	p.NumRules = 1
+	p.MinCvg, p.MaxCvg = 300, 300
+	p.MinConf, p.MaxConf = 0.9, 0.9
+	p.Seed = 5
+	res, rules := mineCase(t, p, 100)
+	j := NewJudge(res.Data, res.Rules, 0.05)
+
+	// Find the mined rule whose record set equals T(Xt).
+	found := -1
+	for i := range rules {
+		if j.IsEmbedded(&rules[i], 0) {
+			found = i
+			break
+		}
+	}
+	if found < 0 {
+		t.Fatal("the embedded rule's closure was not mined (coverage 300 >= minSup 100)")
+	}
+	if j.IsFalsePositive(&rules[found]) {
+		t.Error("the embedded rule judged a false positive")
+	}
+
+	ev := j.Evaluate(rules, []int{found})
+	if ev.Detected != 1 || ev.FalsePositives != 0 {
+		t.Errorf("Evaluate = %+v, want detected=1 fp=0", ev)
+	}
+	if ev.Power() != 1 {
+		t.Errorf("power = %g, want 1", ev.Power())
+	}
+}
+
+func TestJudgeByProductsExcused(t *testing.T) {
+	// A strong embedded rule spawns sub/super-pattern by-products with low
+	// p-values; the §5.2 judge must excuse most of them, keeping measured
+	// FDR of an exact method low.
+	p := synth.PaperDefaults()
+	p.N = 2000
+	p.Attrs = 40
+	p.NumRules = 1
+	p.MinCvg, p.MaxCvg = 400, 400
+	p.MinConf, p.MaxConf = 0.8, 0.8
+	p.Seed = 9
+	res, rules := mineCase(t, p, 150)
+
+	ps := make([]float64, len(rules))
+	for i := range rules {
+		ps[i] = rules[i].P
+	}
+	// Bonferroni at 5%: everything it reports should be the embedded rule
+	// or an excused by-product — FDR ≈ 0 per the paper's Figure 10.
+	o := correction.Bonferroni(ps, len(ps), 0.05)
+	if len(o.Significant) < 2 {
+		t.Skipf("only %d significant rules; not enough by-products to test", len(o.Significant))
+	}
+	j := NewJudge(res.Data, res.Rules, 0.05)
+	ev := j.Evaluate(rules, o.Significant)
+	if ev.FDR() > 0.2 {
+		t.Errorf("FDR = %g with %d FP of %d significant; by-products not being excused",
+			ev.FDR(), ev.FalsePositives, ev.NumSignificant)
+	}
+	if ev.Detected != 1 {
+		t.Errorf("embedded rule not among Bonferroni discoveries (detected=%d)", ev.Detected)
+	}
+}
+
+func TestAdjustedPRemovesEmbeddedEffect(t *testing.T) {
+	p := synth.PaperDefaults()
+	p.N = 1000
+	p.Attrs = 15
+	p.NumRules = 1
+	p.MinCvg, p.MaxCvg = 300, 300
+	p.MinConf, p.MaxConf = 0.9, 0.9
+	p.Seed = 21
+	res, rules := mineCase(t, p, 100)
+	j := NewJudge(res.Data, res.Rules, 0.05)
+	for i := range rules {
+		if !j.IsEmbedded(&rules[i], 0) {
+			continue
+		}
+		raw := rules[i].P
+		adj := j.AdjustedP(&rules[i], 0)
+		if adj <= raw {
+			t.Errorf("adjusted p %g not larger than raw %g for the embedded rule itself", adj, raw)
+		}
+		// Removing the rule's own effect should destroy its significance.
+		if adj < 0.01 {
+			t.Errorf("adjusted p %g still highly significant after removing the effect", adj)
+		}
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	evals := []DatasetEval{
+		{RulesTested: 100, NumSignificant: 2, FalsePositives: 0, Detected: 1, Embedded: 1},
+		{RulesTested: 120, NumSignificant: 4, FalsePositives: 2, Detected: 0, Embedded: 1},
+		{RulesTested: 80, NumSignificant: 0, FalsePositives: 0, Detected: 0, Embedded: 1},
+		{RulesTested: 100, NumSignificant: 1, FalsePositives: 1, Detected: 1, Embedded: 1},
+	}
+	b := Aggregate(evals)
+	if b.Datasets != 4 {
+		t.Fatalf("Datasets = %d", b.Datasets)
+	}
+	if math.Abs(b.FWER-0.5) > 1e-12 { // datasets 2 and 4 have FPs
+		t.Errorf("FWER = %g, want 0.5", b.FWER)
+	}
+	if math.Abs(b.Power-0.5) > 1e-12 { // detected on 1 and 4
+		t.Errorf("Power = %g, want 0.5", b.Power)
+	}
+	wantFDR := (0.0 + 0.5 + 0.0 + 1.0) / 4
+	if math.Abs(b.FDR-wantFDR) > 1e-12 {
+		t.Errorf("FDR = %g, want %g", b.FDR, wantFDR)
+	}
+	if math.Abs(b.AvgFalsePositives-0.75) > 1e-12 {
+		t.Errorf("AvgFalsePositives = %g, want 0.75", b.AvgFalsePositives)
+	}
+	if math.Abs(b.AvgRulesTested-100) > 1e-12 {
+		t.Errorf("AvgRulesTested = %g, want 100", b.AvgRulesTested)
+	}
+	// Empty batch.
+	if z := Aggregate(nil); z.Datasets != 0 || z.FWER != 0 {
+		t.Error("empty aggregate not zero")
+	}
+}
+
+func TestDatasetEvalEdge(t *testing.T) {
+	e := DatasetEval{NumSignificant: 0, FalsePositives: 0, Embedded: 0}
+	if e.FDR() != 0 || e.Power() != 0 || e.AnyFalsePositive() {
+		t.Error("zero-case metrics wrong")
+	}
+}

@@ -1,0 +1,110 @@
+package evalx
+
+import (
+	"repro/internal/correction"
+	"repro/internal/dataset"
+	"repro/internal/intset"
+	"repro/internal/mining"
+)
+
+// RawRule is the representation-independent form the judge actually needs:
+// the rule's record set on the WHOLE dataset, its class, and its
+// whole-dataset coverage/support. Tree-mined rules and holdout candidates
+// both reduce to it.
+type RawRule struct {
+	Tids     []uint32
+	Class    int32
+	Coverage int
+	Support  int
+}
+
+// rawOf converts a tree-mined rule.
+func rawOf(r *mining.Rule) RawRule {
+	return RawRule{
+		Tids:     r.Node.MaterializeTids(),
+		Class:    r.Class,
+		Coverage: r.Coverage,
+		Support:  r.Support,
+	}
+}
+
+// RawOfPattern scans data for the records containing the pattern and
+// builds the raw rule for judging.
+func RawOfPattern(data *dataset.Dataset, attrs []int, vals []int32, class int32) RawRule {
+	raw := RawRule{Class: class}
+	for r := 0; r < data.NumRecords(); r++ {
+		if data.ContainsPattern(r, attrs, vals) {
+			raw.Tids = append(raw.Tids, uint32(r))
+			if data.Labels[r] == class {
+				raw.Support++
+			}
+		}
+	}
+	raw.Coverage = len(raw.Tids)
+	return raw
+}
+
+// EvaluateHoldout judges a holdout outcome against the embedded rules.
+// explore is the exploratory half the candidates were mined on (used only
+// to identify the embedded rule among candidates by exploratory record-set
+// equality); false positives are judged on the whole dataset like every
+// other method.
+func (j *Judge) EvaluateHoldout(explore *dataset.Dataset, res *correction.HoldoutResult) DatasetEval {
+	ev := DatasetEval{
+		RulesTested:    res.NumExploreTested,
+		NumSignificant: len(res.Outcome.Significant),
+		Embedded:       len(j.embedded),
+	}
+
+	// Exploratory record sets of the embedded patterns, for detection.
+	embExp := make([][]uint32, len(j.embedded))
+	for t := range j.embedded {
+		for r := 0; r < explore.NumRecords(); r++ {
+			if explore.ContainsPattern(r, j.embedded[t].Attrs, j.embedded[t].Vals) {
+				embExp[t] = append(embExp[t], uint32(r))
+			}
+		}
+	}
+
+	detected := make([]bool, len(j.embedded))
+	for _, i := range res.Outcome.Significant {
+		c := &res.Candidates[i]
+		// Detection: the candidate pattern occupies exactly the embedded
+		// pattern's exploratory records (the miner represents the
+		// embedded pattern by its exploratory closure) with the right
+		// class.
+		isEmb := false
+		expTids := exploreTids(explore, c)
+		for t := range j.embedded {
+			if c.Class == j.embedded[t].Class && intset.Equal(expTids, embExp[t]) {
+				detected[t] = true
+				isEmb = true
+			}
+		}
+		if isEmb {
+			continue
+		}
+		raw := RawOfPattern(j.data, c.Attrs, c.Vals, c.Class)
+		if j.isFalsePositiveRaw(raw) {
+			ev.FalsePositives++
+		}
+	}
+	for _, d := range detected {
+		if d {
+			ev.Detected++
+		}
+	}
+	return ev
+}
+
+// exploreTids returns the candidate pattern's record set on the
+// exploratory half.
+func exploreTids(explore *dataset.Dataset, c *correction.HoldoutRule) []uint32 {
+	var tids []uint32
+	for r := 0; r < explore.NumRecords(); r++ {
+		if explore.ContainsPattern(r, c.Attrs, c.Vals) {
+			tids = append(tids, uint32(r))
+		}
+	}
+	return tids
+}

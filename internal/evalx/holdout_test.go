@@ -1,0 +1,114 @@
+package evalx
+
+import (
+	"testing"
+
+	"repro/internal/correction"
+	"repro/internal/mining"
+	"repro/internal/synth"
+)
+
+// pairedCase generates a paired dataset with one strong embedded rule.
+func pairedCase(t *testing.T, seed uint64) (*synth.Result, *Judge, *correction.HoldoutResult, *correction.HoldoutResult) {
+	t.Helper()
+	p := synth.PaperDefaults()
+	p.N = 1000
+	p.Attrs = 12
+	p.NumRules = 1
+	p.MinLen, p.MaxLen = 3, 3
+	p.MinCvg, p.MaxCvg = 300, 300
+	p.MinConf, p.MaxConf = 0.95, 0.95
+	p.Seed = seed
+	whole, first, second, err := synth.GeneratePaired(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	judge := NewJudge(whole.Data, whole.Rules, 0.05)
+	hres, err := correction.Holdout(first, second, correction.HoldoutConfig{
+		MinSupExplore: 50, Alpha: 0.05, Policy: mining.PaperPolicy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresFDR, err := correction.Holdout(first, second, correction.HoldoutConfig{
+		MinSupExplore: 50, Alpha: 0.05, UseFDR: true, Policy: mining.PaperPolicy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return whole, judge, hres, hresFDR
+}
+
+func TestEvaluateHoldoutDetectsEmbedded(t *testing.T) {
+	whole, judge, hres, _ := pairedCase(t, 31)
+	first, _ := whole.Data.SplitHalves()
+	ev := judge.EvaluateHoldout(first, hres)
+	if ev.RulesTested != hres.NumExploreTested {
+		t.Errorf("RulesTested = %d, want %d", ev.RulesTested, hres.NumExploreTested)
+	}
+	if ev.NumSignificant != len(hres.Outcome.Significant) {
+		t.Errorf("NumSignificant mismatch")
+	}
+	if ev.Detected != 1 {
+		t.Errorf("embedded rule not detected by holdout (detected=%d of %d significant)",
+			ev.Detected, ev.NumSignificant)
+	}
+	// A conf-0.95 embedding skews the class balance of the UNCOVERED
+	// region (picking 285 class-c records into the coverage depletes c
+	// elsewhere), spawning rules that are genuinely significant on this
+	// dataset but count as false positives under §5.2 — the same artefact
+	// behind the paper's Fig 8(b) FWER climb. So we don't assert FDR ≈ 0
+	// here; we assert holdout is no worse than applying no correction.
+	all := make([]int, len(hres.Candidates))
+	for i := range all {
+		all[i] = i
+	}
+	rawEv := judge.EvaluateHoldout(first, &correction.HoldoutResult{
+		NumExploreTested: hres.NumExploreTested,
+		Candidates:       hres.Candidates,
+		Outcome:          &correction.Outcome{Significant: all},
+	})
+	if ev.FalsePositives > rawEv.FalsePositives {
+		t.Errorf("holdout produced %d FPs, more than the uncorrected %d",
+			ev.FalsePositives, rawEv.FalsePositives)
+	}
+}
+
+func TestEvaluateHoldoutFDRVariant(t *testing.T) {
+	whole, judge, _, hresFDR := pairedCase(t, 32)
+	first, _ := whole.Data.SplitHalves()
+	ev := judge.EvaluateHoldout(first, hresFDR)
+	if ev.Detected != 1 {
+		t.Errorf("embedded rule not detected under HD_BH")
+	}
+}
+
+func TestRawOfPattern(t *testing.T) {
+	p := synth.PaperDefaults()
+	p.N = 200
+	p.Attrs = 6
+	p.NumRules = 1
+	p.MinLen, p.MaxLen = 2, 2
+	p.MinCvg, p.MaxCvg = 40, 40
+	p.MinConf, p.MaxConf = 1, 1
+	p.Seed = 33
+	res, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule := res.Rules[0]
+	raw := RawOfPattern(res.Data, rule.Attrs, rule.Vals, rule.Class)
+	if raw.Coverage < 40 {
+		t.Errorf("coverage %d below embedded 40", raw.Coverage)
+	}
+	if raw.Support > raw.Coverage {
+		t.Error("support exceeds coverage")
+	}
+	// Confidence 1.0 embedding: every embedded record is in class.
+	if raw.Support < 40 {
+		t.Errorf("support %d below embedded in-class 40", raw.Support)
+	}
+	if len(raw.Tids) != raw.Coverage {
+		t.Error("tids inconsistent with coverage")
+	}
+}

@@ -1,0 +1,48 @@
+package evalx
+
+import (
+	"testing"
+
+	"repro/internal/correction"
+	"repro/internal/synth"
+)
+
+// TestJudgeMultipleEmbeddedRules exercises the multi-rule excuse path: a
+// by-product explained by ANY embedded rule is not a false positive, and
+// every embedded rule's closure counts toward power independently.
+func TestJudgeMultipleEmbeddedRules(t *testing.T) {
+	p := synth.PaperDefaults()
+	p.N = 2000
+	p.Attrs = 30
+	p.NumRules = 3
+	p.MinLen, p.MaxLen = 3, 3
+	p.MinCvg, p.MaxCvg = 250, 300
+	p.MinConf, p.MaxConf = 0.85, 0.9
+	p.Seed = 71
+	res, rules := mineCase(t, p, 100)
+	if len(res.Rules) != 3 {
+		t.Fatalf("embedded %d rules", len(res.Rules))
+	}
+	judge := NewJudge(res.Data, res.Rules, 0.05)
+
+	ps := make([]float64, len(rules))
+	for i := range rules {
+		ps[i] = rules[i].P
+	}
+	outcome := correction.Bonferroni(ps, len(ps), 0.05)
+	ev := judge.Evaluate(rules, outcome.Significant)
+	if ev.Embedded != 3 {
+		t.Fatalf("Embedded = %d", ev.Embedded)
+	}
+	if ev.Detected < 2 {
+		t.Errorf("only %d of 3 strong rules detected", ev.Detected)
+	}
+	if ev.Power() < 0.6 {
+		t.Errorf("power = %g", ev.Power())
+	}
+	// Strong clean rules: the by-products around each must be excused.
+	if ev.FDR() > 0.5 {
+		t.Errorf("FDR = %g with %d FPs of %d significant",
+			ev.FDR(), ev.FalsePositives, ev.NumSignificant)
+	}
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Fig1 reproduces Figure 1: the two-tailed Fisher p-value of a rule
+// R : X ⇒ c as a function of its confidence, for several coverages, on a
+// dataset with 1000 records of which 500 carry class c. It is a
+// closed-form computation (no data involved).
+func Fig1() *Figure {
+	const n, nc = 1000, 500
+	h := stats.NewHypergeom(n, nc, nil)
+	fig := &Figure{
+		ID:     "fig1",
+		Title:  "p-values of rule X => c under different supp(X) and conf(R); #records=1000, supp(c)=500",
+		XLabel: "confidence",
+		YLabel: "p-value",
+		LogY:   true,
+	}
+	coverages := []int{5, 10, 20, 40, 70, 100}
+	// Confidence grid 0.5..1.0.
+	var confs []float64
+	for c := 0.50; c <= 1.0000001; c += 0.02 {
+		confs = append(confs, c)
+	}
+	for _, sx := range coverages {
+		s := Series{Label: fmt.Sprintf("supp(X)=%d", sx)}
+		for _, conf := range confs {
+			k := int(conf*float64(sx) + 0.5)
+			lo, hi := h.Bounds(sx)
+			if k < lo {
+				k = lo
+			}
+			if k > hi {
+				k = hi
+			}
+			s.X = append(s.X, conf)
+			s.Y = append(s.Y, h.FisherTwoTailed(k, sx))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Fig2 reproduces Figure 2: the hypergeometric terms H(k; 20, 11, 6), the
+// p-value buffer contents after the two-ends-inward sum-up, and the sum-up
+// order, exactly as the paper's worked example.
+func Fig2() *Table {
+	h := stats.NewHypergeom(20, 11, nil)
+	buf := h.BuildPBuffer(6)
+	// Recover the sum-up order: ranks of H ascending.
+	type kh struct {
+		k int
+		h float64
+	}
+	terms := make([]kh, 0, 7)
+	for k := 0; k <= 6; k++ {
+		terms = append(terms, kh{k, h.PMF(k, 6)})
+	}
+	// Selection-sort indices by ascending H to get the order.
+	order := make([]int, len(terms))
+	used := make([]bool, len(terms))
+	for i := range order {
+		best := -1
+		for j := range terms {
+			if used[j] {
+				continue
+			}
+			if best < 0 || terms[j].h < terms[best].h {
+				best = j
+			}
+		}
+		used[best] = true
+		order[i] = best
+	}
+	rank := make([]int, len(terms))
+	for i, k := range order {
+		rank[k] = i
+	}
+
+	t := &Table{
+		ID:      "fig2",
+		Title:   "p-value buffer B_supp(X) and its calculation; n=20, supp(c)=11, supp(X)=6",
+		Headers: []string{"k", "H(k;20,11,6)", "p(k;20,11,6)", "sum-up order"},
+	}
+	for k := 0; k <= 6; k++ {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", k),
+			fmt.Sprintf("%.7g", h.PMF(k, 6)),
+			fmt.Sprintf("%.7g", buf.PValue(k)),
+			fmt.Sprintf("%d", rank[k]),
+		})
+	}
+	return t
+}
+
+// Fig9 reproduces Figure 9: p-value vs confidence for an embedded rule at
+// full size (N=2000, coverage 400) and at holdout size (N=1000, coverage
+// 200), plus the supp(X)=50 curve, with supp(c) = N/2 — the halving of
+// coverage raises p-values by orders of magnitude, explaining the holdout
+// approach's power loss.
+func Fig9() *Figure {
+	fig := &Figure{
+		ID:     "fig9",
+		Title:  "p-values under different N, coverage(Rt) and conf(Rt); Nc=N/2",
+		XLabel: "confidence",
+		YLabel: "p-value",
+		LogY:   true,
+	}
+	var confs []float64
+	for c := 0.50; c <= 0.7500001; c += 0.01 {
+		confs = append(confs, c)
+	}
+	curve := func(label string, n, cvg int) {
+		h := stats.NewHypergeom(n, n/2, nil)
+		s := Series{Label: label}
+		for _, conf := range confs {
+			k := int(conf*float64(cvg) + 0.5)
+			lo, hi := h.Bounds(cvg)
+			if k < lo {
+				k = lo
+			}
+			if k > hi {
+				k = hi
+			}
+			s.X = append(s.X, conf)
+			s.Y = append(s.Y, h.FisherTwoTailed(k, cvg))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	curve("supp(X)=50, supp(c)=#records/2", 2000, 50)
+	curve("N=2000, rule_cvg=400", 2000, 400)
+	curve("N=1000, rule_cvg=200", 1000, 200)
+	return fig
+}

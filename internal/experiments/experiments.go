@@ -1,0 +1,149 @@
+// Package experiments regenerates every figure and table of the paper's
+// evaluation (§5). Each FigNN/TableN function returns plain data (Series
+// of x/y points, or string tables) that cmd/experiments renders and that
+// bench_test.go exercises; EXPERIMENTS.md records the comparison against
+// the paper.
+//
+// Two scales are supported: the default scaled-down runs (few Monte-Carlo
+// datasets, ~100 permutations) finish in seconds-to-minutes per figure;
+// Options.Full switches to the paper's scale (100 datasets per point,
+// 1000 permutations).
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+)
+
+// Options scales the experiments.
+type Options struct {
+	// Full selects paper-scale parameters (100 datasets, 1000
+	// permutations, full sweep grids).
+	Full bool
+	// Datasets overrides the Monte-Carlo dataset count per point (0 =
+	// scale default: 10 scaled / 100 full).
+	Datasets int
+	// Perms overrides the permutation count (0 = 100 scaled / 1000 full).
+	Perms int
+	// Seed makes every experiment deterministic.
+	Seed uint64
+	// Workers caps permutation parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Progress, if non-nil, receives one-line progress messages.
+	Progress func(string)
+}
+
+func (o Options) datasets() int {
+	if o.Datasets > 0 {
+		return o.Datasets
+	}
+	if o.Full {
+		return 100
+	}
+	return 10
+}
+
+func (o Options) perms() int {
+	if o.Perms > 0 {
+		return o.Perms
+	}
+	if o.Full {
+		return 1000
+	}
+	return 100
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) progress(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// Series is one plotted line.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is one reproduced figure (or one panel of a multi-panel figure).
+type Figure struct {
+	ID     string // e.g. "fig6a"
+	Title  string
+	XLabel string
+	YLabel string
+	LogY   bool
+	Series []Series
+}
+
+// Table is a reproduced tabular result.
+type Table struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Render formats the figure as aligned text columns (x followed by one
+// column per series) suitable for a terminal or gnuplot.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "# x: %s, y: %s%s\n", f.XLabel, f.YLabel, map[bool]string{true: " (log)", false: ""}[f.LogY])
+	fmt.Fprintf(&b, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %22s", s.Label)
+	}
+	b.WriteByte('\n')
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	for i := range f.Series[0].X {
+		fmt.Fprintf(&b, "%-12g", f.Series[0].X[i])
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, " %22.6g", s.Y[i])
+			} else {
+				fmt.Fprintf(&b, " %22s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for i, h := range t.Headers {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], h)
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestExtRedundancyShape(t *testing.T) {
+	o := Options{Datasets: 3, Seed: 1}
+	f, err := ExtRedundancy(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tested := f.Series[0]
+	power := f.Series[1]
+	// Tested count decreases monotonically with epsilon; power never
+	// decreases (the representative inherits the folded rules' evidence
+	// while the cut-off loosens).
+	for i := 1; i < len(tested.Y); i++ {
+		if tested.Y[i] > tested.Y[i-1] {
+			t.Errorf("tested count rose with epsilon: %v", tested.Y)
+		}
+		if power.Y[i] < power.Y[i-1]-1e-9 {
+			t.Errorf("power fell with epsilon: %v", power.Y)
+		}
+	}
+}
+
+func TestExtTestKinds(t *testing.T) {
+	o := Options{Seed: 1}
+	tab, err := ExtTestKinds(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(tab.Rows))
+	}
+	// All three tests see the same tested count.
+	for _, row := range tab.Rows[1:] {
+		if row[1] != tab.Rows[0][1] {
+			t.Error("tested counts differ across test kinds")
+		}
+	}
+	// Mid-p is less conservative than Fisher under BC.
+	fisherBC, _ := strconv.Atoi(tab.Rows[0][2])
+	midBC, _ := strconv.Atoi(tab.Rows[1][2])
+	if midBC < fisherBC {
+		t.Errorf("mid-p BC count %d < fisher %d", midBC, fisherBC)
+	}
+}
+
+func TestExtBufferBudget(t *testing.T) {
+	o := Options{Seed: 1}
+	tab, err := ExtBufferBudget(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(tab.Rows))
+	}
+	// Larger budgets can only raise max_sup and static hits.
+	prevMaxSup, prevHits := -1, int64(-1)
+	for _, row := range tab.Rows {
+		ms, _ := strconv.Atoi(row[1])
+		hits, _ := strconv.ParseInt(row[2], 10, 64)
+		if ms < prevMaxSup {
+			t.Errorf("max_sup fell as budget grew: %v", row)
+		}
+		if hits < prevHits {
+			t.Errorf("static hits fell as budget grew: %v", row)
+		}
+		prevMaxSup, prevHits = ms, hits
+	}
+	// The paper's 16 MB budget should eliminate dynamic rebuilds entirely
+	// on this workload.
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[5] != "0" {
+		t.Errorf("16MB budget still has %s dynamic builds", last[5])
+	}
+}

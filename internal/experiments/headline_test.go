@@ -1,0 +1,52 @@
+package experiments
+
+import "testing"
+
+// TestPaperHeadlineOrdering is an executable summary of the paper's §7
+// findings on a small Monte-Carlo batch: in terms of power,
+// permutation >= direct >= holdout, and no correction detects everything
+// at the price of FWER == 1.
+func TestPaperHeadlineOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo batch")
+	}
+	cfg := batteryConfig{
+		params:      embeddedRuleParams(0.62),
+		minSupWhole: 150,
+		alpha:       0.05,
+		datasets:    6,
+		perms:       80,
+		seed:        12345,
+		workers:     8,
+		methods:     []string{MNone, MBC, MPermFWER, MHDBC},
+	}
+	res, err := runBattery(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	none := res.byMethod[MNone]
+	bc := res.byMethod[MBC]
+	perm := res.byMethod[MPermFWER]
+	hd := res.byMethod[MHDBC]
+
+	if none.Power < 0.999 {
+		t.Errorf("no-correction power = %g, want 1", none.Power)
+	}
+	if none.FWER < 0.999 {
+		t.Errorf("no-correction FWER = %g, want 1 (spurious rules everywhere)", none.FWER)
+	}
+	// §7: permutation >= direct >= holdout in power. Allow equality; with
+	// 6 datasets the granularity is 1/6.
+	if perm.Power+1e-9 < bc.Power {
+		t.Errorf("power ordering violated: permutation %g < direct %g", perm.Power, bc.Power)
+	}
+	if bc.Power+1e-9 < hd.Power {
+		t.Errorf("power ordering violated: direct %g < holdout %g", bc.Power, hd.Power)
+	}
+	// All corrected methods control FWER far below the uncorrected 1.0.
+	for name, b := range map[string]float64{"BC": bc.FWER, "Perm": perm.FWER, "HD": hd.FWER} {
+		if b > 0.67 {
+			t.Errorf("%s FWER = %g, not controlled", name, b)
+		}
+	}
+}

@@ -1,0 +1,523 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/correction"
+	"repro/internal/dataset"
+	"repro/internal/evalx"
+	"repro/internal/mining"
+	"repro/internal/permute"
+	"repro/internal/synth"
+)
+
+// Method labels (Table 3 of the paper).
+const (
+	MNone     = "No correction"
+	MBC       = "BC"
+	MBH       = "BH"
+	MPermFWER = "Perm_FWER"
+	MPermFDR  = "Perm_FDR"
+	MHDBC     = "HD_BC"
+	MHDBH     = "HD_BH"
+	MRHBC     = "RH_BC"
+	MRHBH     = "RH_BH"
+)
+
+// batteryConfig describes one Monte-Carlo point: a synthetic data
+// configuration evaluated by all correction methods over many generated
+// datasets.
+type batteryConfig struct {
+	params      synth.Params // per-dataset generator parameters (Seed is re-derived)
+	minSupWhole int          // min_sup on the whole dataset
+	alpha       float64
+	datasets    int
+	perms       int
+	seed        uint64
+	workers     int
+	methods     []string // which methods to run (nil = all)
+}
+
+// batteryResult aggregates per-method evaluation plus tested-rule counts.
+type batteryResult struct {
+	byMethod map[string]evalx.Batch
+	// Average #rules tested on the whole dataset / the holdout phases.
+	testedWhole, testedHDExp, testedHDEval float64
+	testedRHExp, testedRHEval              float64
+}
+
+func (b *batteryConfig) wants(m string) bool {
+	if len(b.methods) == 0 {
+		return true
+	}
+	for _, x := range b.methods {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}
+
+// runBattery generates cfg.datasets datasets, runs every requested
+// correction method on each, judges the outcomes per §5.2, and aggregates.
+// Datasets are processed in parallel; permutations within a dataset run
+// single-threaded in that case (the worker pool is the dataset loop).
+func runBattery(cfg batteryConfig, o Options) (*batteryResult, error) {
+	results := make([]perDataset, cfg.datasets)
+
+	par := cfg.workers
+	if par < 1 {
+		par = 1
+	}
+	if par > cfg.datasets {
+		par = cfg.datasets
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for di := 0; di < cfg.datasets; di++ {
+		wg.Add(1)
+		go func(di int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[di] = runOneDataset(cfg, di)
+		}(di)
+	}
+	wg.Wait()
+
+	out := &batteryResult{byMethod: make(map[string]evalx.Batch)}
+	perMethod := make(map[string][]evalx.DatasetEval)
+	for di := range results {
+		if results[di].err != nil {
+			return nil, fmt.Errorf("dataset %d: %w", di, results[di].err)
+		}
+		for m, ev := range results[di].evals {
+			perMethod[m] = append(perMethod[m], ev)
+		}
+		out.testedWhole += results[di].tw / float64(cfg.datasets)
+		out.testedHDExp += results[di].the / float64(cfg.datasets)
+		out.testedHDEval += results[di].thev / float64(cfg.datasets)
+		out.testedRHExp += results[di].tre / float64(cfg.datasets)
+		out.testedRHEval += results[di].trev / float64(cfg.datasets)
+	}
+	for m, evs := range perMethod {
+		out.byMethod[m] = evalx.Aggregate(evs)
+	}
+	return out, nil
+}
+
+// perDataset carries one generated dataset's evaluation across methods.
+type perDataset struct {
+	evals                    map[string]evalx.DatasetEval
+	tw, the, thev, tre, trev float64
+	err                      error
+}
+
+// runOneDataset generates dataset di of the battery and evaluates all
+// requested methods on it.
+func runOneDataset(cfg batteryConfig, di int) (res perDataset) {
+	res.evals = make(map[string]evalx.DatasetEval)
+
+	p := cfg.params
+	p.Seed = cfg.seed + uint64(di)*0x9e3779b97f4a7c15 + 1
+	whole, first, second, err := synth.GeneratePaired(p)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	judge := evalx.NewJudge(whole.Data, whole.Rules, cfg.alpha)
+
+	enc := dataset.Encode(whole.Data)
+	tree, err := mining.MineClosed(enc, mining.Options{
+		MinSup:        cfg.minSupWhole,
+		StoreDiffsets: true,
+		MaxNodes:      2_000_000,
+	})
+	if err != nil {
+		res.err = err
+		return res
+	}
+	rules, err := mining.GenerateRules(tree, mining.RuleOptions{Policy: mining.PaperPolicy})
+	if err != nil {
+		res.err = err
+		return res
+	}
+	res.tw = float64(len(rules))
+	ps := make([]float64, len(rules))
+	for i := range rules {
+		ps[i] = rules[i].P
+	}
+
+	judgeOutcome := func(m string, o *correction.Outcome) {
+		res.evals[m] = judge.Evaluate(rules, o.Significant)
+	}
+	if cfg.wants(MNone) {
+		judgeOutcome(MNone, correction.None(ps, cfg.alpha))
+	}
+	if cfg.wants(MBC) {
+		judgeOutcome(MBC, correction.Bonferroni(ps, len(ps), cfg.alpha))
+	}
+	if cfg.wants(MBH) {
+		judgeOutcome(MBH, correction.BenjaminiHochberg(ps, len(ps), cfg.alpha))
+	}
+	if cfg.wants(MPermFWER) || cfg.wants(MPermFDR) {
+		engine, err := permute.NewEngine(tree, rules, permute.Config{
+			NumPerms: cfg.perms,
+			Seed:     p.Seed ^ 0xa5a5a5a5,
+			Opt:      permute.OptStaticBuffer,
+			Workers:  1, // parallelism lives at the dataset level here
+		})
+		if err != nil {
+			res.err = err
+			return res
+		}
+		if cfg.wants(MPermFWER) {
+			judgeOutcome(MPermFWER, correction.PermFWER(engine, rules, cfg.alpha))
+		}
+		if cfg.wants(MPermFDR) {
+			judgeOutcome(MPermFDR, correction.PermFDR(engine, rules, cfg.alpha))
+		}
+	}
+
+	holdout := func(expl, eval *dataset.Dataset, fdr bool) (*correction.HoldoutResult, error) {
+		return correction.Holdout(expl, eval, correction.HoldoutConfig{
+			MinSupExplore: max(1, cfg.minSupWhole/2),
+			Alpha:         cfg.alpha,
+			UseFDR:        fdr,
+			Policy:        mining.PaperPolicy,
+		})
+	}
+	if cfg.wants(MHDBC) || cfg.wants(MHDBH) {
+		for _, fdr := range []bool{false, true} {
+			m := MHDBC
+			if fdr {
+				m = MHDBH
+			}
+			if !cfg.wants(m) {
+				continue
+			}
+			hres, err := holdout(first, second, fdr)
+			if err != nil {
+				res.err = err
+				return res
+			}
+			res.evals[m] = judge.EvaluateHoldout(first, hres)
+			res.the = float64(hres.NumExploreTested)
+			res.thev = float64(len(hres.Candidates))
+		}
+	}
+	if cfg.wants(MRHBC) || cfg.wants(MRHBH) {
+		rexp, reval := whole.Data.RandomSplit(p.Seed ^ 0x5a5a5a5a)
+		for _, fdr := range []bool{false, true} {
+			m := MRHBC
+			if fdr {
+				m = MRHBH
+			}
+			if !cfg.wants(m) {
+				continue
+			}
+			hres, err := holdout(rexp, reval, fdr)
+			if err != nil {
+				res.err = err
+				return res
+			}
+			res.evals[m] = judge.EvaluateHoldout(rexp, hres)
+			res.tre = float64(hres.NumExploreTested)
+			res.trev = float64(len(hres.Candidates))
+		}
+	}
+	return res
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// embeddedRuleParams returns the §5.5 generator configuration: N=2000,
+// A=40, one embedded rule of coverage 400 at the given confidence.
+func embeddedRuleParams(conf float64) synth.Params {
+	p := synth.PaperDefaults()
+	p.N = 2000
+	p.Attrs = 40
+	p.NumRules = 1
+	p.MinCvg, p.MaxCvg = 400, 400
+	p.MinConf, p.MaxConf = conf, conf
+	return p
+}
+
+// randomParams returns the §5.4 configuration: N=2000, A=40, no rules.
+func randomParams() synth.Params {
+	p := synth.PaperDefaults()
+	p.N = 2000
+	p.Attrs = 40
+	return p
+}
+
+// confGrid is the §5.5 x-axis: conf(Rt) from 0.55 to 0.70.
+func confGrid(full bool) []float64 {
+	if full {
+		return []float64{0.55, 0.575, 0.60, 0.625, 0.65, 0.675, 0.70}
+	}
+	return []float64{0.55, 0.60, 0.65, 0.70}
+}
+
+// minSupGrid6 is the Fig 6 x-axis (random datasets).
+func minSupGrid6(full bool) []int {
+	if full {
+		return []int{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
+	}
+	return []int{200, 400, 700, 1000}
+}
+
+// minSupGrid12 is the Figs 11–13 x-axis (embedded rule, conf 0.60).
+func minSupGrid12(full bool) []int {
+	if full {
+		return []int{100, 150, 200, 250, 300, 350, 400}
+	}
+	return []int{100, 200, 300, 400}
+}
+
+// Fig6 reproduces Figure 6: FWER, #rules tested and #false positives on
+// pure-random datasets (no embedded rules) as min_sup varies.
+func Fig6(o Options) ([]*Figure, error) {
+	grid := minSupGrid6(o.Full)
+	methods := []string{MNone, MBC, MBH, MPermFWER, MPermFDR, MHDBC, MHDBH}
+
+	fwer := &Figure{ID: "fig6a", Title: "FWER on random datasets (N=2000, A=40)", XLabel: "minimum support", YLabel: "FWER"}
+	tested := &Figure{ID: "fig6b", Title: "#rules tested on random datasets", XLabel: "minimum support", YLabel: "average number of rules tested", LogY: true}
+	fps := &Figure{ID: "fig6c", Title: "#false positives on random datasets", XLabel: "minimum support", YLabel: "average number of significant rules", LogY: true}
+
+	fwerS := map[string]*Series{}
+	fpS := map[string]*Series{}
+	for _, m := range methods {
+		fwerS[m] = &Series{Label: m}
+		fpS[m] = &Series{Label: m}
+	}
+	testedWhole := &Series{Label: "whole dataset"}
+	testedExp := &Series{Label: "HD_exploratory"}
+	testedEval := &Series{Label: "HD_evaluation"}
+
+	for _, ms := range grid {
+		o.progress("fig6: min_sup=%d", ms)
+		res, err := runBattery(batteryConfig{
+			params:      randomParams(),
+			minSupWhole: ms,
+			alpha:       0.05,
+			datasets:    o.datasets(),
+			perms:       o.perms(),
+			seed:        o.Seed + uint64(ms),
+			workers:     o.workers(),
+			methods:     methods,
+		}, o)
+		if err != nil {
+			return nil, err
+		}
+		x := float64(ms)
+		for _, m := range methods {
+			b := res.byMethod[m]
+			fwerS[m].X = append(fwerS[m].X, x)
+			fwerS[m].Y = append(fwerS[m].Y, b.FWER)
+			fpS[m].X = append(fpS[m].X, x)
+			fpS[m].Y = append(fpS[m].Y, b.AvgFalsePositives)
+		}
+		testedWhole.X = append(testedWhole.X, x)
+		testedWhole.Y = append(testedWhole.Y, res.testedWhole)
+		testedExp.X = append(testedExp.X, x)
+		testedExp.Y = append(testedExp.Y, res.testedHDExp)
+		testedEval.X = append(testedEval.X, x)
+		testedEval.Y = append(testedEval.Y, res.testedHDEval)
+	}
+	for _, m := range methods {
+		fwer.Series = append(fwer.Series, *fwerS[m])
+		fps.Series = append(fps.Series, *fpS[m])
+	}
+	tested.Series = []Series{*testedWhole, *testedExp, *testedEval}
+	return []*Figure{fwer, tested, fps}, nil
+}
+
+// powerFigures is the shared driver for Figures 8 and 10 (x = confidence)
+// and Figures 12 and 13 (x = min_sup): power, error rate, #false
+// positives.
+func powerFigures(o Options, id, errName string, fdr bool, xs []float64, mk func(x float64) (synth.Params, int)) ([]*Figure, error) {
+	var methods []string
+	if fdr {
+		methods = []string{MNone, MBH, MPermFDR, MHDBH, MRHBH}
+	} else {
+		methods = []string{MNone, MBC, MPermFWER, MHDBC, MRHBC}
+	}
+	power := &Figure{ID: id + "a", Title: "power when controlling " + errName, XLabel: "x", YLabel: "power"}
+	errFig := &Figure{ID: id + "b", Title: errName, XLabel: "x", YLabel: errName}
+	fps := &Figure{ID: id + "c", Title: "#false positives", XLabel: "x", YLabel: "average number of false positives", LogY: true}
+
+	powerS := map[string]*Series{}
+	errS := map[string]*Series{}
+	fpS := map[string]*Series{}
+	for _, m := range methods {
+		powerS[m] = &Series{Label: m}
+		errS[m] = &Series{Label: m}
+		fpS[m] = &Series{Label: m}
+	}
+
+	for _, x := range xs {
+		params, minSup := mk(x)
+		o.progress("%s: x=%g", id, x)
+		res, err := runBattery(batteryConfig{
+			params:      params,
+			minSupWhole: minSup,
+			alpha:       0.05,
+			datasets:    o.datasets(),
+			perms:       o.perms(),
+			seed:        o.Seed + uint64(x*1000),
+			workers:     o.workers(),
+			methods:     methods,
+		}, o)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range methods {
+			b := res.byMethod[m]
+			powerS[m].X = append(powerS[m].X, x)
+			powerS[m].Y = append(powerS[m].Y, b.Power)
+			errS[m].X = append(errS[m].X, x)
+			e := b.FWER
+			if fdr {
+				e = b.FDR
+			}
+			errS[m].Y = append(errS[m].Y, e)
+			fpS[m].X = append(fpS[m].X, x)
+			fpS[m].Y = append(fpS[m].Y, b.AvgFalsePositives)
+		}
+	}
+	for _, m := range methods {
+		power.Series = append(power.Series, *powerS[m])
+		errFig.Series = append(errFig.Series, *errS[m])
+		fps.Series = append(fps.Series, *fpS[m])
+	}
+	return []*Figure{power, errFig, fps}, nil
+}
+
+// Fig8 reproduces Figure 8: power / FWER / #FP vs conf(Rt) with FWER
+// controlled at 5%; min_sup=150, rule coverage 400, N=2000, A=40.
+func Fig8(o Options) ([]*Figure, error) {
+	figs, err := powerFigures(o, "fig8", "FWER", false, confGrid(o.Full),
+		func(conf float64) (synth.Params, int) { return embeddedRuleParams(conf), 150 })
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range figs {
+		f.XLabel = "confidence of the embedded rule"
+	}
+	return figs, nil
+}
+
+// Fig10 reproduces Figure 10: power / FDR / #FP vs conf(Rt) with FDR
+// controlled at 5%.
+func Fig10(o Options) ([]*Figure, error) {
+	figs, err := powerFigures(o, "fig10", "FDR", true, confGrid(o.Full),
+		func(conf float64) (synth.Params, int) { return embeddedRuleParams(conf), 150 })
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range figs {
+		f.XLabel = "confidence of the embedded rule"
+	}
+	return figs, nil
+}
+
+// Fig12 reproduces Figure 12: power / FWER / #FP vs min_sup at
+// conf(Rt)=0.60.
+func Fig12(o Options) ([]*Figure, error) {
+	var xs []float64
+	for _, ms := range minSupGrid12(o.Full) {
+		xs = append(xs, float64(ms))
+	}
+	figs, err := powerFigures(o, "fig12", "FWER", false, xs,
+		func(x float64) (synth.Params, int) { return embeddedRuleParams(0.60), int(x) })
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range figs {
+		f.XLabel = "minimum support"
+	}
+	return figs, nil
+}
+
+// Fig13 reproduces Figure 13: power / FDR / #FP vs min_sup at
+// conf(Rt)=0.60.
+func Fig13(o Options) ([]*Figure, error) {
+	var xs []float64
+	for _, ms := range minSupGrid12(o.Full) {
+		xs = append(xs, float64(ms))
+	}
+	figs, err := powerFigures(o, "fig13", "FDR", true, xs,
+		func(x float64) (synth.Params, int) { return embeddedRuleParams(0.60), int(x) })
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range figs {
+		f.XLabel = "minimum support"
+	}
+	return figs, nil
+}
+
+// testedFigure is the shared driver for Figures 7 and 11: the number of
+// rules tested on the whole dataset and on the holdout phases.
+func testedFigure(o Options, id, xlabel string, xs []float64, mk func(x float64) (synth.Params, int)) (*Figure, error) {
+	fig := &Figure{ID: id, Title: "number of rules tested", XLabel: xlabel,
+		YLabel: "average number of rules tested", LogY: true}
+	whole := &Series{Label: "whole dataset"}
+	hdExp := &Series{Label: "HD_exploratory"}
+	rhExp := &Series{Label: "RH_exploratory"}
+	hdEval := &Series{Label: "HD_evaluation"}
+	rhEval := &Series{Label: "RH_evaluation"}
+
+	for _, x := range xs {
+		params, minSup := mk(x)
+		o.progress("%s: x=%g", id, x)
+		res, err := runBattery(batteryConfig{
+			params:      params,
+			minSupWhole: minSup,
+			alpha:       0.05,
+			datasets:    o.datasets(),
+			perms:       1, // permutations not needed here
+			seed:        o.Seed + uint64(x*1000),
+			workers:     o.workers(),
+			methods:     []string{MHDBC, MRHBC},
+		}, o)
+		if err != nil {
+			return nil, err
+		}
+		whole.X = append(whole.X, x)
+		whole.Y = append(whole.Y, res.testedWhole)
+		hdExp.X = append(hdExp.X, x)
+		hdExp.Y = append(hdExp.Y, res.testedHDExp)
+		rhExp.X = append(rhExp.X, x)
+		rhExp.Y = append(rhExp.Y, res.testedRHExp)
+		hdEval.X = append(hdEval.X, x)
+		hdEval.Y = append(hdEval.Y, res.testedHDEval)
+		rhEval.X = append(rhEval.X, x)
+		rhEval.Y = append(rhEval.Y, res.testedRHEval)
+	}
+	fig.Series = []Series{*whole, *hdExp, *rhExp, *hdEval, *rhEval}
+	return fig, nil
+}
+
+// Fig7 reproduces Figure 7: #rules tested vs conf(Rt); min_sup=150.
+func Fig7(o Options) (*Figure, error) {
+	return testedFigure(o, "fig7", "confidence of the embedded rule", confGrid(o.Full),
+		func(conf float64) (synth.Params, int) { return embeddedRuleParams(conf), 150 })
+}
+
+// Fig11 reproduces Figure 11: #rules tested vs min_sup; conf(Rt)=0.60.
+func Fig11(o Options) (*Figure, error) {
+	var xs []float64
+	for _, ms := range minSupGrid12(o.Full) {
+		xs = append(xs, float64(ms))
+	}
+	return testedFigure(o, "fig11", "minimum support", xs,
+		func(x float64) (synth.Params, int) { return embeddedRuleParams(0.60), int(x) })
+}

@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/correction"
+	"repro/internal/dataset"
+	"repro/internal/mining"
+	"repro/internal/permute"
+	"repro/internal/synth"
+	"repro/internal/uci"
+)
+
+// runtimeDataset is one panel of Figures 4 and 5: a dataset plus its
+// min_sup sweep. Sweeps follow the paper's panel ranges; the scaled mode
+// takes the upper (cheaper) part of each range.
+type runtimeDataset struct {
+	name  string
+	sweep []int // descending difficulty: larger min_sup first
+	load  func(o Options) (*dataset.Dataset, error)
+}
+
+// runtimePerms caps the permutation count in scaled mode: the Fig 4/5
+// quantities under test are the RATIOS between optimisation levels /
+// approaches, which are preserved per permutation; 20 permutations keep
+// the "no optimization" baseline affordable. Full mode uses the paper's
+// 1000.
+func runtimePerms(o Options) int {
+	if o.Full {
+		return o.perms()
+	}
+	p := o.perms()
+	if p > 20 {
+		p = 20
+	}
+	return p
+}
+
+func runtimeDatasets(full bool) []runtimeDataset {
+	pick := func(fullSweep, scaled []int) []int {
+		if full {
+			return fullSweep
+		}
+		return scaled
+	}
+	return []runtimeDataset{
+		{
+			name:  "adult",
+			sweep: pick([]int{3000, 2500, 2000, 1500, 1000, 500}, []int{3000, 2000, 1000}),
+			load:  func(o Options) (*dataset.Dataset, error) { return uci.Load("adult", o.Seed+1) },
+		},
+		{
+			name:  "german",
+			sweep: pick([]int{90, 80, 70, 60, 50, 40, 30, 20}, []int{90, 60, 30}),
+			load:  func(o Options) (*dataset.Dataset, error) { return uci.Load("german", o.Seed+1) },
+		},
+		{
+			name:  "hypo",
+			sweep: pick([]int{2100, 2000, 1900, 1800, 1700, 1600, 1500, 1400}, []int{2100, 1800, 1500}),
+			load:  func(o Options) (*dataset.Dataset, error) { return uci.Load("hypo", o.Seed+1) },
+		},
+		{
+			name:  "mushroom",
+			sweep: pick([]int{1200, 1000, 800, 600, 400, 200}, []int{1200, 800, 400}),
+			load:  func(o Options) (*dataset.Dataset, error) { return uci.Load("mushroom", o.Seed+1) },
+		},
+		{
+			name:  "D8hA20R0",
+			sweep: pick([]int{35, 30, 25, 20, 15, 10, 5}, []int{35, 20, 10}),
+			load: func(o Options) (*dataset.Dataset, error) {
+				p := synth.PaperDefaults()
+				p.N = 800
+				p.Attrs = 20
+				p.Seed = o.Seed + 8
+				res, err := synth.Generate(p)
+				if err != nil {
+					return nil, err
+				}
+				return res.Data, nil
+			},
+		},
+		{
+			name:  "D2kA20R5",
+			sweep: pick([]int{140, 120, 100, 80, 60, 40}, []int{140, 90, 40}),
+			load: func(o Options) (*dataset.Dataset, error) {
+				p := synth.PaperDefaults()
+				p.N = 2000
+				p.Attrs = 20
+				p.NumRules = 5
+				p.MinCvg, p.MaxCvg = 400, 600
+				p.MinConf, p.MaxConf = 0.6, 0.8
+				p.AllowOverlap = true // 5 rules of coverage 400–600 in 2000 records must share records
+				p.Seed = o.Seed + 2
+				res, err := synth.Generate(p)
+				if err != nil {
+					return nil, err
+				}
+				return res.Data, nil
+			},
+		},
+	}
+}
+
+// permutationTime runs the full permutation pipeline (mining + N
+// permutations, FWER flavour) at the given optimisation level and returns
+// the wall-clock seconds — the quantity Fig 4 plots.
+func permutationTime(d *dataset.Dataset, minSup, perms int, opt permute.OptLevel, seed uint64, workers int) (float64, error) {
+	start := time.Now()
+	enc := dataset.Encode(d)
+	tree, err := mining.MineClosed(enc, mining.Options{
+		MinSup:        minSup,
+		StoreDiffsets: opt.WantDiffsets(),
+		MaxNodes:      2_000_000,
+	})
+	if err != nil {
+		return 0, err
+	}
+	rules, err := mining.GenerateRules(tree, mining.RuleOptions{Policy: mining.PaperPolicy})
+	if err != nil {
+		return 0, err
+	}
+	engine, err := permute.NewEngine(tree, rules, permute.Config{
+		NumPerms: perms,
+		Seed:     seed,
+		Opt:      opt,
+		Workers:  workers,
+	})
+	if err != nil {
+		return 0, err
+	}
+	correction.PermFWER(engine, rules, 0.05)
+	return time.Since(start).Seconds(), nil
+}
+
+// Fig4 reproduces Figure 4: permutation-approach running time under the
+// four optimisation levels, one panel per dataset, swept over min_sup.
+// Absolute seconds differ from the paper's 2008-era hardware; the claims
+// under test are the ratios between levels.
+func Fig4(o Options) ([]*Figure, error) {
+	levels := []permute.OptLevel{
+		permute.OptNone, permute.OptDynamicBuffer, permute.OptDiffsets, permute.OptStaticBuffer,
+	}
+	var figs []*Figure
+	for di, rd := range runtimeDatasets(o.Full) {
+		d, err := rd.load(o)
+		if err != nil {
+			return nil, err
+		}
+		fig := &Figure{
+			ID:     fmt.Sprintf("fig4%c", 'a'+di),
+			Title:  fmt.Sprintf("permutation optimisations on %s", rd.name),
+			XLabel: "minimum support",
+			YLabel: "running time (sec)",
+			LogY:   true,
+		}
+		series := make([]Series, len(levels))
+		for li, lvl := range levels {
+			series[li].Label = lvl.String()
+		}
+		for _, ms := range rd.sweep {
+			o.progress("fig4 %s: min_sup=%d", rd.name, ms)
+			for li, lvl := range levels {
+				// Single worker: Fig 4 measures the paper's single-threaded
+				// cost model, and buffer reuse across permutations (the
+				// very thing under test) would be destroyed by splitting
+				// few permutations over many workers.
+				secs, err := permutationTime(d, ms, runtimePerms(o), lvl, o.Seed+99, 1)
+				if err != nil {
+					return nil, err
+				}
+				series[li].X = append(series[li].X, float64(ms))
+				series[li].Y = append(series[li].Y, secs)
+			}
+		}
+		fig.Series = series
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+// approachTime measures one correction approach end to end (mining
+// included), returning seconds.
+func approachTime(d *dataset.Dataset, minSup, perms int, approach string, seed uint64, workers int) (float64, error) {
+	start := time.Now()
+	switch approach {
+	case "permutation":
+		return permutationTime(d, minSup, perms, permute.OptStaticBuffer, seed, workers)
+	case "direct adjustment":
+		enc := dataset.Encode(d)
+		tree, err := mining.MineClosed(enc, mining.Options{MinSup: minSup, StoreDiffsets: true, MaxNodes: 2_000_000})
+		if err != nil {
+			return 0, err
+		}
+		rules, err := mining.GenerateRules(tree, mining.RuleOptions{Policy: mining.PaperPolicy})
+		if err != nil {
+			return 0, err
+		}
+		ps := make([]float64, len(rules))
+		for i := range rules {
+			ps[i] = rules[i].P
+		}
+		correction.Bonferroni(ps, len(ps), 0.05)
+	case "holdout":
+		explore, eval := d.SplitHalves()
+		if _, err := correction.Holdout(explore, eval, correction.HoldoutConfig{
+			MinSupExplore: max(1, minSup/2),
+			Alpha:         0.05,
+			Policy:        mining.PaperPolicy,
+		}); err != nil {
+			return 0, err
+		}
+	default:
+		return 0, fmt.Errorf("experiments: unknown approach %q", approach)
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// Fig5 reproduces Figure 5: running time of the three correction
+// approaches (permutation with all optimisations, holdout, direct
+// adjustment), one panel per dataset.
+func Fig5(o Options) ([]*Figure, error) {
+	approaches := []string{"permutation", "holdout", "direct adjustment"}
+	var figs []*Figure
+	for di, rd := range runtimeDatasets(o.Full) {
+		d, err := rd.load(o)
+		if err != nil {
+			return nil, err
+		}
+		fig := &Figure{
+			ID:     fmt.Sprintf("fig5%c", 'a'+di),
+			Title:  fmt.Sprintf("correction approaches on %s", rd.name),
+			XLabel: "minimum support",
+			YLabel: "running time (sec)",
+			LogY:   true,
+		}
+		series := make([]Series, len(approaches))
+		for ai, a := range approaches {
+			series[ai].Label = a
+		}
+		for _, ms := range rd.sweep {
+			o.progress("fig5 %s: min_sup=%d", rd.name, ms)
+			for ai, a := range approaches {
+				// Single worker, matching Fig 4's measurement model.
+				secs, err := approachTime(d, ms, runtimePerms(o), a, o.Seed+7, 1)
+				if err != nil {
+					return nil, err
+				}
+				series[ai].X = append(series[ai].X, float64(ms))
+				series[ai].Y = append(series[ai].Y, secs)
+			}
+		}
+		fig.Series = series
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}

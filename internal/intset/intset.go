@@ -1,0 +1,239 @@
+// Package intset provides sorted uint32 id-list and fixed-size bitset
+// utilities. Both representations are used throughout the miner for record
+// id lists ("tid-lists"): sorted slices when lists are sparse and the code
+// walks them element by element, bitsets when constant-time membership or
+// bulk intersection counting is needed.
+//
+// All slice-based functions require their inputs to be strictly increasing;
+// they never modify their inputs and allocate only when documented.
+package intset
+
+import "math/bits"
+
+// Intersect returns the sorted intersection of two strictly increasing
+// slices. The result is newly allocated (capacity = min(len(a), len(b))).
+func Intersect(a, b []uint32) []uint32 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	out := make([]uint32, 0, n)
+	return IntersectInto(out, a, b)
+}
+
+// IntersectInto appends the sorted intersection of a and b to dst and
+// returns the extended slice. dst must not alias a or b.
+func IntersectInto(dst, a, b []uint32) []uint32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// IntersectCount returns |a ∩ b| without allocating.
+func IntersectCount(a, b []uint32) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Diff returns the sorted set difference a \ b (elements of a not in b).
+// The result is newly allocated.
+func Diff(a, b []uint32) []uint32 {
+	out := make([]uint32, 0, len(a))
+	return DiffInto(out, a, b)
+}
+
+// DiffInto appends a \ b to dst and returns the extended slice.
+// dst must not alias a or b.
+func DiffInto(dst, a, b []uint32) []uint32 {
+	i, j := 0, 0
+	for i < len(a) {
+		if j >= len(b) || a[i] < b[j] {
+			dst = append(dst, a[i])
+			i++
+		} else if a[i] > b[j] {
+			j++
+		} else {
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// Union returns the sorted union of two strictly increasing slices.
+func Union(a, b []uint32) []uint32 {
+	out := make([]uint32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Subset reports whether every element of a is contained in b.
+func Subset(a, b []uint32) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			return false
+		case a[i] > b[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return i == len(a)
+}
+
+// Contains reports whether the strictly increasing slice a contains x,
+// using binary search.
+func Contains(a []uint32, x uint32) bool {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(a) && a[lo] == x
+}
+
+// Equal reports whether a and b hold the same elements.
+func Equal(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSorted reports whether a is strictly increasing (the invariant every
+// function in this package requires of its inputs).
+func IsSorted(a []uint32) bool {
+	for i := 1; i < len(a); i++ {
+		if a[i] <= a[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Bitset is a fixed-capacity set of non-negative integers backed by a
+// []uint64. The zero value is an empty set of capacity zero; use NewBitset
+// to create one with room for n elements.
+type Bitset struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// NewBitset returns an empty bitset able to hold values in [0, n).
+func NewBitset(n int) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// FromSlice returns a bitset of capacity n containing the given ids.
+func FromSlice(n int, ids []uint32) *Bitset {
+	b := NewBitset(n)
+	for _, id := range ids {
+		b.Set(uint(id))
+	}
+	return b
+}
+
+// Len returns the capacity (in bits) of the set.
+func (b *Bitset) Len() int { return b.n }
+
+// Set adds i to the set. i must be < Len().
+func (b *Bitset) Set(i uint) { b.words[i>>6] |= 1 << (i & 63) }
+
+// Clear removes i from the set.
+func (b *Bitset) Clear(i uint) { b.words[i>>6] &^= 1 << (i & 63) }
+
+// Has reports whether i is in the set.
+func (b *Bitset) Has(i uint) bool { return b.words[i>>6]&(1<<(i&63)) != 0 }
+
+// Count returns the number of elements in the set.
+func (b *Bitset) Count() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// AndCount returns |b ∩ o| without materialising the intersection.
+// The two sets must have equal capacity.
+func (b *Bitset) AndCount(o *Bitset) int {
+	n := 0
+	for i, w := range b.words {
+		n += bits.OnesCount64(w & o.words[i])
+	}
+	return n
+}
+
+// Reset removes all elements.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Slice appends the elements of the set to dst in increasing order and
+// returns the extended slice.
+func (b *Bitset) Slice(dst []uint32) []uint32 {
+	for wi, w := range b.words {
+		base := uint32(wi * 64)
+		for w != 0 {
+			dst = append(dst, base+uint32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
+}

@@ -1,0 +1,107 @@
+package mining
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/intset"
+)
+
+// BrutePattern is a closed frequent pattern found by the reference miner.
+type BrutePattern struct {
+	Items   []dataset.Item
+	Support int
+	Tids    []uint32
+}
+
+// BruteForceClosed enumerates every closed frequent pattern by exhaustive
+// search: all frequent itemsets are generated, grouped by their record
+// sets, and the maximal itemset of each group (the union of the group,
+// which is the closure) is emitted. Exponential in the number of items —
+// for tests on small datasets only.
+func BruteForceClosed(enc *dataset.Encoded, minSup int) []BrutePattern {
+	numItems := enc.Enc.NumItems()
+	var frequent []dataset.Item
+	for i := 0; i < numItems; i++ {
+		if len(enc.Tids[i]) >= minSup {
+			frequent = append(frequent, dataset.Item(i))
+		}
+	}
+
+	// Group frequent itemsets by tid-list signature. The closure of a
+	// record set T is the union of all itemsets whose records are exactly
+	// T; equivalently, all items i with tids(i) ⊇ T.
+	type group struct {
+		tids []uint32
+	}
+	groups := make(map[string]*group)
+	var rec func(start int, items []dataset.Item, tids []uint32)
+	key := func(tids []uint32) string {
+		b := make([]byte, 0, 4*len(tids))
+		for _, t := range tids {
+			b = append(b, byte(t), byte(t>>8), byte(t>>16), byte(t>>24))
+		}
+		return string(b)
+	}
+	all := make([]uint32, enc.NumRecords)
+	for r := range all {
+		all[r] = uint32(r)
+	}
+	rec = func(start int, items []dataset.Item, tids []uint32) {
+		if len(items) > 0 {
+			k := key(tids)
+			if _, ok := groups[k]; !ok {
+				cp := make([]uint32, len(tids))
+				copy(cp, tids)
+				groups[k] = &group{tids: cp}
+			}
+		}
+		for i := start; i < len(frequent); i++ {
+			it := frequent[i]
+			nt := intset.Intersect(tids, enc.Tids[it])
+			if len(nt) < minSup {
+				continue
+			}
+			rec(i+1, append(items, it), nt)
+		}
+	}
+	rec(0, nil, all)
+
+	// Also the empty pattern's closure, if non-trivial: items covering all
+	// records.
+	var rootClosure []dataset.Item
+	for _, it := range frequent {
+		if len(enc.Tids[it]) == enc.NumRecords {
+			rootClosure = append(rootClosure, it)
+		}
+	}
+	if len(rootClosure) > 0 {
+		k := key(all)
+		if _, ok := groups[k]; !ok {
+			groups[k] = &group{tids: all}
+		}
+	}
+
+	out := make([]BrutePattern, 0, len(groups))
+	for _, g := range groups {
+		// Closure = all frequent items whose tid-list contains g.tids.
+		var closure []dataset.Item
+		for _, it := range frequent {
+			if len(enc.Tids[it]) >= len(g.tids) && intset.Subset(g.tids, enc.Tids[it]) {
+				closure = append(closure, it)
+			}
+		}
+		out = append(out, BrutePattern{Items: closure, Support: len(g.tids), Tids: g.tids})
+	}
+	sort.Slice(out, func(a, b int) bool { return lessItems(out[a].Items, out[b].Items) })
+	return out
+}
+
+func lessItems(a, b []dataset.Item) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

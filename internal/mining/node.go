@@ -1,0 +1,98 @@
+// Package mining implements closed frequent pattern mining over the
+// vertical (item → tid-list) dataset representation, following §3 and
+// §4.2.2 of the paper: patterns are explored depth-first in a
+// set-enumeration tree, only closed patterns are kept (one representative
+// per distinct record set), and a child node may store a Diffset — the ids
+// its parent has and it lacks — instead of its full tid-list when the
+// child retains more than half of the parent's records.
+//
+// The miner produces a Tree whose nodes carry enough information for the
+// permutation engine to recompute class-conditional supports under any
+// relabelling without re-mining (the paper's "mine association rules only
+// once" optimisation, §4.2.1).
+package mining
+
+import (
+	"repro/internal/dataset"
+)
+
+// Node is one closed frequent pattern in the set-enumeration tree.
+//
+// Exactly one of Tids and Diff is non-nil (except for the root, which
+// always carries Tids): Tids is the full sorted record id list of the
+// pattern; Diff is Parent's tid-list minus this node's (§4.2.2), stored
+// when the pattern keeps more than half of its parent's records.
+type Node struct {
+	// Closure is the closed pattern itself: sorted item ids.
+	Closure []dataset.Item
+	// Support = |T(X)|, the pattern's coverage when used as a rule LHS.
+	Support int
+	// Parent is the DFS parent in the set-enumeration tree (nil for root).
+	Parent *Node
+	// Tids is the full record id list, or nil if Diff is stored.
+	Tids []uint32
+	// Diff = Parent tid-list \ this tid-list, or nil if Tids is stored.
+	Diff []uint32
+	// ClassCounts[c] = number of records in T(X) with class c, under the
+	// original (unpermuted) labels.
+	ClassCounts []int32
+	// Index is the position of this node in Tree.Nodes (DFS pre-order).
+	Index int
+	// Depth is the node's depth in the tree (root = 0).
+	Depth int
+}
+
+// HasDiff reports whether the node stores a Diffset instead of a tid-list.
+func (n *Node) HasDiff() bool { return n.Tids == nil }
+
+// MaterializeTids returns the node's full tid-list, reconstructing it from
+// the parent chain if the node stores a Diffset. The returned slice must
+// not be modified; it may be freshly allocated or shared with the node.
+func (n *Node) MaterializeTids() []uint32 {
+	if n.Tids != nil {
+		return n.Tids
+	}
+	parent := n.Parent.MaterializeTids()
+	out := make([]uint32, 0, len(parent)-len(n.Diff))
+	i := 0
+	for _, t := range parent {
+		if i < len(n.Diff) && n.Diff[i] == t {
+			i++
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Tree is the output of the closed miner: all closed frequent patterns in
+// DFS pre-order (so every node appears after its parent), rooted at the
+// closure of the empty pattern.
+type Tree struct {
+	Enc  *dataset.Encoded
+	Root *Node
+	// Nodes lists every node including the root, in DFS pre-order.
+	Nodes []*Node
+	// MinSup is the threshold the tree was mined with.
+	MinSup int
+}
+
+// NumPatterns returns the number of closed frequent patterns, excluding
+// the root when the root's closure is empty (the empty pattern is not a
+// rule LHS).
+func (t *Tree) NumPatterns() int {
+	n := len(t.Nodes)
+	if len(t.Root.Closure) == 0 {
+		n--
+	}
+	return n
+}
+
+// CountClasses returns the per-class record counts of tids under labels.
+func CountClasses(tids []uint32, labels []int32, numClasses int) []int32 {
+	counts := make([]int32, numClasses)
+	for _, t := range tids {
+		counts[labels[t]]++
+	}
+	return counts
+}

@@ -1,0 +1,74 @@
+package permute
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mining"
+	"repro/internal/synth"
+)
+
+// TestEngineThreeClasses checks the engine against the naive oracle when
+// every pattern generates m rules (m > 2 classes, §3).
+func TestEngineThreeClasses(t *testing.T) {
+	p := synth.PaperDefaults()
+	p.Classes = 3
+	p.N = 300
+	p.Attrs = 7
+	p.Seed = 55
+	res, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := dataset.Encode(res.Data)
+	tree, err := mining.MineClosed(enc, mining.Options{MinSup: 20, StoreDiffsets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := mining.GenerateRules(tree, mining.RuleOptions{Policy: mining.PaperPolicy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3*tree.NumPatterns() {
+		t.Fatalf("%d rules for %d patterns; want 3 per pattern", len(rules), tree.NumPatterns())
+	}
+
+	const numPerms = 15
+	const seed = 77
+	e, err := NewEngine(tree, rules, Config{NumPerms: numPerms, Seed: seed, Opt: OptStaticBuffer, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.MinP()
+
+	// Naive recomputation.
+	hyper := mining.NewHypergeoms(enc)
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	shuffled := make([]int32, enc.NumRecords)
+	copy(shuffled, enc.Labels)
+	tidsOf := make([][]uint32, len(tree.Nodes))
+	for i, node := range tree.Nodes {
+		tidsOf[i] = node.MaterializeTids()
+	}
+	for j := 0; j < numPerms; j++ {
+		rng.Shuffle(enc.NumRecords, func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+		minP := 1.0
+		for ri := range rules {
+			r := &rules[ri]
+			k := 0
+			for _, tt := range tidsOf[r.Node.Index] {
+				if shuffled[tt] == r.Class {
+					k++
+				}
+			}
+			if pv := hyper[r.Class].FisherTwoTailed(k, r.Coverage); pv < minP {
+				minP = pv
+			}
+		}
+		if math.Abs(got[j]-minP) > 1e-9*minP+1e-300 {
+			t.Fatalf("perm %d: engine minP %g != naive %g", j, got[j], minP)
+		}
+	}
+}

@@ -1,0 +1,489 @@
+// Package permute implements the permutation-based multiple testing
+// machinery of §4.2: class labels are randomly shuffled N times, and the
+// p-values of all mined rules are recomputed on every permutation to
+// approximate the null distribution. The paper's three cost reductions are
+// all implemented and individually switchable (Fig 4):
+//
+//   - mine once (§4.2.1): patterns and tid-lists never change across
+//     permutations, only the class labels do, so the set-enumeration tree is
+//     mined a single time and supports are recounted per permutation;
+//   - Diffsets (§4.2.2): a node that keeps more than half of its parent's
+//     records stores only the difference, and its per-permutation class
+//     counts are derived from the parent's by subtracting the difference;
+//   - p-value buffering (§4.2.3): per-coverage buffers of all attainable
+//     Fisher p-values, served from a byte-budgeted static buffer plus a
+//     one-slot dynamic buffer, shared across rules and permutations.
+package permute
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/mining"
+	"repro/internal/stats"
+)
+
+// OptLevel selects which of the paper's optimisations are active,
+// mirroring the four configurations of Fig 4. Mine-once is always on (the
+// alternative — re-mining per permutation — is not a configuration the
+// paper measures; its Fig 4 baseline "no optimization" already mines once).
+type OptLevel int
+
+const (
+	// OptNone: full tid-lists, Fisher p-values computed from scratch at
+	// every (rule, permutation) evaluation.
+	OptNone OptLevel = iota
+	// OptDynamicBuffer: full tid-lists; p-values served from the one-slot
+	// dynamic buffer.
+	OptDynamicBuffer
+	// OptDiffsets: Diffsets storage plus the dynamic buffer.
+	OptDiffsets
+	// OptStaticBuffer: Diffsets plus a static buffer (StaticBudget bytes)
+	// in front of the dynamic buffer.
+	OptStaticBuffer
+)
+
+// String returns the Fig 4 series label of the optimisation level.
+func (o OptLevel) String() string {
+	switch o {
+	case OptNone:
+		return "no optimization"
+	case OptDynamicBuffer:
+		return "dynamic buf"
+	case OptDiffsets:
+		return "Diffsets+dynamic buf"
+	case OptStaticBuffer:
+		return "16M static buf+Diffsets+dynamic buf"
+	default:
+		return fmt.Sprintf("OptLevel(%d)", int(o))
+	}
+}
+
+// WantDiffsets reports whether trees consumed under this level should be
+// mined with Diffset storage.
+func (o OptLevel) WantDiffsets() bool { return o >= OptDiffsets }
+
+// Config configures a permutation run.
+type Config struct {
+	// NumPerms is N, the number of label permutations (the paper uses
+	// 1000).
+	NumPerms int
+	// Seed drives the label shuffles; equal seeds give identical
+	// permutations.
+	Seed uint64
+	// Opt selects the optimisation level (default OptStaticBuffer).
+	Opt OptLevel
+	// StaticBudget is the static buffer size in bytes under
+	// OptStaticBuffer (default 16 MB, the paper's value).
+	StaticBudget int
+	// Workers caps the number of goroutines (default GOMAXPROCS). Each
+	// worker processes a disjoint block of permutations with its own
+	// buffer pool, so results are deterministic regardless of Workers.
+	Workers int
+	// Test selects the statistical test; it must match the test used to
+	// compute the rules' original p-values. TestFisher uses the buffer
+	// machinery selected by Opt; TestChiSquare is O(1) per evaluation and
+	// ignores Opt's buffering; TestMidP recomputes per evaluation
+	// (expensive, extension only).
+	Test mining.TestKind
+}
+
+func (c Config) withDefaults() Config {
+	if c.StaticBudget == 0 {
+		c.StaticBudget = 16 << 20
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Engine evaluates rule p-values across permutations of the class labels.
+type Engine struct {
+	tree  *mining.Tree
+	rules []mining.Rule
+	cfg   Config
+
+	n          int
+	numClasses int
+	// permLabels is the transposed permutation label matrix:
+	// permLabels[r*NumPerms + j] is record r's class under permutation j.
+	permLabels []int8
+	// rulesByNode[i] lists the indices (into rules) of the rules whose LHS
+	// is tree node i.
+	rulesByNode [][]int32
+	children    [][]int32
+	hypergeoms  []*stats.Hypergeom
+}
+
+// NewEngine prepares a permutation run over the given mined tree and rule
+// set. The rules must have been generated from the same tree. The label
+// permutation matrix (NumRecords × NumPerms bytes) is materialised here.
+func NewEngine(tree *mining.Tree, rules []mining.Rule, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumPerms < 1 {
+		return nil, fmt.Errorf("permute: NumPerms must be >= 1, got %d", cfg.NumPerms)
+	}
+	enc := tree.Enc
+	if enc.NumClasses > 127 {
+		return nil, fmt.Errorf("permute: %d classes exceed the int8 label matrix", enc.NumClasses)
+	}
+	e := &Engine{
+		tree:       tree,
+		rules:      rules,
+		cfg:        cfg,
+		n:          enc.NumRecords,
+		numClasses: enc.NumClasses,
+		hypergeoms: mining.NewHypergeoms(enc),
+	}
+
+	// Permutation label matrix, transposed for cache-friendly access when
+	// iterating a tid-list across a block of permutations.
+	e.permLabels = make([]int8, e.n*cfg.NumPerms)
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x9e3779b97f4a7c15))
+	shuffled := make([]int32, e.n)
+	copy(shuffled, enc.Labels)
+	for j := 0; j < cfg.NumPerms; j++ {
+		rng.Shuffle(e.n, func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+		for r := 0; r < e.n; r++ {
+			e.permLabels[r*cfg.NumPerms+j] = int8(shuffled[r])
+		}
+	}
+
+	e.rulesByNode = make([][]int32, len(tree.Nodes))
+	for ri := range rules {
+		idx := rules[ri].Node.Index
+		e.rulesByNode[idx] = append(e.rulesByNode[idx], int32(ri))
+	}
+	e.children = make([][]int32, len(tree.Nodes))
+	for _, node := range tree.Nodes {
+		if node.Parent != nil {
+			e.children[node.Parent.Index] = append(e.children[node.Parent.Index], int32(node.Index))
+		}
+	}
+	return e, nil
+}
+
+// NumPerms returns the configured permutation count.
+func (e *Engine) NumPerms() int { return e.cfg.NumPerms }
+
+// visitor receives the p-values of one rule across a block of
+// permutations: ps[j] is the rule's p-value on permutation perm0+j.
+// Visitors are called from worker goroutines; a visitor instance is only
+// used by one worker at a time for a given block.
+type visitor interface {
+	visit(ruleIdx int, perm0 int, ps []float64)
+}
+
+// run walks the tree once per worker block, computing per-permutation
+// class counts bottom-up and handing per-rule p-value slices to v's
+// instances. mkVisitor is called once per worker; merge is called with
+// each worker's visitor after all blocks finish.
+func (e *Engine) run(mkVisitor func() visitor, merge func(visitor)) {
+	// Split permutations into one contiguous block per worker.
+	workers := e.cfg.Workers
+	if workers > e.cfg.NumPerms {
+		workers = e.cfg.NumPerms
+	}
+	type block struct{ lo, hi int }
+	blocks := make([]block, 0, workers)
+	per := e.cfg.NumPerms / workers
+	extra := e.cfg.NumPerms % workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + per
+		if w < extra {
+			hi++
+		}
+		blocks = append(blocks, block{lo, hi})
+		lo = hi
+	}
+
+	visitors := make([]visitor, workers)
+	var wg sync.WaitGroup
+	for w := range blocks {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			visitors[w] = mkVisitor()
+			e.runBlock(blocks[w].lo, blocks[w].hi, visitors[w])
+		}(w)
+	}
+	wg.Wait()
+	for _, v := range visitors {
+		merge(v)
+	}
+}
+
+// runBlock processes permutations [perm0, perm1) in one goroutine.
+func (e *Engine) runBlock(perm0, perm1 int, v visitor) {
+	blockLen := perm1 - perm0
+	w := &walker{
+		e:        e,
+		perm0:    perm0,
+		blockLen: blockLen,
+		v:        v,
+		ps:       make([]float64, blockLen),
+	}
+	if e.cfg.Test == mining.TestFisher {
+		switch e.cfg.Opt {
+		case OptNone:
+			// Direct Fisher computation, no buffers.
+		case OptDynamicBuffer, OptDiffsets:
+			w.pools = e.newPools(0) // static disabled: dynamic slot only
+		case OptStaticBuffer:
+			w.pools = e.newPools(e.cfg.StaticBudget)
+		}
+	}
+
+	root := e.tree.Root
+	counts := w.countsFromTids(root.Tids)
+	w.node(root, counts)
+	w.release(counts)
+}
+
+// newPools builds one buffer pool per class; budget 0 disables the static
+// buffer (dynamic-slot-only behaviour).
+func (e *Engine) newPools(budget int) []*stats.BufferPool {
+	pools := make([]*stats.BufferPool, e.numClasses)
+	for c := range pools {
+		maxSup := e.tree.MinSup - 1 // static disabled
+		if budget > 0 {
+			maxSup = stats.MaxSupForBudget(e.hypergeoms[c], e.tree.MinSup, budget/e.numClasses)
+		}
+		pools[c] = stats.NewBufferPool(e.hypergeoms[c], e.tree.MinSup, maxSup)
+	}
+	return pools
+}
+
+// walker carries per-worker DFS state.
+type walker struct {
+	e        *Engine
+	perm0    int
+	blockLen int
+	v        visitor
+	pools    []*stats.BufferPool // nil under OptNone
+	ps       []float64           // scratch: one p per permutation in block
+	free     [][]int32           // recycled count buffers
+}
+
+// alloc returns a zeroed counts buffer of numClasses × blockLen.
+func (w *walker) alloc() []int32 {
+	if n := len(w.free); n > 0 {
+		buf := w.free[n-1]
+		w.free = w.free[:n-1]
+		for i := range buf {
+			buf[i] = 0
+		}
+		return buf
+	}
+	return make([]int32, w.e.numClasses*w.blockLen)
+}
+
+func (w *walker) release(buf []int32) { w.free = append(w.free, buf) }
+
+// countsFromTids counts, for every class c and permutation j in the block,
+// how many records of tids carry class c under permutation j.
+func (w *walker) countsFromTids(tids []uint32) []int32 {
+	counts := w.alloc()
+	N := w.e.cfg.NumPerms
+	bl := w.blockLen
+	for _, r := range tids {
+		row := w.e.permLabels[int(r)*N+w.perm0 : int(r)*N+w.perm0+bl]
+		for j, c := range row {
+			counts[int(c)*bl+j]++
+		}
+	}
+	return counts
+}
+
+// node emits the p-values of every rule anchored at nd and recurses into
+// its children. counts is nd's class-count matrix for the block; ownership
+// stays with the caller.
+func (w *walker) node(nd *mining.Node, counts []int32) {
+	bl := w.blockLen
+	for _, ri := range w.e.rulesByNode[nd.Index] {
+		rule := &w.e.rules[ri]
+		class := int(rule.Class)
+		cvg := rule.Coverage
+		ks := counts[class*bl : (class+1)*bl]
+		switch {
+		case w.pools != nil:
+			buf := w.pools[class].Buffer(cvg)
+			for j, k := range ks {
+				w.ps[j] = buf.PValue(int(k))
+			}
+		case w.e.cfg.Test == mining.TestChiSquare:
+			h := w.e.hypergeoms[class]
+			for j, k := range ks {
+				w.ps[j] = stats.ChiSquarePValue(stats.ChiSquare2x2(int(k), cvg, h.N(), h.NC()), 1)
+			}
+		case w.e.cfg.Test == mining.TestMidP:
+			h := w.e.hypergeoms[class]
+			for j, k := range ks {
+				w.ps[j] = h.FisherMidP(int(k), cvg)
+			}
+		default:
+			h := w.e.hypergeoms[class]
+			for j, k := range ks {
+				w.ps[j] = h.FisherTwoTailed(int(k), cvg)
+			}
+		}
+		w.v.visit(int(ri), w.perm0, w.ps[:bl])
+	}
+
+	for _, ci := range w.e.children[nd.Index] {
+		child := w.e.tree.Nodes[ci]
+		var childCounts []int32
+		if child.HasDiff() {
+			// counts(child) = counts(parent) - counts(diff), per class and
+			// permutation (§4.2.2 applied to the permutation matrix).
+			childCounts = w.alloc()
+			copy(childCounts, counts)
+			N := w.e.cfg.NumPerms
+			for _, r := range child.Diff {
+				row := w.e.permLabels[int(r)*N+w.perm0 : int(r)*N+w.perm0+bl]
+				for j, c := range row {
+					childCounts[int(c)*bl+j]--
+				}
+			}
+		} else {
+			childCounts = w.countsFromTids(child.Tids)
+		}
+		w.node(child, childCounts)
+		w.release(childCounts)
+	}
+}
+
+// MinP returns, for each permutation, the minimum p-value over all rules —
+// the Westfall–Young null distribution used to control FWER (§4.2).
+func (e *Engine) MinP() []float64 {
+	out := make([]float64, e.cfg.NumPerms)
+	for i := range out {
+		out[i] = 1
+	}
+	e.run(
+		func() visitor { return &minPVisitor{min: out} },
+		func(visitor) {}, // workers write disjoint permutation ranges in place
+	)
+	return out
+}
+
+type minPVisitor struct{ min []float64 }
+
+func (v *minPVisitor) visit(_ int, perm0 int, ps []float64) {
+	for j, p := range ps {
+		if p < v.min[perm0+j] {
+			v.min[perm0+j] = p
+		}
+	}
+}
+
+// CountLE returns, for each rule, how many of the N·Nt permutation
+// p-values are <= the rule's original p-value — the numerator of the
+// empirical adjusted p-value used to control FDR (§4.2):
+//
+//	p_adj(R) = |{p' in permutation p-values : p' <= p(R)}| / (N·Nt)
+func (e *Engine) CountLE() []int64 {
+	// Sort the original p-values once; every permutation p-value then
+	// contributes to a suffix of the sorted order via binary search.
+	orig := make([]float64, len(e.rules))
+	for i := range e.rules {
+		orig[i] = e.rules[i].P
+	}
+	order := make([]int, len(orig))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return orig[order[a]] < orig[order[b]] })
+	sorted := make([]float64, len(order))
+	for i, idx := range order {
+		sorted[i] = orig[idx]
+	}
+
+	var mu sync.Mutex
+	hist := make([]int64, len(sorted)+1)
+	e.run(
+		func() visitor {
+			return &countLEVisitor{sorted: sorted, hist: make([]int64, len(sorted)+1)}
+		},
+		func(v visitor) {
+			cv := v.(*countLEVisitor)
+			mu.Lock()
+			for i, h := range cv.hist {
+				hist[i] += h
+			}
+			mu.Unlock()
+		},
+	)
+
+	// counts in sorted order are prefix sums of the histogram; map back to
+	// rule order.
+	out := make([]int64, len(orig))
+	var acc int64
+	for i := range sorted {
+		acc += hist[i]
+		out[order[i]] = acc
+	}
+	return out
+}
+
+type countLEVisitor struct {
+	sorted []float64
+	hist   []int64
+}
+
+func (v *countLEVisitor) visit(_ int, _ int, ps []float64) {
+	for _, p := range ps {
+		// First index i with sorted[i] >= p: the permutation value p is
+		// <= every original p-value from i on.
+		i := sort.SearchFloat64s(v.sorted, p)
+		v.hist[i]++
+	}
+}
+
+// PerRuleLE returns for each rule the number of ITS OWN permutation
+// p-values <= its original p-value, divided by N — the per-rule empirical
+// p-value. Not used by the paper's FDR procedure (which pools across
+// rules) but exposed for diagnostics and tests.
+func (e *Engine) PerRuleLE() []float64 {
+	counts := make([]int64, len(e.rules))
+	var mu sync.Mutex
+	e.run(
+		func() visitor {
+			return &perRuleVisitor{orig: e.rules, counts: make([]int64, len(e.rules))}
+		},
+		func(v visitor) {
+			pv := v.(*perRuleVisitor)
+			mu.Lock()
+			for i, c := range pv.counts {
+				counts[i] += c
+			}
+			mu.Unlock()
+		},
+	)
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		out[i] = float64(c) / float64(e.cfg.NumPerms)
+	}
+	return out
+}
+
+type perRuleVisitor struct {
+	orig   []mining.Rule
+	counts []int64
+}
+
+func (v *perRuleVisitor) visit(ruleIdx int, _ int, ps []float64) {
+	p0 := v.orig[ruleIdx].P
+	var c int64
+	for _, p := range ps {
+		if p <= p0 {
+			c++
+		}
+	}
+	v.counts[ruleIdx] += c
+}

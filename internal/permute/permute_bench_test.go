@@ -1,0 +1,74 @@
+package permute
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mining"
+	"repro/internal/synth"
+)
+
+// Ablation: the §4.2 optimisation ladder measured at the engine level
+// (mining excluded), plus worker scaling. These isolate what Fig 4
+// measures end to end.
+
+func benchTree(b *testing.B, diffsets bool) (*mining.Tree, []mining.Rule) {
+	b.Helper()
+	p := synth.PaperDefaults()
+	p.N = 1000
+	p.Attrs = 15
+	p.Seed = 5
+	res, err := synth.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := dataset.Encode(res.Data)
+	tree, err := mining.MineClosed(enc, mining.Options{MinSup: 50, StoreDiffsets: diffsets})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rules, err := mining.GenerateRules(tree, mining.RuleOptions{Policy: mining.PaperPolicy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tree, rules
+}
+
+func benchMinP(b *testing.B, opt OptLevel, workers int) {
+	tree, rules := benchTree(b, opt.WantDiffsets())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := NewEngine(tree, rules, Config{
+			NumPerms: 50, Seed: 3, Opt: opt, Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkMinP = e.MinP()
+	}
+}
+
+func BenchmarkMinPNoOptimization(b *testing.B) { benchMinP(b, OptNone, 1) }
+func BenchmarkMinPDynamicBuffer(b *testing.B)  { benchMinP(b, OptDynamicBuffer, 1) }
+func BenchmarkMinPDiffsets(b *testing.B)       { benchMinP(b, OptDiffsets, 1) }
+func BenchmarkMinPStaticBuffer(b *testing.B)   { benchMinP(b, OptStaticBuffer, 1) }
+func BenchmarkMinPStaticParallel(b *testing.B) { benchMinP(b, OptStaticBuffer, 0) }
+
+func BenchmarkCountLE(b *testing.B) {
+	tree, rules := benchTree(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := NewEngine(tree, rules, Config{NumPerms: 50, Seed: 3, Opt: OptStaticBuffer})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkCounts = e.CountLE()
+	}
+}
+
+var (
+	sinkMinP   []float64
+	sinkCounts []int64
+)

@@ -1,0 +1,228 @@
+package permute
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mining"
+	"repro/internal/synth"
+)
+
+// buildCase mines a synthetic dataset and returns everything a permutation
+// test needs.
+func buildCase(t *testing.T, seed uint64, n, attrs, minSup int, diffsets bool) (*mining.Tree, []mining.Rule) {
+	t.Helper()
+	p := synth.PaperDefaults()
+	p.N = n
+	p.Attrs = attrs
+	p.Seed = seed
+	res, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := dataset.Encode(res.Data)
+	tree, err := mining.MineClosed(enc, mining.Options{MinSup: minSup, StoreDiffsets: diffsets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := mining.GenerateRules(tree, mining.RuleOptions{Policy: mining.PaperPolicy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, rules
+}
+
+// naiveMinP recomputes the per-permutation minimum p-value from scratch:
+// regenerate the same label shuffles, materialise every node's tid-list,
+// count supports, and call Fisher directly.
+func naiveMinP(tree *mining.Tree, rules []mining.Rule, numPerms int, seed uint64) []float64 {
+	enc := tree.Enc
+	n := enc.NumRecords
+	hyper := mining.NewHypergeoms(enc)
+
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	shuffled := make([]int32, n)
+	copy(shuffled, enc.Labels)
+
+	tidsOf := make([][]uint32, len(tree.Nodes))
+	for i, node := range tree.Nodes {
+		tidsOf[i] = node.MaterializeTids()
+	}
+
+	out := make([]float64, numPerms)
+	for j := 0; j < numPerms; j++ {
+		rng.Shuffle(n, func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+		minP := 1.0
+		for ri := range rules {
+			r := &rules[ri]
+			k := 0
+			for _, t := range tidsOf[r.Node.Index] {
+				if shuffled[t] == r.Class {
+					k++
+				}
+			}
+			p := hyper[r.Class].FisherTwoTailed(k, r.Coverage)
+			if p < minP {
+				minP = p
+			}
+		}
+		out[j] = minP
+	}
+	return out
+}
+
+func TestEngineMinPMatchesNaiveAllOptLevels(t *testing.T) {
+	const numPerms = 25
+	const seed = 99
+	for _, opt := range []OptLevel{OptNone, OptDynamicBuffer, OptDiffsets, OptStaticBuffer} {
+		tree, rules := buildCase(t, 5, 300, 8, 20, opt.WantDiffsets())
+		want := naiveMinP(tree, rules, numPerms, seed)
+		for _, workers := range []int{1, 4} {
+			e, err := NewEngine(tree, rules, Config{
+				NumPerms: numPerms, Seed: seed, Opt: opt, Workers: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := e.MinP()
+			for j := range want {
+				if math.Abs(got[j]-want[j]) > 1e-9*math.Max(got[j], want[j])+1e-300 {
+					t.Fatalf("opt=%v workers=%d perm %d: minP = %g, want %g",
+						opt, workers, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestEngineCountLEMatchesNaive(t *testing.T) {
+	const numPerms = 20
+	const seed = 7
+	tree, rules := buildCase(t, 11, 250, 7, 15, true)
+
+	// Naive pooled counts.
+	enc := tree.Enc
+	n := enc.NumRecords
+	hyper := mining.NewHypergeoms(enc)
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	shuffled := make([]int32, n)
+	copy(shuffled, enc.Labels)
+	tidsOf := make([][]uint32, len(tree.Nodes))
+	for i, node := range tree.Nodes {
+		tidsOf[i] = node.MaterializeTids()
+	}
+	var pool []float64
+	for j := 0; j < numPerms; j++ {
+		rng.Shuffle(n, func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+		for ri := range rules {
+			r := &rules[ri]
+			k := 0
+			for _, tt := range tidsOf[r.Node.Index] {
+				if shuffled[tt] == r.Class {
+					k++
+				}
+			}
+			pool = append(pool, hyper[r.Class].FisherTwoTailed(k, r.Coverage))
+		}
+	}
+	want := make([]int64, len(rules))
+	for ri := range rules {
+		for _, p := range pool {
+			if p <= rules[ri].P {
+				want[ri]++
+			}
+		}
+	}
+
+	for _, workers := range []int{1, 3} {
+		e, err := NewEngine(tree, rules, Config{
+			NumPerms: numPerms, Seed: seed, Opt: OptStaticBuffer, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := e.CountLE()
+		for ri := range rules {
+			// Tolerate off-by-small-count drift from float ties at the
+			// boundary: direct and buffered p-values agree to ~1e-12
+			// relative, so exact equality is expected in practice.
+			if got[ri] != want[ri] {
+				t.Fatalf("workers=%d rule %d: CountLE = %d, want %d", workers, ri, got[ri], want[ri])
+			}
+		}
+	}
+}
+
+func TestEngineDeterministicAcrossWorkerCounts(t *testing.T) {
+	tree, rules := buildCase(t, 21, 400, 10, 25, true)
+	var ref []float64
+	for _, workers := range []int{1, 2, 8} {
+		e, err := NewEngine(tree, rules, Config{NumPerms: 30, Seed: 3, Opt: OptStaticBuffer, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := e.MinP()
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for j := range ref {
+			if got[j] != ref[j] {
+				t.Fatalf("workers=%d: minP[%d] = %g differs from reference %g", workers, j, got[j], ref[j])
+			}
+		}
+	}
+}
+
+func TestEnginePerRuleLE(t *testing.T) {
+	tree, rules := buildCase(t, 31, 200, 6, 12, true)
+	e, err := NewEngine(tree, rules, Config{NumPerms: 40, Seed: 5, Opt: OptStaticBuffer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRule := e.PerRuleLE()
+	if len(perRule) != len(rules) {
+		t.Fatalf("PerRuleLE returned %d values for %d rules", len(perRule), len(rules))
+	}
+	for i, v := range perRule {
+		if v < 0 || v > 1 {
+			t.Errorf("rule %d: empirical p %g outside [0,1]", i, v)
+		}
+	}
+}
+
+func TestEngineMinPInUnitInterval(t *testing.T) {
+	tree, rules := buildCase(t, 41, 150, 5, 10, true)
+	e, _ := NewEngine(tree, rules, Config{NumPerms: 15, Seed: 1, Opt: OptDiffsets})
+	for j, p := range e.MinP() {
+		if p < 0 || p > 1 {
+			t.Errorf("perm %d: minP = %g outside [0,1]", j, p)
+		}
+	}
+}
+
+func TestEngineRejectsBadConfig(t *testing.T) {
+	tree, rules := buildCase(t, 51, 100, 4, 10, true)
+	if _, err := NewEngine(tree, rules, Config{NumPerms: 0}); err == nil {
+		t.Error("NumPerms=0 accepted")
+	}
+}
+
+func TestOptLevelStrings(t *testing.T) {
+	labels := map[OptLevel]string{
+		OptNone:          "no optimization",
+		OptDynamicBuffer: "dynamic buf",
+		OptDiffsets:      "Diffsets+dynamic buf",
+		OptStaticBuffer:  "16M static buf+Diffsets+dynamic buf",
+	}
+	for lvl, want := range labels {
+		if lvl.String() != want {
+			t.Errorf("OptLevel(%d).String() = %q, want %q", lvl, lvl.String(), want)
+		}
+	}
+	if !OptDiffsets.WantDiffsets() || OptDynamicBuffer.WantDiffsets() {
+		t.Error("WantDiffsets boundaries wrong")
+	}
+}

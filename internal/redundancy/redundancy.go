@@ -1,0 +1,126 @@
+// Package redundancy implements the reduction the paper proposes as
+// future work in §7: closed frequent patterns still carry near-duplicates
+// — a pattern X and a super-pattern X' whose supports are almost equal
+// test essentially the same hypothesis, so testing both both wastes
+// multiple-testing budget and splits the discovery between two rules.
+//
+// The reducer keeps one representative per near-duplicate chain: walking
+// the set-enumeration tree top-down, a node is folded into its nearest
+// kept ancestor when it retains at least a (1-epsilon) fraction of that
+// ancestor's records. Folding is transitive along tree paths, mirroring
+// how Diffsets already exploit parent/child tid-list similarity.
+//
+// Reducing the tested set shrinks N_t, which directly raises the power of
+// Bonferroni/BH (cut-offs scale with 1/N_t) and of the permutation
+// approach (fewer chances for a noise rule to produce the per-permutation
+// minimum) — the effect the paper anticipates.
+package redundancy
+
+import (
+	"fmt"
+
+	"repro/internal/mining"
+)
+
+// Reduction maps the full rule set to its representative subset.
+type Reduction struct {
+	// Keep[i] reports whether rule i survived the reduction.
+	Keep []bool
+	// Representative[i] is the index of the rule that represents rule i
+	// (itself, when kept).
+	Representative []int
+	// KeptRules lists the surviving rules in original order.
+	KeptRules []mining.Rule
+	// KeptIndex[k] is the original index of KeptRules[k].
+	KeptIndex []int
+}
+
+// NumKept returns the size of the representative set.
+func (r *Reduction) NumKept() int { return len(r.KeptRules) }
+
+// Reduce selects representative rules. epsilon is the relative support
+// tolerance: a node whose support is >= (1-epsilon)·(nearest kept
+// ancestor's support) is folded into that ancestor. epsilon = 0 keeps
+// everything (exact closedness already removed exact duplicates).
+//
+// Rules must have been generated from tree with one rule per pattern (the
+// two-class PaperPolicy); multi-rule-per-pattern sets fold per pattern.
+func Reduce(tree *mining.Tree, rules []mining.Rule, epsilon float64) (*Reduction, error) {
+	if epsilon < 0 || epsilon >= 1 {
+		return nil, fmt.Errorf("redundancy: epsilon %g outside [0,1)", epsilon)
+	}
+	// keeperOf[nodeIndex] = the tree node that represents it (following
+	// kept ancestors only).
+	keeperOf := make([]int, len(tree.Nodes))
+	for _, node := range tree.Nodes {
+		keeperOf[node.Index] = node.Index
+		if node.Parent == nil {
+			continue
+		}
+		anchor := keeperOf[node.Parent.Index]
+		anchorSup := tree.Nodes[anchor].Support
+		if float64(node.Support) >= (1-epsilon)*float64(anchorSup) {
+			keeperOf[node.Index] = anchor
+		}
+	}
+
+	// Rules of folded nodes map to the kept rule of the representative
+	// node with the same class (or the first rule of that node).
+	rulesByNode := make(map[int][]int)
+	for i := range rules {
+		idx := rules[i].Node.Index
+		rulesByNode[idx] = append(rulesByNode[idx], i)
+	}
+	repRule := func(nodeIdx int, class int32) int {
+		cands := rulesByNode[nodeIdx]
+		for _, ri := range cands {
+			if rules[ri].Class == class {
+				return ri
+			}
+		}
+		if len(cands) > 0 {
+			return cands[0]
+		}
+		return -1
+	}
+
+	red := &Reduction{
+		Keep:           make([]bool, len(rules)),
+		Representative: make([]int, len(rules)),
+	}
+	for i := range rules {
+		nodeIdx := rules[i].Node.Index
+		keeper := keeperOf[nodeIdx]
+		if keeper == nodeIdx {
+			red.Keep[i] = true
+			red.Representative[i] = i
+			continue
+		}
+		rep := repRule(keeper, rules[i].Class)
+		if rep < 0 {
+			// The representative node generated no rule (e.g. filtered by
+			// MinConf); keep the original rather than lose the test.
+			red.Keep[i] = true
+			red.Representative[i] = i
+			continue
+		}
+		red.Representative[i] = rep
+	}
+	for i := range rules {
+		if red.Keep[i] {
+			red.KeptIndex = append(red.KeptIndex, i)
+			red.KeptRules = append(red.KeptRules, rules[i])
+		}
+	}
+	return red, nil
+}
+
+// ExpandSignificant translates significant indices over KeptRules back to
+// original rule indices.
+func (r *Reduction) ExpandSignificant(significantKept []int) []int {
+	out := make([]int, 0, len(significantKept))
+	for _, k := range significantKept {
+		out = append(out, r.KeptIndex[k])
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package redundancy
+
+import (
+	"testing"
+
+	"repro/internal/correction"
+	"repro/internal/dataset"
+	"repro/internal/mining"
+	"repro/internal/synth"
+)
+
+func mineCase(t *testing.T, seed uint64, n, attrs, minSup int) (*mining.Tree, []mining.Rule) {
+	t.Helper()
+	p := synth.PaperDefaults()
+	p.N = n
+	p.Attrs = attrs
+	p.NumRules = 1
+	p.MinLen, p.MaxLen = 3, 3
+	p.MinCvg, p.MaxCvg = n/5, n/5
+	p.MinConf, p.MaxConf = 0.85, 0.85
+	p.Seed = seed
+	res, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := dataset.Encode(res.Data)
+	tree, err := mining.MineClosed(enc, mining.Options{MinSup: minSup, StoreDiffsets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := mining.GenerateRules(tree, mining.RuleOptions{Policy: mining.PaperPolicy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, rules
+}
+
+func TestReduceEpsilonZeroKeepsAll(t *testing.T) {
+	tree, rules := mineCase(t, 1, 600, 10, 40)
+	red, err := Reduce(tree, rules, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.NumKept() != len(rules) {
+		t.Fatalf("epsilon=0 kept %d of %d", red.NumKept(), len(rules))
+	}
+	for i := range rules {
+		if !red.Keep[i] || red.Representative[i] != i {
+			t.Fatal("epsilon=0 must keep every rule as its own representative")
+		}
+	}
+}
+
+func TestReduceShrinksMonotonically(t *testing.T) {
+	tree, rules := mineCase(t, 2, 800, 12, 40)
+	prev := len(rules) + 1
+	for _, eps := range []float64{0, 0.02, 0.05, 0.1, 0.25} {
+		red, err := Reduce(tree, rules, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if red.NumKept() > prev {
+			t.Fatalf("kept %d at eps=%g, more than %d at smaller eps", red.NumKept(), eps, prev)
+		}
+		prev = red.NumKept()
+	}
+	// A meaningful epsilon should actually remove something on this data.
+	red, _ := Reduce(tree, rules, 0.1)
+	if red.NumKept() == len(rules) {
+		t.Log("note: eps=0.1 removed nothing on this dataset")
+	}
+}
+
+func TestReduceRepresentativeProperties(t *testing.T) {
+	tree, rules := mineCase(t, 3, 700, 10, 35)
+	red, err := Reduce(tree, rules, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rules {
+		rep := red.Representative[i]
+		if !red.Keep[rep] {
+			t.Fatalf("rule %d's representative %d was itself folded", i, rep)
+		}
+		if red.Keep[i] && rep != i {
+			t.Fatalf("kept rule %d has foreign representative %d", i, rep)
+		}
+		if !red.Keep[i] {
+			// The representative's pattern is an ancestor: a sub-pattern
+			// with support within the tolerance.
+			ri, rr := &rules[i], &rules[rep]
+			if rr.Coverage < ri.Coverage {
+				t.Fatalf("representative has smaller coverage (%d < %d)", rr.Coverage, ri.Coverage)
+			}
+			if float64(ri.Coverage) < 0.9*float64(rr.Coverage)-1e-9 {
+				t.Fatalf("folded rule support %d below tolerance of representative %d",
+					ri.Coverage, rr.Coverage)
+			}
+		}
+	}
+	// KeptIndex/KeptRules consistency.
+	if len(red.KeptIndex) != len(red.KeptRules) {
+		t.Fatal("kept slices inconsistent")
+	}
+	for k, idx := range red.KeptIndex {
+		if red.KeptRules[k].Node != rules[idx].Node {
+			t.Fatal("KeptRules misaligned with KeptIndex")
+		}
+	}
+}
+
+func TestReduceImprovesBonferroniCutoff(t *testing.T) {
+	tree, rules := mineCase(t, 4, 1000, 14, 50)
+	red, err := Reduce(tree, rules, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.NumKept() == len(rules) {
+		t.Skip("no redundancy on this dataset")
+	}
+	psAll := make([]float64, len(rules))
+	for i := range rules {
+		psAll[i] = rules[i].P
+	}
+	psKept := make([]float64, red.NumKept())
+	for k, r := range red.KeptRules {
+		psKept[k] = r.P
+	}
+	full := correction.Bonferroni(psAll, len(psAll), 0.05)
+	reduced := correction.Bonferroni(psKept, len(psKept), 0.05)
+	if reduced.Cutoff <= full.Cutoff {
+		t.Errorf("reduced cutoff %g not looser than full %g", reduced.Cutoff, full.Cutoff)
+	}
+	// Round-trip of significant indices.
+	back := red.ExpandSignificant(reduced.Significant)
+	if len(back) != len(reduced.Significant) {
+		t.Fatal("ExpandSignificant changed cardinality")
+	}
+	for _, idx := range back {
+		if idx < 0 || idx >= len(rules) {
+			t.Fatalf("expanded index %d out of range", idx)
+		}
+	}
+}
+
+func TestReduceValidation(t *testing.T) {
+	tree, rules := mineCase(t, 5, 300, 6, 30)
+	for _, eps := range []float64{-0.1, 1, 1.5} {
+		if _, err := Reduce(tree, rules, eps); err == nil {
+			t.Errorf("epsilon %g accepted", eps)
+		}
+	}
+}

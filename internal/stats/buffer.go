@@ -1,0 +1,89 @@
+package stats
+
+import "math"
+
+// PBuffer is the per-coverage p-value buffer B_supp(X) of §4.2.3: for a
+// fixed dataset (n, nc) and a fixed coverage sx, it stores the two-tailed
+// Fisher p-value of every attainable support k ∈ [L, U], where
+// L = max(0, nc+sx-n) and U = min(nc, sx).
+//
+// The buffer is built in O(U-L+1) time by the paper's scheme: compute all
+// hypergeometric terms, then sum them two-ends-inward in ascending order of
+// H(k), storing the running sum back into the slot of the term just added.
+// Because the pmf is unimodal, the next-smallest unprocessed term is always
+// at one of the two ends of the unprocessed window.
+//
+// A PBuffer is immutable after construction and safe for concurrent use.
+type PBuffer struct {
+	Lo, Hi int       // attainable support bounds [L, U]
+	Cvg    int       // the coverage sx this buffer was built for
+	p      []float64 // p[k-Lo] = two-tailed p-value at support k
+}
+
+// Bytes returns the approximate memory footprint of the buffer, used by
+// BufferPool to enforce its byte budget.
+func (b *PBuffer) Bytes() int { return 8*len(b.p) + 48 }
+
+// PValue returns the two-tailed Fisher p-value for supp(R) = k. Values of
+// k outside [Lo, Hi] are impossible under the margins; they return 0 so
+// that an inconsistent caller fails loudly downstream rather than silently
+// passing significance filters with p = 1.
+func (b *PBuffer) PValue(k int) float64 {
+	if k < b.Lo || k > b.Hi {
+		return 0
+	}
+	return b.p[k-b.Lo]
+}
+
+// Size returns the number of attainable support values (U - L + 1).
+func (b *PBuffer) Size() int { return len(b.p) }
+
+// BuildPBuffer computes the p-value buffer for coverage sx.
+//
+// Ties are handled in groups: supports whose hypergeometric terms are equal
+// (within a relative tolerance) receive the same p-value — the running sum
+// after ALL tied terms are added — matching the definition
+// E = {k : H(k) <= H(obs)} exactly even when the distribution is symmetric.
+func (h *Hypergeom) BuildPBuffer(sx int) *PBuffer {
+	lo, hi := h.Bounds(sx)
+	m := hi - lo + 1
+	terms := make([]float64, m)
+	for k := lo; k <= hi; k++ {
+		terms[k-lo] = math.Exp(h.LogPMF(k, sx))
+	}
+	p := make([]float64, m)
+
+	// Two pointers walk in from the ends; at each step consume the smaller
+	// end term. Ties (within tieEps relative tolerance) are consumed as a
+	// group before any p-value in the group is finalised.
+	left, right := 0, m-1
+	sum := 0.0
+	for left <= right {
+		// Collect the next tie group: all end terms equal to the current
+		// minimum end term.
+		minTerm := terms[left]
+		if terms[right] < minTerm {
+			minTerm = terms[right]
+		}
+		hiBound := minTerm * (1 + tieEps)
+		group := make([]int, 0, 2)
+		for left <= right && terms[left] <= hiBound {
+			group = append(group, left)
+			sum += terms[left]
+			left++
+		}
+		for right >= left && terms[right] <= hiBound {
+			group = append(group, right)
+			sum += terms[right]
+			right--
+		}
+		v := sum
+		if v > 1 {
+			v = 1
+		}
+		for _, idx := range group {
+			p[idx] = v
+		}
+	}
+	return &PBuffer{Lo: lo, Hi: hi, Cvg: sx, p: p}
+}

@@ -1,0 +1,102 @@
+package stats
+
+import "math"
+
+// ChiSquare2x2 returns the Pearson χ² statistic of the 2×2 contingency
+// table induced by a rule R : X ⇒ c with support k, coverage sx, on a
+// dataset of n records with nc in class c:
+//
+//	            c        ¬c
+//	 X       k        sx-k
+//	¬X    nc-k   n-nc-sx+k
+//
+// This is the statistic Brin et al. (SIGMOD 1997) use to assess rules; the
+// paper adopts Fisher's exact test instead but cites χ² as the common
+// alternative (§2.2). Degenerate margins (empty row or column) yield 0.
+func ChiSquare2x2(k, sx, n, nc int) float64 {
+	a := float64(k)
+	b := float64(sx - k)
+	c := float64(nc - k)
+	d := float64(n - nc - sx + k)
+	rowX, rowNX := a+b, c+d
+	colC, colNC := a+c, b+d
+	if rowX == 0 || rowNX == 0 || colC == 0 || colNC == 0 {
+		return 0
+	}
+	det := a*d - b*c
+	return float64(n) * det * det / (rowX * rowNX * colC * colNC)
+}
+
+// ChiSquarePValue returns the upper-tail probability P[χ²_df >= x], the
+// p-value of a chi-square statistic x with df degrees of freedom.
+// A 2×2 table has df = 1.
+func ChiSquarePValue(x float64, df int) float64 {
+	if x <= 0 {
+		return 1
+	}
+	if df == 1 {
+		// χ²₁ is the square of a standard normal: P[χ²₁ >= x] = erfc(√(x/2)).
+		return math.Erfc(math.Sqrt(x / 2))
+	}
+	return gammaQ(float64(df)/2, x/2)
+}
+
+// gammaQ returns the regularised upper incomplete gamma function Q(a, x) =
+// Γ(a, x)/Γ(a), computed by the series expansion for x < a+1 and by the
+// Lentz continued fraction otherwise (Numerical Recipes §6.2).
+func gammaQ(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - gammaPSeries(a, x)
+	}
+	return gammaQContinuedFraction(a, x)
+}
+
+func gammaPSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaQContinuedFraction(a, x float64) float64 {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

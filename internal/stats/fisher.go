@@ -1,0 +1,73 @@
+package stats
+
+import "math"
+
+// tieEps is the relative tolerance used when deciding whether a
+// hypergeometric term is "equally extreme" as the observed one. Without a
+// tolerance, terms that are mathematically equal (the distribution is
+// symmetric when nc = n/2) would be excluded or included at the mercy of
+// floating-point rounding. R's fisher.test uses a relative tolerance of
+// 1e-7 for the same reason; we are slightly stricter.
+const tieEps = 1e-9
+
+// FisherTwoTailed returns the two-tailed Fisher exact p-value of the rule
+// R : X ⇒ c with supp(R) = k and coverage supp(X) = sx (§2.2):
+//
+//	p(R) = Σ_{j ∈ E} H(j; n, nc, sx),   E = {j : H(j) <= H(k)}
+//
+// i.e. the total probability of all support values at most as likely as the
+// observed one. The result is clamped to [0, 1].
+//
+// The computation delegates to BuildPBuffer so that direct and buffered
+// p-values are BIT-IDENTICAL: permutation p-values land on the same
+// discrete grid as the original ones, and the correction procedures
+// compare them with <=, so even a 1-ulp difference between two summation
+// orders would flip tie decisions. One numeric path removes that hazard.
+func (h *Hypergeom) FisherTwoTailed(k, sx int) float64 {
+	lo, hi := h.Bounds(sx)
+	if k < lo || k > hi {
+		// Impossible observation under the margins; treat as most extreme.
+		return 0
+	}
+	return h.BuildPBuffer(sx).PValue(k)
+}
+
+// FisherOneTailed returns the one-tailed (enrichment) Fisher exact p-value
+// P[K >= k]. It is provided for callers that test directional hypotheses;
+// the paper itself uses the two-tailed form.
+func (h *Hypergeom) FisherOneTailed(k, sx int) float64 {
+	return h.UpperTail(k, sx)
+}
+
+// FisherMidP returns the mid-p variant of the two-tailed test: the observed
+// terms count half. Mid-p is less conservative than the standard exact test
+// and is included as an extension; the paper uses the standard form.
+func (h *Hypergeom) FisherMidP(k, sx int) float64 {
+	lo, hi := h.Bounds(sx)
+	if k < lo || k > hi {
+		return 0
+	}
+	if lo == hi {
+		return 0.5
+	}
+	obs := math.Exp(h.LogPMF(k, sx))
+	threshold := obs * (1 + tieEps)
+	tieLow := obs * (1 - tieEps)
+	full, ties := 0.0, 0.0
+	for j := lo; j <= hi; j++ {
+		t := math.Exp(h.LogPMF(j, sx))
+		if t > threshold {
+			continue
+		}
+		if t >= tieLow {
+			ties += t
+		} else {
+			full += t
+		}
+	}
+	p := full + ties/2
+	if p > 1 {
+		p = 1
+	}
+	return p
+}

@@ -1,0 +1,79 @@
+package stats
+
+import "testing"
+
+// FuzzFisherTwoTailed checks the core invariants of the test statistic on
+// arbitrary margins: p ∈ [0,1], observed term included (p >= pmf), buffer
+// agreement, and two-class symmetry p(k; nc) == p(sx-k; n-nc).
+func FuzzFisherTwoTailed(f *testing.F) {
+	f.Add(uint16(20), uint16(11), uint16(6), uint16(3))
+	f.Add(uint16(1000), uint16(500), uint16(100), uint16(50))
+	f.Add(uint16(2), uint16(0), uint16(2), uint16(0))
+	f.Add(uint16(500), uint16(499), uint16(500), uint16(499))
+	f.Fuzz(func(t *testing.T, n16, nc16, sx16, k16 uint16) {
+		n := int(n16)%800 + 1
+		nc := int(nc16) % (n + 1)
+		sx := int(sx16) % (n + 1)
+		h := NewHypergeom(n, nc, nil)
+		lo, hi := h.Bounds(sx)
+		k := lo
+		if hi > lo {
+			k = lo + int(k16)%(hi-lo+1)
+		}
+
+		p := h.FisherTwoTailed(k, sx)
+		if p < 0 || p > 1 {
+			t.Fatalf("p = %g outside [0,1] (n=%d nc=%d sx=%d k=%d)", p, n, nc, sx, k)
+		}
+		if pmf := h.PMF(k, sx); p < pmf*(1-1e-9) {
+			t.Fatalf("p = %g below pmf %g: observed case excluded", p, pmf)
+		}
+		if b := h.BuildPBuffer(sx); b.PValue(k) != p {
+			t.Fatalf("buffer p %g != direct %g", b.PValue(k), p)
+		}
+		// Two-class symmetry: testing X ⇒ c vs X ⇒ ¬c.
+		h2 := NewHypergeom(n, n-nc, nil)
+		p2 := h2.FisherTwoTailed(sx-k, sx)
+		rel := p - p2
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 1e-9*(p+1e-300) && rel > 1e-12 {
+			t.Fatalf("class symmetry broken: p=%g vs complementary %g", p, p2)
+		}
+	})
+}
+
+// FuzzChiSquare checks the χ² statistic is non-negative and its p-value
+// stays in [0,1] for any margins.
+func FuzzChiSquare(f *testing.F) {
+	f.Add(uint16(100), uint16(40), uint16(30), uint16(10))
+	f.Fuzz(func(t *testing.T, n16, nc16, sx16, k16 uint16) {
+		n := int(n16)%1000 + 1
+		nc := int(nc16) % (n + 1)
+		sx := int(sx16) % (n + 1)
+		lo := nc + sx - n
+		if lo < 0 {
+			lo = 0
+		}
+		hi := nc
+		if sx < hi {
+			hi = sx
+		}
+		if hi < lo {
+			return
+		}
+		k := lo
+		if hi > lo {
+			k = lo + int(k16)%(hi-lo+1)
+		}
+		x := ChiSquare2x2(k, sx, n, nc)
+		if x < 0 {
+			t.Fatalf("chi2 = %g negative", x)
+		}
+		p := ChiSquarePValue(x, 1)
+		if p < 0 || p > 1 {
+			t.Fatalf("chi2 p = %g outside [0,1]", p)
+		}
+	})
+}

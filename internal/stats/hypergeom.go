@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Hypergeom evaluates the hypergeometric distribution
+//
+//	H(k; n, nc, sx) = C(nc, k) · C(n-nc, sx-k) / C(n, sx)
+//
+// which, in the paper's notation (§2.2), is the probability that a rule
+// R : X ⇒ c with coverage supp(X) = sx has support supp(R) = k under the
+// null hypothesis that X and c are independent, given n records of which
+// nc carry class c.
+//
+// Hypergeom is immutable after construction and safe for concurrent use.
+type Hypergeom struct {
+	n, nc int
+	lf    *LogFact
+}
+
+// NewHypergeom returns a hypergeometric evaluator for a dataset with n
+// records, nc of which carry the class of interest. The log-factorial
+// table lf must cover at least n; pass nil to have one built internally.
+func NewHypergeom(n, nc int, lf *LogFact) *Hypergeom {
+	if n < 0 || nc < 0 || nc > n {
+		panic(fmt.Sprintf("stats: NewHypergeom(%d, %d): need 0 <= nc <= n", n, nc))
+	}
+	if lf == nil {
+		lf = NewLogFact(n)
+	}
+	if lf.N() < n {
+		panic(fmt.Sprintf("stats: NewHypergeom: log-factorial table covers %d < n=%d", lf.N(), n))
+	}
+	return &Hypergeom{n: n, nc: nc, lf: lf}
+}
+
+// N returns the number of records.
+func (h *Hypergeom) N() int { return h.n }
+
+// NC returns the number of records carrying the class of interest.
+func (h *Hypergeom) NC() int { return h.nc }
+
+// Bounds returns the support range [L, U] attainable by a rule with
+// coverage sx: L = max(0, nc+sx-n), U = min(nc, sx).
+func (h *Hypergeom) Bounds(sx int) (lo, hi int) {
+	lo = h.nc + sx - h.n
+	if lo < 0 {
+		lo = 0
+	}
+	hi = h.nc
+	if sx < hi {
+		hi = sx
+	}
+	return lo, hi
+}
+
+// LogPMF returns ln H(k; n, nc, sx). k must lie within Bounds(sx) and
+// 0 <= sx <= n must hold.
+func (h *Hypergeom) LogPMF(k, sx int) float64 {
+	return h.lf.LogChoose(h.nc, k) +
+		h.lf.LogChoose(h.n-h.nc, sx-k) -
+		h.lf.LogChoose(h.n, sx)
+}
+
+// PMF returns H(k; n, nc, sx), or 0 for k outside Bounds(sx).
+func (h *Hypergeom) PMF(k, sx int) float64 {
+	lo, hi := h.Bounds(sx)
+	if k < lo || k > hi {
+		return 0
+	}
+	return math.Exp(h.LogPMF(k, sx))
+}
+
+// UpperTail returns P[K >= k] = Σ_{j >= k} H(j; n, nc, sx), the one-tailed
+// (enrichment) Fisher p-value. Values of k below the lower bound give 1.
+func (h *Hypergeom) UpperTail(k, sx int) float64 {
+	lo, hi := h.Bounds(sx)
+	if k <= lo {
+		return 1
+	}
+	if k > hi {
+		return 0
+	}
+	// Sum from the extreme end inward so that small terms accumulate first.
+	s := 0.0
+	for j := hi; j >= k; j-- {
+		s += math.Exp(h.LogPMF(j, sx))
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// LowerTail returns P[K <= k] = Σ_{j <= k} H(j; n, nc, sx), the one-tailed
+// depletion p-value.
+func (h *Hypergeom) LowerTail(k, sx int) float64 {
+	lo, hi := h.Bounds(sx)
+	if k >= hi {
+		return 1
+	}
+	if k < lo {
+		return 0
+	}
+	s := 0.0
+	for j := lo; j <= k; j++ {
+		s += math.Exp(h.LogPMF(j, sx))
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// Mean returns E[K] = sx · nc / n for coverage sx.
+func (h *Hypergeom) Mean(sx int) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(sx) * float64(h.nc) / float64(h.n)
+}

@@ -1,0 +1,112 @@
+package stats
+
+import "fmt"
+
+// BufferPool implements the static + dynamic p-value buffer organisation of
+// §4.2.3. The static buffer caches the p-value buffers of every coverage in
+// [minSup, maxSup], where maxSup is derived from a byte budget (the paper
+// uses 16 MB). Coverages above maxSup share a single dynamic slot that
+// always holds the buffer of the last such coverage seen (the variable
+// sup_d in the paper).
+//
+// A BufferPool is NOT safe for concurrent use: the permutation engine gives
+// each worker its own pool (sharing the immutable Hypergeom and LogFact
+// underneath), which mirrors the paper's single-threaded design while
+// letting the reproduction scale out.
+type BufferPool struct {
+	H      *Hypergeom
+	minSup int
+	maxSup int
+
+	static []*PBuffer // static[cvg-minSup] for cvg in [minSup, maxSup]
+	dyn    *PBuffer   // dynamic one-slot buffer
+	supd   int        // coverage currently held by dyn; 0 = none
+
+	// Counters for instrumentation (Fig 4 analysis and tests).
+	StaticHits, StaticBuilds int
+	DynHits, DynBuilds       int
+}
+
+// NewBufferPool returns a pool for the dataset described by h, caching
+// coverages in [minSup, maxSup] statically. Use MaxSupForBudget to derive
+// maxSup from a byte budget. maxSup < minSup disables the static buffer
+// entirely (every lookup goes through the dynamic slot), which is the
+// "dynamic buffer" configuration of Fig 4.
+func NewBufferPool(h *Hypergeom, minSup, maxSup int) *BufferPool {
+	if minSup < 1 {
+		minSup = 1
+	}
+	p := &BufferPool{H: h, minSup: minSup, maxSup: maxSup}
+	if maxSup >= minSup {
+		p.static = make([]*PBuffer, maxSup-minSup+1)
+	}
+	return p
+}
+
+// MaxSupForBudget returns the largest maxSup such that the static buffers
+// for all coverages in [minSup, maxSup] fit within budgetBytes. The buffer
+// for coverage s holds U-L+1 float64 values with U = min(nc, s) and
+// L = max(0, nc+s-n). Returns minSup-1 (static buffer disabled) when not
+// even the first buffer fits.
+func MaxSupForBudget(h *Hypergeom, minSup int, budgetBytes int) int {
+	if minSup < 1 {
+		minSup = 1
+	}
+	total := 0
+	s := minSup
+	for s <= h.n {
+		lo, hi := h.Bounds(s)
+		total += 8*(hi-lo+1) + 48
+		if total > budgetBytes {
+			return s - 1
+		}
+		s++
+	}
+	return h.n
+}
+
+// PValue returns the two-tailed Fisher p-value of a rule with coverage cvg
+// and support k, routing the lookup through the static or dynamic buffer
+// exactly as §4.2.3 prescribes.
+func (p *BufferPool) PValue(cvg, k int) float64 {
+	return p.Buffer(cvg).PValue(k)
+}
+
+// Buffer returns the p-value buffer for coverage cvg, building and caching
+// it if necessary. The returned buffer is only valid until the next call
+// when it comes from the dynamic slot.
+func (p *BufferPool) Buffer(cvg int) *PBuffer {
+	if cvg < 0 || cvg > p.H.n {
+		panic(fmt.Sprintf("stats: BufferPool.Buffer: coverage %d out of [0, %d]", cvg, p.H.n))
+	}
+	if p.static != nil && cvg >= p.minSup && cvg <= p.maxSup {
+		b := p.static[cvg-p.minSup]
+		if b == nil {
+			b = p.H.BuildPBuffer(cvg)
+			p.static[cvg-p.minSup] = b
+			p.StaticBuilds++
+		} else {
+			p.StaticHits++
+		}
+		return b
+	}
+	if p.dyn != nil && p.supd == cvg {
+		p.DynHits++
+		return p.dyn
+	}
+	p.dyn = p.H.BuildPBuffer(cvg)
+	p.supd = cvg
+	p.DynBuilds++
+	return p.dyn
+}
+
+// StaticBytes returns the memory currently held by built static buffers.
+func (p *BufferPool) StaticBytes() int {
+	total := 0
+	for _, b := range p.static {
+		if b != nil {
+			total += b.Bytes()
+		}
+	}
+	return total
+}

@@ -1,0 +1,64 @@
+package stats
+
+import "testing"
+
+// Ablation: direct Fisher computation vs buffered lookup. The dynamic/
+// static buffers exist because a permutation test evaluates the same
+// (coverage, support) pairs millions of times; these benches quantify the
+// per-lookup gap that Fig 4 aggregates.
+
+func BenchmarkFisherDirect(b *testing.B) {
+	h := NewHypergeom(2000, 1000, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkF = h.FisherTwoTailed(150+i%50, 400)
+	}
+}
+
+func BenchmarkFisherBuffered(b *testing.B) {
+	h := NewHypergeom(2000, 1000, nil)
+	pool := NewBufferPool(h, 100, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkF = pool.PValue(400, 150+i%50)
+	}
+}
+
+func BenchmarkBuildPBuffer(b *testing.B) {
+	h := NewHypergeom(2000, 1000, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkB = h.BuildPBuffer(100 + i%400)
+	}
+}
+
+func BenchmarkBufferPoolDynamicChurn(b *testing.B) {
+	// Worst case for the one-slot dynamic buffer: alternating coverages.
+	h := NewHypergeom(2000, 1000, nil)
+	pool := NewBufferPool(h, 100, 99) // static disabled
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkF = pool.PValue(600+(i%2)*100, 350)
+	}
+}
+
+func BenchmarkChiSquarePValue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkF = ChiSquarePValue(ChiSquare2x2(150+i%50, 400, 2000, 1000), 1)
+	}
+}
+
+func BenchmarkLogFactBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkL = NewLogFact(32561)
+	}
+}
+
+var (
+	sinkF float64
+	sinkB *PBuffer
+	sinkL *LogFact
+)

@@ -1,0 +1,388 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= tol*m || d <= 1e-300
+}
+
+func TestLogFactValues(t *testing.T) {
+	lf := NewLogFact(20)
+	// ln(k!) against direct products.
+	fact := 1.0
+	for k := 0; k <= 20; k++ {
+		if k > 0 {
+			fact *= float64(k)
+		}
+		if !approx(lf.At(k), math.Log(fact), 1e-12) {
+			t.Errorf("ln(%d!) = %g, want %g", k, lf.At(k), math.Log(fact))
+		}
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	lf := NewLogFact(30)
+	cases := []struct {
+		a, b int
+		want float64
+	}{
+		{5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120}, {30, 15, 155117520},
+	}
+	for _, c := range cases {
+		got := math.Exp(lf.LogChoose(c.a, c.b))
+		if !approx(got, c.want, 1e-10) {
+			t.Errorf("C(%d,%d) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLogChoosePanics(t *testing.T) {
+	lf := NewLogFact(10)
+	for _, c := range [][2]int{{5, -1}, {5, 6}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("LogChoose(%d,%d) did not panic", c[0], c[1])
+				}
+			}()
+			lf.LogChoose(c[0], c[1])
+		}()
+	}
+}
+
+// Figure 2 of the paper tabulates H(k; 20, 11, 6) and the corresponding
+// two-tailed p-values. These are our primary ground-truth vectors.
+var fig2H = []float64{0.0021672, 0.035759, 0.17879, 0.35759, 0.30650, 0.10728, 0.011920}
+var fig2P = []float64{0.0021672, 0.049845, 0.33591, 1.0000, 0.64241, 0.15712, 0.014087}
+
+func TestHypergeomFigure2PMF(t *testing.T) {
+	h := NewHypergeom(20, 11, nil)
+	lo, hi := h.Bounds(6)
+	if lo != 0 || hi != 6 {
+		t.Fatalf("Bounds(6) = [%d,%d], want [0,6]", lo, hi)
+	}
+	for k := 0; k <= 6; k++ {
+		if got := h.PMF(k, 6); !approx(got, fig2H[k], 1e-4) {
+			t.Errorf("H(%d;20,11,6) = %g, want %g", k, got, fig2H[k])
+		}
+	}
+}
+
+func TestFisherFigure2PValues(t *testing.T) {
+	h := NewHypergeom(20, 11, nil)
+	for k := 0; k <= 6; k++ {
+		if got := h.FisherTwoTailed(k, 6); !approx(got, fig2P[k], 1e-4) {
+			t.Errorf("p(%d;20,11,6) = %g, want %g", k, got, fig2P[k])
+		}
+	}
+}
+
+func TestPBufferFigure2(t *testing.T) {
+	h := NewHypergeom(20, 11, nil)
+	b := h.BuildPBuffer(6)
+	if b.Lo != 0 || b.Hi != 6 || b.Size() != 7 {
+		t.Fatalf("buffer bounds [%d,%d] size %d, want [0,6] size 7", b.Lo, b.Hi, b.Size())
+	}
+	for k := 0; k <= 6; k++ {
+		if got := b.PValue(k); !approx(got, fig2P[k], 1e-4) {
+			t.Errorf("buffer p(%d) = %g, want %g", k, got, fig2P[k])
+		}
+	}
+	// Out-of-range supports are impossible observations.
+	if b.PValue(-1) != 0 || b.PValue(7) != 0 {
+		t.Error("out-of-range PValue should be 0")
+	}
+}
+
+func TestPMFSumsToOne(t *testing.T) {
+	for _, c := range []struct{ n, nc, sx int }{
+		{20, 11, 6}, {100, 50, 30}, {1000, 500, 100}, {77, 13, 60}, {10, 10, 4}, {10, 0, 4},
+	} {
+		h := NewHypergeom(c.n, c.nc, nil)
+		lo, hi := h.Bounds(c.sx)
+		s := 0.0
+		for k := lo; k <= hi; k++ {
+			s += h.PMF(k, c.sx)
+		}
+		if !approx(s, 1, 1e-10) {
+			t.Errorf("PMF(%d,%d,%d) sums to %g", c.n, c.nc, c.sx, s)
+		}
+	}
+}
+
+func TestBufferMatchesDirectFisher(t *testing.T) {
+	for _, c := range []struct{ n, nc, sx int }{
+		{50, 25, 10}, {200, 70, 45}, {333, 111, 99}, {1000, 500, 40}, {64, 32, 32},
+	} {
+		h := NewHypergeom(c.n, c.nc, nil)
+		b := h.BuildPBuffer(c.sx)
+		lo, hi := h.Bounds(c.sx)
+		for k := lo; k <= hi; k++ {
+			direct := h.FisherTwoTailed(k, c.sx)
+			buffered := b.PValue(k)
+			if !approx(direct, buffered, 1e-9) {
+				t.Errorf("n=%d nc=%d sx=%d k=%d: direct %g != buffered %g",
+					c.n, c.nc, c.sx, k, direct, buffered)
+			}
+		}
+	}
+}
+
+func TestFisherSymmetricTies(t *testing.T) {
+	// With nc = n/2 the distribution is symmetric: H(k) == H(sx-k), so the
+	// two-tailed p-value of k must include the mirrored support as a tie.
+	h := NewHypergeom(100, 50, nil)
+	for sx := 2; sx <= 40; sx += 7 {
+		lo, hi := h.Bounds(sx)
+		for k := lo; k <= hi; k++ {
+			mirror := sx - k
+			pk := h.FisherTwoTailed(k, sx)
+			pm := h.FisherTwoTailed(mirror, sx)
+			if !approx(pk, pm, 1e-9) {
+				t.Errorf("sx=%d: p(%d)=%g != p(%d)=%g under symmetry", sx, k, pk, mirror, pm)
+			}
+		}
+	}
+}
+
+func TestFisherKnownValuesFromPaper(t *testing.T) {
+	// §2.3: "when #records=1000, supp(c)=500 and supp(X)=5, even if
+	// conf(R)=1, the p-value of R : X ⇒ c is as high as 0.062."
+	h := NewHypergeom(1000, 500, nil)
+	if got := h.FisherTwoTailed(5, 5); !approx(got, 0.062, 0.02) {
+		t.Errorf("p(5;1000,500,5) = %g, want ≈ 0.062", got)
+	}
+	// "When #records=1000 and supp(c)=500 and conf(R)=0.55, even if
+	// supp(X)=200, the p-value of R is as high as 0.133."
+	if got := h.FisherTwoTailed(110, 200); !approx(got, 0.133, 0.02) {
+		t.Errorf("p(110;1000,500,200) = %g, want ≈ 0.133", got)
+	}
+}
+
+func TestFisherPropertyRange(t *testing.T) {
+	f := func(n16, nc16, sx16, k16 uint16) bool {
+		n := int(n16%400) + 1
+		nc := int(nc16) % (n + 1)
+		sx := int(sx16) % (n + 1)
+		h := NewHypergeom(n, nc, nil)
+		lo, hi := h.Bounds(sx)
+		k := lo
+		if hi > lo {
+			k = lo + int(k16)%(hi-lo+1)
+		}
+		p := h.FisherTwoTailed(k, sx)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFisherPropertyObservedIncluded(t *testing.T) {
+	// p(k) >= H(k): the observed case is always part of the tail set.
+	f := func(n16, nc16, sx16, k16 uint16) bool {
+		n := int(n16%300) + 2
+		nc := int(nc16) % (n + 1)
+		sx := int(sx16) % (n + 1)
+		h := NewHypergeom(n, nc, nil)
+		lo, hi := h.Bounds(sx)
+		k := lo
+		if hi > lo {
+			k = lo + int(k16)%(hi-lo+1)
+		}
+		return h.FisherTwoTailed(k, sx) >= h.PMF(k, sx)*(1-1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpperLowerTail(t *testing.T) {
+	h := NewHypergeom(20, 11, nil)
+	// Upper + lower overlap on exactly H(k).
+	for k := 0; k <= 6; k++ {
+		up := h.UpperTail(k, 6)
+		low := h.LowerTail(k, 6)
+		if !approx(up+low, 1+h.PMF(k, 6), 1e-9) {
+			t.Errorf("k=%d: upper %g + lower %g != 1 + pmf %g", k, up, low, h.PMF(k, 6))
+		}
+	}
+	if h.UpperTail(0, 6) != 1 {
+		t.Error("UpperTail at lower bound should be 1")
+	}
+	if h.UpperTail(7, 6) != 0 {
+		t.Error("UpperTail above upper bound should be 0")
+	}
+	if h.LowerTail(6, 6) != 1 {
+		t.Error("LowerTail at upper bound should be 1")
+	}
+}
+
+func TestHypergeomMean(t *testing.T) {
+	h := NewHypergeom(1000, 500, nil)
+	if got := h.Mean(100); !approx(got, 50, 1e-12) {
+		t.Errorf("Mean(100) = %g, want 50", got)
+	}
+}
+
+func TestMidPBelowStandard(t *testing.T) {
+	h := NewHypergeom(200, 90, nil)
+	for _, sx := range []int{10, 40, 80} {
+		lo, hi := h.Bounds(sx)
+		for k := lo; k <= hi; k++ {
+			std := h.FisherTwoTailed(k, sx)
+			mid := h.FisherMidP(k, sx)
+			if mid > std+1e-12 {
+				t.Errorf("sx=%d k=%d: mid-p %g > standard %g", sx, k, mid, std)
+			}
+		}
+	}
+}
+
+func TestBufferPoolRouting(t *testing.T) {
+	h := NewHypergeom(500, 250, nil)
+	pool := NewBufferPool(h, 10, 50)
+
+	// Static range: repeated access hits the cache.
+	b1 := pool.Buffer(20)
+	b2 := pool.Buffer(20)
+	if b1 != b2 {
+		t.Error("static buffer not cached")
+	}
+	if pool.StaticBuilds != 1 || pool.StaticHits != 1 {
+		t.Errorf("static builds/hits = %d/%d, want 1/1", pool.StaticBuilds, pool.StaticHits)
+	}
+
+	// Dynamic range: same coverage hits, different coverage rebuilds.
+	pool.Buffer(100)
+	pool.Buffer(100)
+	pool.Buffer(200)
+	pool.Buffer(100)
+	if pool.DynBuilds != 3 || pool.DynHits != 1 {
+		t.Errorf("dyn builds/hits = %d/%d, want 3/1", pool.DynBuilds, pool.DynHits)
+	}
+
+	// Values agree with direct computation in both ranges.
+	for _, cvg := range []int{10, 35, 50, 60, 400} {
+		lo, hi := h.Bounds(cvg)
+		for k := lo; k <= hi; k += 7 {
+			if got, want := pool.PValue(cvg, k), h.FisherTwoTailed(k, cvg); !approx(got, want, 1e-9) {
+				t.Errorf("pool.PValue(%d,%d) = %g, want %g", cvg, k, got, want)
+			}
+		}
+	}
+}
+
+func TestBufferPoolDisabledStatic(t *testing.T) {
+	h := NewHypergeom(100, 40, nil)
+	pool := NewBufferPool(h, 10, 0) // maxSup < minSup: no static buffer
+	pool.Buffer(20)
+	pool.Buffer(20)
+	if pool.StaticBuilds != 0 || pool.DynBuilds != 1 || pool.DynHits != 1 {
+		t.Errorf("static/dyn builds = %d/%d hits=%d; want 0/1 hits=1",
+			pool.StaticBuilds, pool.DynBuilds, pool.DynHits)
+	}
+}
+
+func TestMaxSupForBudget(t *testing.T) {
+	h := NewHypergeom(1000, 500, nil)
+	// A generous budget covers everything.
+	if got := MaxSupForBudget(h, 10, 1<<30); got != 1000 {
+		t.Errorf("MaxSupForBudget(huge) = %d, want 1000", got)
+	}
+	// A zero budget covers nothing.
+	if got := MaxSupForBudget(h, 10, 0); got != 9 {
+		t.Errorf("MaxSupForBudget(0) = %d, want 9", got)
+	}
+	// A moderate budget is monotone in the budget.
+	a := MaxSupForBudget(h, 10, 10_000)
+	b := MaxSupForBudget(h, 10, 100_000)
+	if a > b {
+		t.Errorf("MaxSupForBudget not monotone: %d > %d", a, b)
+	}
+	// The implied allocation respects the budget.
+	pool := NewBufferPool(h, 10, a)
+	for s := 10; s <= a; s++ {
+		pool.Buffer(s)
+	}
+	if pool.StaticBytes() > 10_000 {
+		t.Errorf("static bytes %d exceed budget 10000", pool.StaticBytes())
+	}
+}
+
+func TestChiSquare2x2(t *testing.T) {
+	// Table a=10, b=20, c=30, d=40 (k=10, sx=30, n=100, nc=40): expected
+	// counts are 12/18/28/42, so χ² = 4/12 + 4/18 + 4/28 + 4/42 = 0.79365.
+	x := ChiSquare2x2(10, 30, 100, 40)
+	if !approx(x, 0.7936507936507936, 1e-9) {
+		t.Errorf("chi2 = %g, want 0.79365", x)
+	}
+	// Independence gives 0.
+	if got := ChiSquare2x2(20, 40, 100, 50); !approx(got, 0, 1e-12) && got != 0 {
+		t.Errorf("chi2 at independence = %g, want 0", got)
+	}
+	// Degenerate margins give 0.
+	if got := ChiSquare2x2(0, 0, 100, 40); got != 0 {
+		t.Errorf("chi2 with empty row = %g, want 0", got)
+	}
+}
+
+func TestChiSquarePValue(t *testing.T) {
+	// df=1 known quantiles: P[χ²₁ >= 3.841] ≈ 0.05.
+	if got := ChiSquarePValue(3.8415, 1); !approx(got, 0.05, 1e-3) {
+		t.Errorf("P[chi2_1 >= 3.8415] = %g, want 0.05", got)
+	}
+	// df=2: P[χ²₂ >= x] = exp(-x/2).
+	for _, x := range []float64{0.5, 1, 2, 5, 10} {
+		if got, want := ChiSquarePValue(x, 2), math.Exp(-x/2); !approx(got, want, 1e-8) {
+			t.Errorf("P[chi2_2 >= %g] = %g, want %g", x, got, want)
+		}
+	}
+	// df=5 known value: P[χ²₅ >= 11.07] ≈ 0.05.
+	if got := ChiSquarePValue(11.0705, 5); !approx(got, 0.05, 1e-3) {
+		t.Errorf("P[chi2_5 >= 11.07] = %g, want 0.05", got)
+	}
+	if ChiSquarePValue(0, 3) != 1 {
+		t.Error("P at x=0 should be 1")
+	}
+}
+
+func TestChiSquareAgreesWithFisherAsymptotically(t *testing.T) {
+	// For large balanced tables the χ² p-value approaches the Fisher
+	// two-tailed p-value. Check order-of-magnitude agreement.
+	h := NewHypergeom(2000, 1000, nil)
+	for _, k := range []int{220, 240, 260} {
+		fp := h.FisherTwoTailed(k, 400)
+		cp := ChiSquarePValue(ChiSquare2x2(k, 400, 2000, 1000), 1)
+		if fp == 0 || cp == 0 {
+			continue
+		}
+		ratio := math.Log10(fp) / math.Log10(cp)
+		if cp > 1e-10 && (ratio < 0.5 || ratio > 2) {
+			t.Errorf("k=%d: fisher %g vs chi2 %g disagree beyond tolerance", k, fp, cp)
+		}
+	}
+}
+
+func TestBoundsProperties(t *testing.T) {
+	f := func(n16, nc16, sx16 uint16) bool {
+		n := int(n16%500) + 1
+		nc := int(nc16) % (n + 1)
+		sx := int(sx16) % (n + 1)
+		h := NewHypergeom(n, nc, nil)
+		lo, hi := h.Bounds(sx)
+		return lo >= 0 && hi <= nc && hi <= sx && lo <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,368 @@
+// Package synth generates the synthetic datasets of §5.1: categorical
+// matrices with class labels into which a configurable number of class
+// association rules are embedded, the remaining cells filled uniformly at
+// random. It also provides the paper's paired construction for fair
+// holdout evaluation (two independently generated N/2 sub-datasets with
+// half-coverage rules, catenated).
+package synth
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/dataset"
+)
+
+// Params mirrors Table 1 of the paper.
+type Params struct {
+	N        int     // number of records
+	Classes  int     // #C: number of classes
+	Attrs    int     // A: number of attributes
+	MinV     int     // minimum number of values taken by an attribute
+	MaxV     int     // maximum number of values taken by an attribute
+	NumRules int     // Nr: number of rules embedded
+	MinLen   int     // minimum length of embedded rules
+	MaxLen   int     // maximum length of embedded rules
+	MinCvg   int     // minimum coverage of embedded rules
+	MaxCvg   int     // maximum coverage of embedded rules
+	MinConf  float64 // minimum confidence of embedded rules
+	MaxConf  float64 // maximum confidence of embedded rules
+	Seed     uint64
+	// AllowOverlap lets embedded rules share records. By default rules
+	// claim disjoint record sets so each planted rule's coverage and
+	// confidence are realised exactly (required by the §5.2 ground-truth
+	// evaluation); with overlap, a later rule may overwrite cells of an
+	// earlier one and shift its statistics. The paper's D2kA20R5 runtime
+	// dataset (5 rules of coverage 400–600 in 2000 records) needs overlap.
+	AllowOverlap bool
+}
+
+// PaperDefaults returns the parameter values fixed across the paper's
+// experiments (§5.1): #C=2, min_v=2, max_v=8, min_l=2, max_l=16.
+func PaperDefaults() Params {
+	return Params{
+		Classes: 2,
+		MinV:    2,
+		MaxV:    8,
+		MinLen:  2,
+		MaxLen:  16,
+	}
+}
+
+// EmbeddedRule records one rule planted in a generated dataset: its LHS
+// pattern (parallel attribute/value slices), RHS class, the records chosen
+// to contain the pattern, and the realised confidence.
+type EmbeddedRule struct {
+	Attrs   []int    // attribute indices of the LHS, ascending
+	Vals    []int32  // value index of each LHS attribute
+	Class   int32    // RHS class
+	Records []uint32 // ids of the records made to contain the pattern
+	Conf    float64  // realised confidence: fraction of Records in Class
+}
+
+// Coverage returns the number of records embedding the rule's LHS.
+func (e *EmbeddedRule) Coverage() int { return len(e.Records) }
+
+// Result bundles a generated dataset with its planted rules.
+type Result struct {
+	Data  *dataset.Dataset
+	Rules []EmbeddedRule
+}
+
+// validate reports the first structural problem with the parameters.
+func (p *Params) validate() error {
+	switch {
+	case p.N < 1:
+		return fmt.Errorf("synth: N must be >= 1, got %d", p.N)
+	case p.Classes < 2:
+		return fmt.Errorf("synth: Classes must be >= 2, got %d", p.Classes)
+	case p.Attrs < 1:
+		return fmt.Errorf("synth: Attrs must be >= 1, got %d", p.Attrs)
+	case p.MinV < 2 || p.MaxV < p.MinV:
+		return fmt.Errorf("synth: need 2 <= MinV <= MaxV, got [%d,%d]", p.MinV, p.MaxV)
+	}
+	if p.NumRules > 0 {
+		switch {
+		case p.MinLen < 1 || p.MaxLen < p.MinLen:
+			return fmt.Errorf("synth: need 1 <= MinLen <= MaxLen, got [%d,%d]", p.MinLen, p.MaxLen)
+		case p.MinLen > p.Attrs:
+			return fmt.Errorf("synth: MinLen %d exceeds Attrs %d", p.MinLen, p.Attrs)
+		case p.MinCvg < 1 || p.MaxCvg < p.MinCvg || p.MaxCvg > p.N:
+			return fmt.Errorf("synth: need 1 <= MinCvg <= MaxCvg <= N, got [%d,%d]", p.MinCvg, p.MaxCvg)
+		case p.MinConf < 0 || p.MaxConf < p.MinConf || p.MaxConf > 1:
+			return fmt.Errorf("synth: need 0 <= MinConf <= MaxConf <= 1, got [%g,%g]", p.MinConf, p.MaxConf)
+		}
+	}
+	return nil
+}
+
+// BuildSchema samples the schema implied by the parameters: Attrs
+// attributes whose cardinalities are drawn uniformly from [MinV, MaxV].
+func BuildSchema(p Params, rng *rand.Rand) *dataset.Schema {
+	schema := &dataset.Schema{}
+	for a := 0; a < p.Attrs; a++ {
+		card := p.MinV + rng.IntN(p.MaxV-p.MinV+1)
+		attr := dataset.Attribute{Name: fmt.Sprintf("A%d", a)}
+		for v := 0; v < card; v++ {
+			attr.Values = append(attr.Values, fmt.Sprintf("v%d", v))
+		}
+		schema.Attrs = append(schema.Attrs, attr)
+	}
+	schema.Class.Name = "class"
+	for c := 0; c < p.Classes; c++ {
+		schema.Class.Values = append(schema.Class.Values, fmt.Sprintf("c%d", c))
+	}
+	return schema
+}
+
+// Generate builds one synthetic dataset. Class labels are distributed
+// evenly (§5.1: "the records are evenly distributed in different
+// classes"); rule embedding never alters labels — instead, the records a
+// rule covers are sampled from the label classes so that the requested
+// confidence is met exactly, which keeps the class balance intact.
+func Generate(p Params) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(p.Seed, 0xda3e39cb94b95bdb))
+	schema := BuildSchema(p, rng)
+	return generate(p, schema, nil, rng)
+}
+
+// generate does the work of Generate over a fixed schema. If patterns is
+// non-nil, its rules' LHS/class are re-embedded (with freshly drawn
+// coverage and confidence) instead of sampling NumRules new patterns —
+// this is how the paired construction plants the same rule in both halves.
+func generate(p Params, schema *dataset.Schema, patterns []EmbeddedRule, rng *rand.Rand) (*Result, error) {
+	// Labels: even distribution, then shuffled.
+	labels := make([]int32, p.N)
+	for r := range labels {
+		labels[r] = int32(r % p.Classes)
+	}
+	rng.Shuffle(p.N, func(i, j int) { labels[i], labels[j] = labels[j], labels[i] })
+
+	// Cells start unset; "unset" marks cells not covered by any embedded
+	// rule, to be filled uniformly at the end.
+	const unset = -2
+	cells := make([][]int32, p.N)
+	for r := range cells {
+		row := make([]int32, p.Attrs)
+		for a := range row {
+			row[a] = unset
+		}
+		cells[r] = row
+	}
+
+	emb := &embedder{
+		p:       p,
+		rng:     rng,
+		schema:  schema,
+		cells:   cells,
+		byClass: make([][]uint32, p.Classes),
+		used:    make([]bool, p.N),
+	}
+	for r, c := range labels {
+		emb.byClass[c] = append(emb.byClass[c], uint32(r))
+	}
+	for _, ids := range emb.byClass {
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	}
+
+	res := &Result{}
+	if patterns != nil {
+		for ri := range patterns {
+			rule, err := emb.embed(ri, patterns[ri].Attrs, patterns[ri].Vals, patterns[ri].Class)
+			if err != nil {
+				return nil, err
+			}
+			res.Rules = append(res.Rules, *rule)
+		}
+	} else {
+		for ri := 0; ri < p.NumRules; ri++ {
+			attrs, vals, class := emb.samplePattern()
+			rule, err := emb.embed(ri, attrs, vals, class)
+			if err != nil {
+				return nil, err
+			}
+			res.Rules = append(res.Rules, *rule)
+		}
+	}
+
+	// Fill every cell not covered by an embedded rule uniformly at random.
+	for r := range cells {
+		for a := range cells[r] {
+			if cells[r][a] == unset {
+				cells[r][a] = int32(rng.IntN(len(schema.Attrs[a].Values)))
+			}
+		}
+	}
+
+	d := dataset.New(schema, p.N)
+	for r := range cells {
+		d.Append(cells[r], labels[r])
+	}
+	res.Data = d
+	return res, nil
+}
+
+// embedder carries the state shared by successive rule embeddings within
+// one generated dataset.
+type embedder struct {
+	p       Params
+	rng     *rand.Rand
+	schema  *dataset.Schema
+	cells   [][]int32
+	byClass [][]uint32 // shuffled record ids per class
+	used    []bool     // records already claimed by an embedded rule
+}
+
+// samplePattern draws a random LHS pattern and RHS class.
+func (e *embedder) samplePattern() (attrs []int, vals []int32, class int32) {
+	maxLen := e.p.MaxLen
+	if maxLen > e.p.Attrs {
+		maxLen = e.p.Attrs
+	}
+	length := e.p.MinLen + e.rng.IntN(maxLen-e.p.MinLen+1)
+	attrs = e.rng.Perm(e.p.Attrs)[:length]
+	sortInts(attrs)
+	vals = make([]int32, length)
+	for i, a := range attrs {
+		vals[i] = int32(e.rng.IntN(len(e.schema.Attrs[a].Values)))
+	}
+	return attrs, vals, int32(e.rng.IntN(e.p.Classes))
+}
+
+// embed plants one rule with freshly drawn coverage and confidence:
+// round(cvg·conf) covered records are sampled from the RHS class and the
+// rest from the other classes, all previously unclaimed, so rules occupy
+// disjoint record sets and realised confidence is exact.
+func (e *embedder) embed(ruleIdx int, attrs []int, vals []int32, class int32) (*EmbeddedRule, error) {
+	cvg := e.p.MinCvg + e.rng.IntN(e.p.MaxCvg-e.p.MinCvg+1)
+	conf := e.p.MinConf + e.rng.Float64()*(e.p.MaxConf-e.p.MinConf)
+	inClass := int(float64(cvg)*conf + 0.5)
+	if inClass > cvg {
+		inClass = cvg
+	}
+
+	records := make([]uint32, 0, cvg)
+	taken := make(map[uint32]bool, cvg) // no duplicates within one rule
+	take := func(c int32, want int) int {
+		got := 0
+		for _, r := range e.byClass[c] {
+			if got == want {
+				break
+			}
+			if taken[r] {
+				continue
+			}
+			if e.used[r] && !e.p.AllowOverlap {
+				continue
+			}
+			e.used[r] = true
+			taken[r] = true
+			records = append(records, r)
+			got++
+		}
+		return got
+	}
+	if got := take(class, inClass); got < inClass {
+		return nil, fmt.Errorf("synth: rule %d: class %d has only %d unused records, need %d (reduce NumRules or coverage)",
+			ruleIdx, class, got, inClass)
+	}
+	needOther := cvg - inClass
+	for c := int32(0); int(c) < e.p.Classes && needOther > 0; c++ {
+		if c == class {
+			continue
+		}
+		needOther -= take(c, needOther)
+	}
+	if needOther > 0 {
+		return nil, fmt.Errorf("synth: rule %d: not enough unused records outside class %d (reduce NumRules or coverage)",
+			ruleIdx, class)
+	}
+	sortU32(records)
+
+	for _, r := range records {
+		for i, a := range attrs {
+			e.cells[r][a] = vals[i]
+		}
+	}
+	return &EmbeddedRule{
+		Attrs:   attrs,
+		Vals:    vals,
+		Class:   class,
+		Records: records,
+		Conf:    float64(inClass) / float64(cvg),
+	}, nil
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func sortU32(a []uint32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// GeneratePaired builds the paper's fair-holdout construction (§5.1): two
+// sub-datasets of N/2 records each are generated independently over a
+// shared schema, with rule coverage drawn from [MinCvg/2, MaxCvg/2];
+// corresponding rules carry the same pattern and class in both halves. The
+// catenated whole therefore embeds each rule with coverage in
+// [MinCvg, MaxCvg], and holdout evaluation can use one half as exploratory
+// and the other as evaluation data with partitioning noise eliminated.
+func GeneratePaired(p Params) (whole *Result, first, second *dataset.Dataset, err error) {
+	if err := p.validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	rng := rand.New(rand.NewPCG(p.Seed, 0xda3e39cb94b95bdb))
+	schema := BuildSchema(p, rng)
+
+	half := p
+	half.N = p.N / 2
+	half.MinCvg = p.MinCvg / 2
+	half.MaxCvg = p.MaxCvg / 2
+	if half.MinCvg < 1 {
+		half.MinCvg = 1
+	}
+	if half.MaxCvg < half.MinCvg {
+		half.MaxCvg = half.MinCvg
+	}
+
+	r1, err := generate(half, schema, nil, rng)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	half2 := half
+	half2.N = p.N - half.N
+	r2, err := generate(half2, schema, r1.Rules, rng)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	wholeData := dataset.Concat(r1.Data, r2.Data)
+	res := &Result{Data: wholeData}
+	off := uint32(r1.Data.NumRecords())
+	for i := range r1.Rules {
+		a, b := &r1.Rules[i], &r2.Rules[i]
+		merged := EmbeddedRule{Attrs: a.Attrs, Vals: a.Vals, Class: a.Class}
+		merged.Records = append(merged.Records, a.Records...)
+		for _, r := range b.Records {
+			merged.Records = append(merged.Records, r+off)
+		}
+		nIn := int(a.Conf*float64(len(a.Records))+0.5) + int(b.Conf*float64(len(b.Records))+0.5)
+		if len(merged.Records) > 0 {
+			merged.Conf = float64(nIn) / float64(len(merged.Records))
+		}
+		res.Rules = append(res.Rules, merged)
+	}
+	return res, r1.Data, r2.Data, nil
+}

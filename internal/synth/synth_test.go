@@ -1,0 +1,290 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestGenerateRandomDataset(t *testing.T) {
+	p := PaperDefaults()
+	p.N = 500
+	p.Attrs = 10
+	p.Seed = 1
+	res, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Data
+	if d.NumRecords() != 500 {
+		t.Fatalf("NumRecords = %d, want 500", d.NumRecords())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Even class distribution.
+	counts := d.ClassCounts()
+	if counts[0] != 250 || counts[1] != 250 {
+		t.Errorf("class counts = %v, want [250 250]", counts)
+	}
+	// Cardinalities within [2, 8].
+	for _, a := range d.Schema.Attrs {
+		if len(a.Values) < 2 || len(a.Values) > 8 {
+			t.Errorf("attribute %s has %d values, want [2,8]", a.Name, len(a.Values))
+		}
+	}
+	if len(res.Rules) != 0 {
+		t.Errorf("random dataset embedded %d rules", len(res.Rules))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := PaperDefaults()
+	p.N = 200
+	p.Attrs = 8
+	p.NumRules = 2
+	p.MinCvg, p.MaxCvg = 20, 40
+	p.MinConf, p.MaxConf = 0.6, 0.8
+	p.Seed = 7
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range a.Data.Cells {
+		if a.Data.Labels[r] != b.Data.Labels[r] {
+			t.Fatal("labels differ across equal seeds")
+		}
+		for c := range a.Data.Cells[r] {
+			if a.Data.Cells[r][c] != b.Data.Cells[r][c] {
+				t.Fatal("cells differ across equal seeds")
+			}
+		}
+	}
+	// Different seed produces a different dataset.
+	p.Seed = 8
+	c, _ := Generate(p)
+	same := true
+	for r := range a.Data.Cells {
+		for col := range a.Data.Cells[r] {
+			if a.Data.Cells[r][col] != c.Data.Cells[r][col] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical cells")
+	}
+}
+
+func TestEmbeddedRuleProperties(t *testing.T) {
+	p := PaperDefaults()
+	p.N = 2000
+	p.Attrs = 40
+	p.NumRules = 1
+	p.MinCvg, p.MaxCvg = 400, 400
+	p.MinConf, p.MaxConf = 0.65, 0.65
+	p.Seed = 42
+	res, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rules) != 1 {
+		t.Fatalf("embedded %d rules, want 1", len(res.Rules))
+	}
+	rule := res.Rules[0]
+	if rule.Coverage() != 400 {
+		t.Fatalf("coverage = %d, want 400", rule.Coverage())
+	}
+	// Realised confidence = round(400*0.65)/400 = 260/400 = 0.65.
+	if math.Abs(rule.Conf-0.65) > 1e-9 {
+		t.Errorf("realised confidence = %g, want 0.65", rule.Conf)
+	}
+	// Every listed record contains the pattern; its label distribution
+	// matches the confidence.
+	d := res.Data
+	inClass := 0
+	for _, r := range rule.Records {
+		if !d.ContainsPattern(int(r), rule.Attrs, rule.Vals) {
+			t.Fatalf("record %d does not contain the embedded pattern", r)
+		}
+		if d.Labels[r] == rule.Class {
+			inClass++
+		}
+	}
+	if inClass != 260 {
+		t.Errorf("in-class covered records = %d, want 260", inClass)
+	}
+	// The pattern's total support equals at least the embedded coverage;
+	// chance matches can add a few but not many for a length >= 2 pattern.
+	total := 0
+	for r := 0; r < d.NumRecords(); r++ {
+		if d.ContainsPattern(r, rule.Attrs, rule.Vals) {
+			total++
+		}
+	}
+	if total < 400 {
+		t.Fatalf("pattern support %d < embedded coverage 400", total)
+	}
+	if total > 600 {
+		t.Errorf("pattern support %d suspiciously exceeds embedded coverage", total)
+	}
+	// Class balance preserved exactly.
+	counts := d.ClassCounts()
+	if counts[0] != 1000 || counts[1] != 1000 {
+		t.Errorf("class counts = %v, want [1000 1000]", counts)
+	}
+}
+
+func TestEmbedMultipleRulesDisjoint(t *testing.T) {
+	p := PaperDefaults()
+	p.N = 2000
+	p.Attrs = 20
+	p.NumRules = 5
+	p.MinCvg, p.MaxCvg = 100, 200
+	p.MinConf, p.MaxConf = 0.6, 0.8
+	p.Seed = 3
+	res, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rules) != 5 {
+		t.Fatalf("embedded %d rules, want 5", len(res.Rules))
+	}
+	seen := make(map[uint32]bool)
+	for _, rule := range res.Rules {
+		for _, r := range rule.Records {
+			if seen[r] {
+				t.Fatalf("record %d claimed by two embedded rules", r)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Params{
+		{N: 0, Classes: 2, Attrs: 5, MinV: 2, MaxV: 4},
+		{N: 10, Classes: 1, Attrs: 5, MinV: 2, MaxV: 4},
+		{N: 10, Classes: 2, Attrs: 0, MinV: 2, MaxV: 4},
+		{N: 10, Classes: 2, Attrs: 5, MinV: 3, MaxV: 2},
+		{N: 10, Classes: 2, Attrs: 5, MinV: 2, MaxV: 4,
+			NumRules: 1, MinLen: 2, MaxLen: 1, MinCvg: 2, MaxCvg: 5},
+		{N: 10, Classes: 2, Attrs: 5, MinV: 2, MaxV: 4,
+			NumRules: 1, MinLen: 2, MaxLen: 3, MinCvg: 5, MaxCvg: 50},
+		{N: 10, Classes: 2, Attrs: 5, MinV: 2, MaxV: 4,
+			NumRules: 1, MinLen: 2, MaxLen: 3, MinCvg: 2, MaxCvg: 5, MinConf: 0.9, MaxConf: 0.5},
+	}
+	for i, p := range bad {
+		if _, err := Generate(p); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestGenerateImpossibleEmbedding(t *testing.T) {
+	// Coverage demands more in-class records than exist.
+	p := PaperDefaults()
+	p.N = 100 // 50 per class
+	p.Attrs = 5
+	p.NumRules = 1
+	p.MinCvg, p.MaxCvg = 90, 90
+	p.MinConf, p.MaxConf = 1.0, 1.0
+	p.Seed = 1
+	if _, err := Generate(p); err == nil {
+		t.Error("expected embedding failure when class has too few records")
+	}
+}
+
+func TestGeneratePaired(t *testing.T) {
+	p := PaperDefaults()
+	p.N = 2000
+	p.Attrs = 20
+	p.NumRules = 3
+	p.MinCvg, p.MaxCvg = 200, 300
+	p.MinConf, p.MaxConf = 0.6, 0.8
+	p.Seed = 11
+	whole, first, second, err := GeneratePaired(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.NumRecords() != 1000 || second.NumRecords() != 1000 {
+		t.Fatalf("halves sized %d/%d", first.NumRecords(), second.NumRecords())
+	}
+	if whole.Data.NumRecords() != 2000 {
+		t.Fatalf("whole sized %d", whole.Data.NumRecords())
+	}
+	if first.Schema != second.Schema || first.Schema != whole.Data.Schema {
+		t.Fatal("halves do not share the whole's schema")
+	}
+	if err := whole.Data.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(whole.Rules) != 3 {
+		t.Fatalf("whole carries %d rules, want 3", len(whole.Rules))
+	}
+	// Each merged rule's coverage is the sum of two draws from
+	// [MinCvg/2, MaxCvg/2] = [100, 150], i.e. within [200, 300].
+	for i, rule := range whole.Rules {
+		cvg := rule.Coverage()
+		if cvg < 200-2 || cvg > 300+2 {
+			t.Errorf("rule %d: merged coverage %d outside [200,300]", i, cvg)
+		}
+		// Every covered record contains the pattern in the whole dataset.
+		for _, r := range rule.Records {
+			if !whole.Data.ContainsPattern(int(r), rule.Attrs, rule.Vals) {
+				t.Fatalf("rule %d: record %d lacks the pattern", i, r)
+			}
+		}
+		// The rule is present in BOTH halves (records on both sides of the
+		// boundary).
+		lo, hi := false, false
+		for _, r := range rule.Records {
+			if r < 1000 {
+				lo = true
+			} else {
+				hi = true
+			}
+		}
+		if !lo || !hi {
+			t.Errorf("rule %d not embedded in both halves", i)
+		}
+	}
+	// Whole = first ++ second, record by record.
+	for r := 0; r < 1000; r++ {
+		for a := range whole.Data.Cells[r] {
+			if whole.Data.Cells[r][a] != first.Cells[r][a] {
+				t.Fatal("whole's first half differs from first")
+			}
+		}
+		if whole.Data.Labels[r] != first.Labels[r] {
+			t.Fatal("whole's first-half labels differ")
+		}
+	}
+}
+
+func TestGenerateThreeClasses(t *testing.T) {
+	p := PaperDefaults()
+	p.Classes = 3
+	p.N = 300
+	p.Attrs = 10
+	p.NumRules = 1
+	p.MinCvg, p.MaxCvg = 30, 30
+	p.MinConf, p.MaxConf = 0.7, 0.7
+	p.Seed = 5
+	res, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := res.Data.ClassCounts()
+	for c, n := range counts {
+		if n != 100 {
+			t.Errorf("class %d count = %d, want 100", c, n)
+		}
+	}
+	var _ *dataset.Dataset = res.Data
+}

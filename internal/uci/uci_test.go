@@ -1,0 +1,117 @@
+package uci
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mining"
+)
+
+func TestLoadShapesMatchTable2(t *testing.T) {
+	want := map[string]struct{ records, attrs int }{
+		"adult":    {32561, 14},
+		"german":   {1000, 20},
+		"hypo":     {3163, 25},
+		"mushroom": {8124, 22},
+	}
+	for name, w := range want {
+		d, err := Load(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.NumRecords() != w.records {
+			t.Errorf("%s: %d records, want %d", name, d.NumRecords(), w.records)
+		}
+		if d.Schema.NumAttrs() != w.attrs {
+			t.Errorf("%s: %d attributes, want %d", name, d.Schema.NumAttrs(), w.attrs)
+		}
+		if d.Schema.NumClasses() != 2 {
+			t.Errorf("%s: %d classes, want 2", name, d.Schema.NumClasses())
+		}
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestLoadUnknown(t *testing.T) {
+	if _, err := Load("iris", 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestLoadDeterministic(t *testing.T) {
+	a, _ := Load("german", 7)
+	b, _ := Load("german", 7)
+	for r := range a.Cells {
+		if a.Labels[r] != b.Labels[r] {
+			t.Fatal("labels differ for equal seeds")
+		}
+		for c := range a.Cells[r] {
+			if a.Cells[r][c] != b.Cells[r][c] {
+				t.Fatal("cells differ for equal seeds")
+			}
+		}
+	}
+}
+
+func TestClassBalance(t *testing.T) {
+	want := map[string]float64{"adult": 0.759, "german": 0.7, "hypo": 0.952, "mushroom": 0.518}
+	for name, frac := range want {
+		d, _ := Load(name, 3)
+		counts := d.ClassCounts()
+		got := float64(counts[0]) / float64(d.NumRecords())
+		if math.Abs(got-frac) > 0.005 {
+			t.Errorf("%s: majority fraction %g, want %g", name, got, frac)
+		}
+	}
+}
+
+// TestPValueDistributionShape verifies the Fig 15 calibration targets:
+// on german a substantial share of rules falls in the moderate band
+// p ∈ (1e-6, 1e-2], while on mushroom most rules are below 1e-12.
+func TestPValueDistributionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mining stand-ins is slow")
+	}
+	frac := func(name string, minSup int) (tiny, moderate float64) {
+		d, err := Load(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := dataset.Encode(d)
+		tree, err := mining.MineClosed(enc, mining.Options{MinSup: minSup, StoreDiffsets: true, MaxNodes: 200000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rules, err := mining.GenerateRules(tree, mining.RuleOptions{Policy: mining.PaperPolicy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rules) == 0 {
+			t.Fatalf("%s: no rules at minSup %d", name, minSup)
+		}
+		var nTiny, nMod int
+		for i := range rules {
+			switch {
+			case rules[i].P <= 1e-12:
+				nTiny++
+			case rules[i].P > 1e-6 && rules[i].P <= 1e-2:
+				nMod++
+			}
+		}
+		return float64(nTiny) / float64(len(rules)), float64(nMod) / float64(len(rules))
+	}
+
+	tinyG, modG := frac("german", 60)
+	if modG < 0.15 {
+		t.Errorf("german: moderate-p fraction %.2f, want a thick band (>= 0.15)", modG)
+	}
+	_ = tinyG
+
+	tinyM, _ := frac("mushroom", 600)
+	if tinyM < 0.5 {
+		t.Errorf("mushroom: tiny-p fraction %.2f, want most rules <= 1e-12", tinyM)
+	}
+}
