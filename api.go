@@ -26,12 +26,30 @@
 //	    fmt.Println(r.Items, "=>", r.Class, r.P)
 //	}
 //
+// # Parallelism and reproducibility
+//
+// The pipeline is an explicit staged run (encode → mine → score →
+// correct) whose two hot stages — closed pattern enumeration and
+// permutation re-evaluation — execute on a bounded worker pool:
+//
+//   - Config.Workers sets the pool size (default runtime.GOMAXPROCS).
+//     Every result is byte-identical for every worker count: first-level
+//     enumeration subtrees merge back in deterministic order, and each
+//     permutation derives its own RNG from (Config.Seed, permutation
+//     index).
+//   - Config.Seed makes runs reproducible. Seeding is fully explicit —
+//     nothing reads global or time-based randomness — so equal (Seed,
+//     Config) pairs reproduce identical rule sets and p-values.
+//   - MineContext threads a context.Context through every stage; cancel
+//     it to abort long mining or permutation runs promptly.
+//
 // The heavy machinery lives in internal packages; this package is the
 // supported surface: datasets (LoadCSV/FromTable/Synthetic/UCIStandIn),
-// the pipeline (Mine), and the result types.
+// the pipeline (Mine/MineContext), and the result types.
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/basket"
@@ -128,6 +146,14 @@ const (
 // and the configured correction — on d.
 func Mine(d *Dataset, cfg Config) (*Result, error) {
 	return core.Run(d, cfg)
+}
+
+// MineContext is Mine with cancellation: ctx is threaded through every
+// pipeline stage (mining workers, permutation workers), and cancelling it
+// aborts the run promptly with the context's error. cfg.Workers bounds the
+// worker pool; results are byte-identical for every worker count.
+func MineContext(ctx context.Context, d *Dataset, cfg Config) (*Result, error) {
+	return core.RunContext(ctx, d, cfg)
 }
 
 // LoadCSV reads a CSV stream with a header row into a Dataset, treating

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -155,5 +156,77 @@ func TestFacadeEndToEndWithGroundTruth(t *testing.T) {
 	}
 	if overlap == 0 {
 		t.Errorf("top rule %v shares no attributes with the planted rule %v", top.Attrs, truth.Attrs)
+	}
+}
+
+// TestFacadeMineContextWorkersIdentical checks the facade-level guarantee:
+// the full permutation pipeline returns identical results for every
+// Workers value.
+func TestFacadeMineContextWorkersIdentical(t *testing.T) {
+	p := SyntheticDefaults()
+	p.N = 400
+	p.Attrs = 8
+	p.NumRules = 3
+	p.MinCvg = 40
+	p.MaxCvg = 80
+	p.MinConf = 0.7
+	p.MaxConf = 0.9
+	p.Seed = 9
+	res, err := Synthetic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		MinSup:       25,
+		Method:       MethodPermutation,
+		Control:      ControlFDR,
+		Permutations: 40,
+		Seed:         3,
+	}
+	var ref *Result
+	for _, workers := range []int{1, 2, 8} {
+		cfg.Workers = workers
+		got, err := MineContext(context.Background(), res.Data, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if got.NumPatterns != ref.NumPatterns || got.NumTested != ref.NumTested ||
+			got.Cutoff != ref.Cutoff || len(got.Significant) != len(ref.Significant) {
+			t.Fatalf("workers=%d: result differs from workers=1 reference", workers)
+		}
+		for i := range got.Significant {
+			if got.Significant[i].P != ref.Significant[i].P ||
+				strings.Join(got.Significant[i].Items, "^") != strings.Join(ref.Significant[i].Items, "^") {
+				t.Fatalf("workers=%d: significant rule %d differs", workers, i)
+			}
+		}
+	}
+	if ref == nil || len(ref.Tested) == 0 {
+		t.Fatal("empty reference run")
+	}
+}
+
+// TestFacadeMineContextCancel checks that a cancelled context aborts the
+// pipeline with context.Canceled.
+func TestFacadeMineContextCancel(t *testing.T) {
+	p := SyntheticDefaults()
+	p.N = 300
+	p.Attrs = 6
+	p.Seed = 4
+	res, err := Synthetic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, method := range []Method{MethodDirect, MethodPermutation, MethodHoldout} {
+		cfg := Config{MinSup: 20, Method: method, Permutations: 20}
+		if _, err := MineContext(ctx, res.Data, cfg); err != context.Canceled {
+			t.Fatalf("method=%v: err = %v, want context.Canceled", method, err)
+		}
 	}
 }

@@ -6,6 +6,8 @@
 package repro
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
@@ -208,6 +210,89 @@ func BenchmarkTable4ConfidencePValue(b *testing.B) {
 			b.Fatal(err)
 		}
 		sink = t
+	}
+}
+
+// Parallel engine benchmarks: one synthetic mining / mining+permutation
+// workload at Workers = 1, 2 and NumCPU. The worker counts appear as
+// sub-benchmark names, so the parallel speedup on your hardware is
+//
+//	go test -bench 'BenchmarkParallel' -benchtime 5x .
+//
+// and comparing the workers=1 line against workers=NumCPU. Results are
+// byte-identical across worker counts; only the wall clock moves.
+
+// benchWorkerCounts returns {1, 2, NumCPU} deduplicated and sorted.
+func benchWorkerCounts() []int {
+	counts := []int{1}
+	if runtime.NumCPU() > 2 {
+		counts = append(counts, 2)
+	}
+	if runtime.NumCPU() > 1 {
+		counts = append(counts, runtime.NumCPU())
+	}
+	return counts
+}
+
+// benchDataset generates the workload once per benchmark: a D5kA25
+// synthetic dataset with 10 embedded rules.
+func benchDataset(b *testing.B) *Dataset {
+	b.Helper()
+	p := SyntheticDefaults()
+	p.N = 5000
+	p.Attrs = 25
+	p.NumRules = 10
+	p.MinCvg = 200
+	p.MaxCvg = 400
+	p.MinConf = 0.7
+	p.MaxConf = 0.9
+	p.Seed = 7
+	res, err := Synthetic(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Data
+}
+
+func BenchmarkParallelMine(b *testing.B) {
+	d := benchDataset(b)
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Mine(d, Config{
+					MinSup:  120,
+					Method:  MethodDirect,
+					Control: ControlFWER,
+					Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink = res
+			}
+		})
+	}
+}
+
+func BenchmarkParallelMinePermute(b *testing.B) {
+	d := benchDataset(b)
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Mine(d, Config{
+					MinSup:       120,
+					Method:       MethodPermutation,
+					Control:      ControlFWER,
+					Permutations: 60,
+					Seed:         1,
+					Workers:      workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink = res
+			}
+		})
 	}
 }
 

@@ -33,6 +33,7 @@ func main() {
 		method     = flag.String("method", "direct", "correction: none | direct | permutation | holdout | layered")
 		perms      = flag.Int("perms", 1000, "permutations for -method permutation")
 		seed       = flag.Uint64("seed", 1, "random seed (permutations, holdout split, stand-ins)")
+		workers    = flag.Int("workers", 0, "worker goroutines for mining and permutations (0 = all CPUs)")
 		maxLen     = flag.Int("maxlen", 0, "maximum rule LHS length (0 = unlimited)")
 		limit      = flag.Int("limit", 50, "print at most this many rules (0 = all)")
 		quiet      = flag.Bool("q", false, "print rules only, no summary")
@@ -51,6 +52,7 @@ func main() {
 		Alpha:        *alpha,
 		Permutations: *perms,
 		Seed:         *seed,
+		Workers:      *workers,
 		MaxLen:       *maxLen,
 	}
 	switch strings.ToLower(*control) {

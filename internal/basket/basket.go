@@ -156,6 +156,8 @@ type Options struct {
 	Consequents []int
 	// MaxNodes bounds the closed-pattern count (0 = unlimited).
 	MaxNodes int
+	// Workers bounds the miner's goroutines (0 = GOMAXPROCS).
+	Workers int
 }
 
 // Mine enumerates rules X ⇒ y with X a closed frequent itemset and y a

@@ -16,6 +16,7 @@ func mineClosedEncoded(enc *dataset.Encoded, opts Options) (*mining.Tree, error)
 		StoreDiffsets: true,
 		MaxLen:        opts.MaxLen,
 		MaxNodes:      opts.MaxNodes,
+		Workers:       opts.Workers,
 	})
 }
 
@@ -73,7 +74,7 @@ func PermFWER(d *Data, rules []Rule, alpha float64, numPerms int, seed uint64, w
 			}
 		}
 		enc := d.LabeledByItem(y)
-		tree, err := mineClosedEncoded(enc, Options{MinSup: minSup})
+		tree, err := mineClosedEncoded(enc, Options{MinSup: minSup, Workers: workers})
 		if err != nil {
 			return nil, err
 		}

@@ -6,7 +6,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -99,7 +101,12 @@ type Config struct {
 	// Permutations is N for MethodPermutation (default 1000, the paper's
 	// setting).
 	Permutations int
-	// Seed drives permutation shuffles and holdout splits.
+	// Seed drives permutation shuffles and holdout splits. Seeding is
+	// fully explicit — nothing in the pipeline reads global or time-based
+	// randomness — so equal (Seed, Config) pairs reproduce byte-identical
+	// results for any Workers value. Permutation j derives its own RNG
+	// from (Seed, j), which is what keeps the shuffles independent of the
+	// worker count.
 	Seed uint64
 	// Opt is the permutation optimisation level (default OptStaticBuffer,
 	// i.e. everything on).
@@ -110,7 +117,9 @@ type Config struct {
 	// StaticBudget is the static p-value buffer budget in bytes under
 	// OptStaticBuffer (default 16 MB).
 	StaticBudget int
-	// Workers caps permutation worker goroutines (default GOMAXPROCS).
+	// Workers caps the worker goroutines of every parallel stage — closed
+	// pattern mining and permutation re-evaluation (default GOMAXPROCS).
+	// Results are byte-identical for every value.
 	Workers int
 	// MaxLen caps mined pattern length (0 = unlimited).
 	MaxLen int
@@ -164,6 +173,9 @@ func (c Config) withDefaults(n int) (Config, error) {
 	}
 	if c.HoldoutMinSupDivisor == 0 {
 		c.HoldoutMinSupDivisor = 2
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	return c, nil
 }
@@ -219,6 +231,14 @@ type Result struct {
 
 // Run executes the configured pipeline on d.
 func Run(d *dataset.Dataset, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), d, cfg)
+}
+
+// RunContext executes the configured pipeline on d as an explicit staged
+// run — encode → mine → score → correct — threading ctx and cfg.Workers
+// into every parallel stage. Cancelling ctx aborts the run promptly with
+// the context's error; results are byte-identical for every worker count.
+func RunContext(ctx context.Context, d *dataset.Dataset, cfg Config) (*Result, error) {
 	cfg, err := cfg.withDefaults(d.NumRecords())
 	if err != nil {
 		return nil, err
@@ -227,41 +247,99 @@ func Run(d *dataset.Dataset, cfg Config) (*Result, error) {
 		if cfg.Test != mining.TestFisher {
 			return nil, fmt.Errorf("core: the holdout method supports the Fisher test only")
 		}
-		return runHoldout(d, cfg)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return runHoldout(ctx, d, cfg)
 	}
 
-	start := time.Now()
-	enc := dataset.Encode(d)
-	tree, err := mining.MineClosed(enc, mining.Options{
-		MinSup:        cfg.MinSup,
-		StoreDiffsets: cfg.Method != MethodPermutation || cfg.Opt.WantDiffsets(),
-		MaxLen:        cfg.MaxLen,
-		MaxNodes:      cfg.MaxNodes,
-	})
-	if err != nil {
-		return nil, err
-	}
-	rules, err := mining.GenerateRules(tree, mining.RuleOptions{
-		Policy:  cfg.Policy,
-		Class:   cfg.FixedClass,
-		MinConf: cfg.MinConf,
-		Test:    cfg.Test,
-	})
-	if err != nil {
-		return nil, err
-	}
-	// Optional §7 redundancy reduction: test only representative rules.
-	var reduction *redundancy.Reduction
-	if cfg.RedundancyEpsilon > 0 {
-		reduction, err = redundancy.Reduce(tree, rules, cfg.RedundancyEpsilon)
-		if err != nil {
+	p := &pipeline{ctx: ctx, cfg: cfg, data: d}
+	for _, stage := range []func() error{p.encode, p.mine, p.score, p.correct} {
+		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if err := stage(); err != nil {
+			return nil, err
+		}
+	}
+	return p.finish(), nil
+}
+
+// pipeline carries the intermediate state of one RunContext through its
+// four stages. Each stage reads the outputs of the previous ones and the
+// shared ctx/cfg; splitting them out keeps the parallelism knobs (Workers,
+// cancellation) visible at every hand-off.
+type pipeline struct {
+	ctx  context.Context
+	cfg  Config
+	data *dataset.Dataset
+
+	// encode
+	enc *dataset.Encoded
+	// mine
+	tree     *mining.Tree
+	mineTime time.Duration
+	// score
+	rules []mining.Rule
+	// correct
+	outcome     *correction.Outcome
+	correctTime time.Duration
+}
+
+// encode builds the vertical (item → tid-list) representation.
+func (p *pipeline) encode() error {
+	p.enc = dataset.Encode(p.data)
+	return nil
+}
+
+// mine enumerates closed frequent patterns on the worker pool.
+func (p *pipeline) mine() error {
+	start := time.Now()
+	tree, err := mining.MineClosedContext(p.ctx, p.enc, mining.Options{
+		MinSup:        p.cfg.MinSup,
+		StoreDiffsets: p.cfg.Method != MethodPermutation || p.cfg.Opt.WantDiffsets(),
+		MaxLen:        p.cfg.MaxLen,
+		MaxNodes:      p.cfg.MaxNodes,
+		Workers:       p.cfg.Workers,
+	})
+	if err != nil {
+		return err
+	}
+	p.tree = tree
+	p.mineTime = time.Since(start)
+	return nil
+}
+
+// score turns patterns into rules with original-label p-values, optionally
+// folding near-duplicate patterns (§7 redundancy reduction) before testing.
+func (p *pipeline) score() error {
+	start := time.Now()
+	rules, err := mining.GenerateRules(p.tree, mining.RuleOptions{
+		Policy:  p.cfg.Policy,
+		Class:   p.cfg.FixedClass,
+		MinConf: p.cfg.MinConf,
+		Test:    p.cfg.Test,
+	})
+	if err != nil {
+		return err
+	}
+	if p.cfg.RedundancyEpsilon > 0 {
+		reduction, err := redundancy.Reduce(p.tree, rules, p.cfg.RedundancyEpsilon)
+		if err != nil {
+			return err
 		}
 		rules = reduction.KeptRules
 	}
-	mineTime := time.Since(start)
+	p.rules = rules
+	p.mineTime += time.Since(start)
+	return nil
+}
 
-	start = time.Now()
+// correct applies the configured multiple-testing correction.
+func (p *pipeline) correct() error {
+	cfg := p.cfg
+	rules := p.rules
+	start := time.Now()
 	ps := make([]float64, len(rules))
 	for i := range rules {
 		ps[i] = rules[i].P
@@ -272,15 +350,16 @@ func Run(d *dataset.Dataset, cfg Config) (*Result, error) {
 		outcome = correction.None(ps, cfg.Alpha)
 	case MethodLayered:
 		if cfg.Control != ControlFWER {
-			return nil, fmt.Errorf("core: layered critical values control FWER only")
+			return fmt.Errorf("core: layered critical values control FWER only")
 		}
 		lengths := make([]int, len(rules))
 		for i := range rules {
 			lengths[i] = rules[i].Length()
 		}
+		var err error
 		outcome, err = correction.LayeredCriticalValues(ps, lengths, 0, cfg.Alpha)
 		if err != nil {
-			return nil, err
+			return err
 		}
 	case MethodDirect:
 		if cfg.Control == ControlFWER {
@@ -289,50 +368,59 @@ func Run(d *dataset.Dataset, cfg Config) (*Result, error) {
 			outcome = correction.BenjaminiHochberg(ps, len(ps), cfg.Alpha)
 		}
 	case MethodPermutation:
-		engine, err := permute.NewEngine(tree, rules, permute.Config{
+		engine, err := permute.NewEngine(p.tree, rules, permute.Config{
 			NumPerms:     cfg.Permutations,
 			Seed:         cfg.Seed,
 			Opt:          cfg.Opt,
 			StaticBudget: cfg.StaticBudget,
 			Workers:      cfg.Workers,
 			Test:         cfg.Test,
+			Ctx:          p.ctx,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if cfg.Control == ControlFWER {
 			outcome = correction.PermFWER(engine, rules, cfg.Alpha)
 		} else {
 			outcome = correction.PermFDR(engine, rules, cfg.Alpha)
 		}
+		if err := engine.Err(); err != nil {
+			return err
+		}
 	default:
-		return nil, fmt.Errorf("core: unknown method %d", cfg.Method)
+		return fmt.Errorf("core: unknown method %d", cfg.Method)
 	}
-	correctTime := time.Since(start)
+	p.outcome = outcome
+	p.correctTime = time.Since(start)
+	return nil
+}
 
+// finish assembles the user-facing Result.
+func (p *pipeline) finish() *Result {
 	res := &Result{
-		Method:      cfg.Method,
-		Control:     cfg.Control,
-		Alpha:       cfg.Alpha,
-		MinSup:      cfg.MinSup,
-		NumRecords:  d.NumRecords(),
-		NumPatterns: tree.NumPatterns(),
-		NumTested:   len(rules),
-		Cutoff:      outcome.Cutoff,
-		Tested:      rules,
-		Outcome:     outcome,
-		MineTime:    mineTime,
-		CorrectTime: correctTime,
+		Method:      p.cfg.Method,
+		Control:     p.cfg.Control,
+		Alpha:       p.cfg.Alpha,
+		MinSup:      p.cfg.MinSup,
+		NumRecords:  p.data.NumRecords(),
+		NumPatterns: p.tree.NumPatterns(),
+		NumTested:   len(p.rules),
+		Cutoff:      p.outcome.Cutoff,
+		Tested:      p.rules,
+		Outcome:     p.outcome,
+		MineTime:    p.mineTime,
+		CorrectTime: p.correctTime,
 	}
-	for _, i := range outcome.Significant {
-		res.Significant = append(res.Significant, toRule(&rules[i], enc.Enc))
+	for _, i := range p.outcome.Significant {
+		res.Significant = append(res.Significant, toRule(&p.rules[i], p.enc.Enc))
 	}
 	sortRules(res.Significant)
-	return res, nil
+	return res
 }
 
 // runHoldout executes the two-phase holdout pipeline.
-func runHoldout(d *dataset.Dataset, cfg Config) (*Result, error) {
+func runHoldout(ctx context.Context, d *dataset.Dataset, cfg Config) (*Result, error) {
 	start := time.Now()
 	var explore, eval *dataset.Dataset
 	if cfg.HoldoutRandom {
@@ -351,6 +439,8 @@ func runHoldout(d *dataset.Dataset, cfg Config) (*Result, error) {
 		Policy:        cfg.Policy,
 		Class:         cfg.FixedClass,
 		MaxLen:        cfg.MaxLen,
+		Workers:       cfg.Workers,
+		Ctx:           ctx,
 	})
 	if err != nil {
 		return nil, err

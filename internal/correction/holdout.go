@@ -1,6 +1,7 @@
 package correction
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dataset"
@@ -25,6 +26,10 @@ type HoldoutConfig struct {
 	Class  int32
 	// MaxLen caps mined pattern length (0 = unlimited).
 	MaxLen int
+	// Workers bounds the exploratory miner's goroutines (0 = GOMAXPROCS).
+	Workers int
+	// Ctx, when non-nil, cancels the run (nil = no cancellation).
+	Ctx context.Context
 }
 
 // HoldoutRule is one candidate rule with its statistics on both halves.
@@ -68,11 +73,16 @@ func Holdout(explore, eval *dataset.Dataset, cfg HoldoutConfig) (*HoldoutResult,
 	if cfg.MinSupExplore < 1 {
 		return nil, fmt.Errorf("correction: MinSupExplore must be >= 1, got %d", cfg.MinSupExplore)
 	}
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	enc := dataset.Encode(explore)
-	tree, err := mining.MineClosed(enc, mining.Options{
+	tree, err := mining.MineClosedContext(ctx, enc, mining.Options{
 		MinSup:        cfg.MinSupExplore,
 		StoreDiffsets: true,
 		MaxLen:        cfg.MaxLen,
+		Workers:       cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -94,6 +104,9 @@ func Holdout(explore, eval *dataset.Dataset, cfg HoldoutConfig) (*HoldoutResult,
 	}
 
 	for i := range rules {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r := &rules[i]
 		if r.P > cfg.Alpha {
 			continue

@@ -20,12 +20,13 @@ func pThresholds(loExp int) []float64 {
 }
 
 // minePValues mines d and returns the p-values of all tested rules.
-func minePValues(d *dataset.Dataset, minSup int, maxNodes int) ([]float64, error) {
+func minePValues(d *dataset.Dataset, minSup int, maxNodes int, workers int) ([]float64, error) {
 	enc := dataset.Encode(d)
 	tree, err := mining.MineClosed(enc, mining.Options{
 		MinSup:        minSup,
 		StoreDiffsets: true,
 		MaxNodes:      maxNodes,
+		Workers:       workers,
 	})
 	if err != nil {
 		return nil, err
@@ -96,7 +97,7 @@ func Fig3(o Options) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		ps, err := minePValues(res.Data, 100, 2_000_000)
+		ps, err := minePValues(res.Data, 100, 2_000_000, o.workers())
 		if err != nil {
 			return nil, err
 		}
@@ -132,7 +133,7 @@ func Fig15(o Options) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		ps, err := minePValues(d, fig15MinSups[name], 2_000_000)
+		ps, err := minePValues(d, fig15MinSups[name], 2_000_000, o.workers())
 		if err != nil {
 			return nil, err
 		}

@@ -28,7 +28,7 @@ type Options struct {
 	Perms int
 	// Seed makes every experiment deterministic.
 	Seed uint64
-	// Workers caps permutation parallelism (0 = GOMAXPROCS).
+	// Workers caps mining and permutation parallelism (0 = GOMAXPROCS).
 	Workers int
 	// Progress, if non-nil, receives one-line progress messages.
 	Progress func(string)

@@ -45,7 +45,7 @@ func ExtRedundancy(o Options) (*Figure, error) {
 				return nil, err
 			}
 			enc := dataset.Encode(res.Data)
-			tree, err := mining.MineClosed(enc, mining.Options{MinSup: 150, StoreDiffsets: true})
+			tree, err := mining.MineClosed(enc, mining.Options{MinSup: 150, StoreDiffsets: true, Workers: o.workers()})
 			if err != nil {
 				return nil, err
 			}
@@ -103,7 +103,7 @@ func ExtTestKinds(o Options) (*Table, error) {
 		return nil, err
 	}
 	enc := dataset.Encode(d)
-	tree, err := mining.MineClosed(enc, mining.Options{MinSup: 60, StoreDiffsets: true, MaxNodes: 2_000_000})
+	tree, err := mining.MineClosed(enc, mining.Options{MinSup: 60, StoreDiffsets: true, MaxNodes: 2_000_000, Workers: o.workers()})
 	if err != nil {
 		return nil, err
 	}
@@ -147,7 +147,7 @@ func ExtBufferBudget(o Options) (*Table, error) {
 		return nil, err
 	}
 	enc := dataset.Encode(d)
-	tree, err := mining.MineClosed(enc, mining.Options{MinSup: 60, StoreDiffsets: true, MaxNodes: 2_000_000})
+	tree, err := mining.MineClosed(enc, mining.Options{MinSup: 60, StoreDiffsets: true, MaxNodes: 2_000_000, Workers: o.workers()})
 	if err != nil {
 		return nil, err
 	}

@@ -133,6 +133,7 @@ func runOneDataset(cfg batteryConfig, di int) (res perDataset) {
 		MinSup:        cfg.minSupWhole,
 		StoreDiffsets: true,
 		MaxNodes:      2_000_000,
+		Workers:       1, // parallelism lives at the dataset level here
 	})
 	if err != nil {
 		res.err = err
@@ -186,6 +187,7 @@ func runOneDataset(cfg batteryConfig, di int) (res perDataset) {
 			Alpha:         cfg.alpha,
 			UseFDR:        fdr,
 			Policy:        mining.PaperPolicy,
+			Workers:       1, // parallelism lives at the dataset level here
 		})
 	}
 	if cfg.wants(MHDBC) || cfg.wants(MHDBH) {

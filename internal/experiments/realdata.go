@@ -38,7 +38,7 @@ func realSweep(name string, full bool) []int {
 // significant rules under each method of the figure.
 func significantCounts(d *dataset.Dataset, minSup, perms int, fdr bool, seed uint64, workers int) (map[string]float64, error) {
 	enc := dataset.Encode(d)
-	tree, err := mining.MineClosed(enc, mining.Options{MinSup: minSup, StoreDiffsets: true, MaxNodes: 2_000_000})
+	tree, err := mining.MineClosed(enc, mining.Options{MinSup: minSup, StoreDiffsets: true, MaxNodes: 2_000_000, Workers: workers})
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +154,7 @@ func Table4(o Options) (*Table, error) {
 		return nil, err
 	}
 	enc := dataset.Encode(d)
-	tree, err := mining.MineClosed(enc, mining.Options{MinSup: 60, StoreDiffsets: true, MaxNodes: 2_000_000})
+	tree, err := mining.MineClosed(enc, mining.Options{MinSup: 60, StoreDiffsets: true, MaxNodes: 2_000_000, Workers: o.workers()})
 	if err != nil {
 		return nil, err
 	}

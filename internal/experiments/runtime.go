@@ -112,6 +112,7 @@ func permutationTime(d *dataset.Dataset, minSup, perms int, opt permute.OptLevel
 		MinSup:        minSup,
 		StoreDiffsets: opt.WantDiffsets(),
 		MaxNodes:      2_000_000,
+		Workers:       workers,
 	})
 	if err != nil {
 		return 0, err
@@ -188,7 +189,7 @@ func approachTime(d *dataset.Dataset, minSup, perms int, approach string, seed u
 		return permutationTime(d, minSup, perms, permute.OptStaticBuffer, seed, workers)
 	case "direct adjustment":
 		enc := dataset.Encode(d)
-		tree, err := mining.MineClosed(enc, mining.Options{MinSup: minSup, StoreDiffsets: true, MaxNodes: 2_000_000})
+		tree, err := mining.MineClosed(enc, mining.Options{MinSup: minSup, StoreDiffsets: true, MaxNodes: 2_000_000, Workers: workers})
 		if err != nil {
 			return 0, err
 		}
@@ -207,6 +208,7 @@ func approachTime(d *dataset.Dataset, minSup, perms int, approach string, seed u
 			MinSupExplore: max(1, minSup/2),
 			Alpha:         0.05,
 			Policy:        mining.PaperPolicy,
+			Workers:       workers,
 		}); err != nil {
 			return 0, err
 		}

@@ -2,7 +2,10 @@
 // utilities. Both representations are used throughout the miner for record
 // id lists ("tid-lists"): sorted slices when lists are sparse and the code
 // walks them element by element, bitsets when constant-time membership or
-// bulk intersection counting is needed.
+// bulk intersection counting is needed. Rep bundles the two adaptively: it
+// always keeps the sorted slice and adds a bitset when the set is dense
+// relative to its universe, so hot intersections against dense sets become
+// membership probes instead of merge loops.
 //
 // All slice-based functions require their inputs to be strictly increasing;
 // they never modify their inputs and allocate only when documented.
@@ -218,6 +221,28 @@ func (b *Bitset) AndCount(o *Bitset) int {
 	return n
 }
 
+// IntersectSliceInto appends a ∩ b to dst by membership-testing each
+// element of the strictly increasing slice a against the bitset — O(len(a))
+// regardless of the bitset's population. dst must not alias a.
+func (b *Bitset) IntersectSliceInto(dst, a []uint32) []uint32 {
+	for _, x := range a {
+		if b.words[x>>6]&(1<<(x&63)) != 0 {
+			dst = append(dst, x)
+		}
+	}
+	return dst
+}
+
+// ContainsAll reports whether every element of a is in the set.
+func (b *Bitset) ContainsAll(a []uint32) bool {
+	for _, x := range a {
+		if b.words[x>>6]&(1<<(x&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Reset removes all elements.
 func (b *Bitset) Reset() {
 	for i := range b.words {
@@ -236,4 +261,73 @@ func (b *Bitset) Slice(dst []uint32) []uint32 {
 		}
 	}
 	return dst
+}
+
+// denseShift sets the adaptive density cut-off: a tid-set covering at
+// least universe>>denseShift records (≥ 1/8 of the universe) gets a bitset
+// alongside its sorted slice. Below that, the bitset's memory (universe/8
+// bytes) and construction cost outweigh the membership-test savings.
+const denseShift = 3
+
+// denseMin is the minimum element count before a bitset is worthwhile at
+// all; tiny sets are faster as plain merge loops whatever their density.
+const denseMin = 64
+
+// Rep is an adaptive tid-set representation: the sorted slice is always
+// present, and sets dense relative to their universe additionally carry a
+// bitset so intersections and subset tests against them cost O(len(other))
+// membership probes instead of an O(len(a)+len(b)) merge loop.
+//
+// Rep is immutable after construction and safe for concurrent readers.
+type Rep struct {
+	// Ids is the sorted tid-list (always valid).
+	Ids  []uint32
+	bits *Bitset // non-nil iff the set is dense
+}
+
+// NewRep wraps ids (strictly increasing, values < universe) in a Rep,
+// building the bitset when the set is dense. The slice is retained, not
+// copied.
+func NewRep(universe int, ids []uint32) *Rep {
+	r := &Rep{Ids: ids}
+	if len(ids) >= denseMin && universe > 0 && len(ids) >= universe>>denseShift {
+		r.bits = FromSlice(universe, ids)
+	}
+	return r
+}
+
+// Dense reports whether the Rep carries a bitset.
+func (r *Rep) Dense() bool { return r.bits != nil }
+
+// Len returns the number of elements.
+func (r *Rep) Len() int { return len(r.Ids) }
+
+// IntersectInto appends a ∩ r to dst and returns the extended slice,
+// choosing the membership-probe path when the Rep is dense. dst must not
+// alias a.
+func (r *Rep) IntersectInto(dst, a []uint32) []uint32 {
+	if r.bits != nil {
+		return r.bits.IntersectSliceInto(dst, a)
+	}
+	return IntersectInto(dst, a, r.Ids)
+}
+
+// Intersect returns a newly allocated a ∩ r.
+func (r *Rep) Intersect(a []uint32) []uint32 {
+	n := len(a)
+	if len(r.Ids) < n {
+		n = len(r.Ids)
+	}
+	return r.IntersectInto(make([]uint32, 0, n), a)
+}
+
+// ContainsAll reports whether a ⊆ r.
+func (r *Rep) ContainsAll(a []uint32) bool {
+	if len(a) > len(r.Ids) {
+		return false
+	}
+	if r.bits != nil {
+		return r.bits.ContainsAll(a)
+	}
+	return Subset(a, r.Ids)
 }

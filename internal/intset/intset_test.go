@@ -222,3 +222,79 @@ func TestIntersectIntoReuse(t *testing.T) {
 		t.Errorf("DiffInto = %v", got2)
 	}
 }
+
+// randomSet returns a sorted, strictly increasing random subset of
+// [0, universe) with the given density.
+func randomSet(rng *rand.Rand, universe int, density float64) []uint32 {
+	var out []uint32
+	for i := 0; i < universe; i++ {
+		if rng.Float64() < density {
+			out = append(out, uint32(i))
+		}
+	}
+	return out
+}
+
+func TestBitsetIntersectSliceAndContainsAll(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	for iter := 0; iter < 50; iter++ {
+		universe := 1 + rng.IntN(500)
+		a := randomSet(rng, universe, 0.3)
+		b := randomSet(rng, universe, 0.5)
+		bs := FromSlice(universe, b)
+		got := bs.IntersectSliceInto(nil, a)
+		want := Intersect(a, b)
+		if !Equal(got, want) {
+			t.Fatalf("IntersectSliceInto = %v, want %v", got, want)
+		}
+		if bs.ContainsAll(a) != Subset(a, b) {
+			t.Fatalf("ContainsAll(%v) over %v disagrees with Subset", a, b)
+		}
+		if !bs.ContainsAll(want) {
+			t.Fatalf("ContainsAll of the intersection must hold")
+		}
+	}
+}
+
+func TestRepMatchesSliceSemantics(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 3))
+	for iter := 0; iter < 60; iter++ {
+		universe := 1 + rng.IntN(800)
+		// Mix sparse and dense sets so both Rep paths are exercised.
+		density := []float64{0.01, 0.1, 0.4, 0.9}[rng.IntN(4)]
+		ids := randomSet(rng, universe, density)
+		a := randomSet(rng, universe, 0.2)
+		r := NewRep(universe, ids)
+		if r.Len() != len(ids) {
+			t.Fatalf("Len = %d, want %d", r.Len(), len(ids))
+		}
+		if got, want := r.Intersect(a), Intersect(a, ids); !Equal(got, want) {
+			t.Fatalf("dense=%v: Rep.Intersect = %v, want %v", r.Dense(), got, want)
+		}
+		if got, want := r.ContainsAll(a), Subset(a, ids); got != want {
+			t.Fatalf("dense=%v: Rep.ContainsAll = %v, want %v", r.Dense(), got, want)
+		}
+		sub := r.Intersect(a)
+		if !r.ContainsAll(sub) {
+			t.Fatal("Rep must contain its own intersection output")
+		}
+	}
+}
+
+func TestRepDensityChoice(t *testing.T) {
+	universe := 1024
+	dense := make([]uint32, 0, universe/2)
+	for i := 0; i < universe; i += 2 {
+		dense = append(dense, uint32(i))
+	}
+	if !NewRep(universe, dense).Dense() {
+		t.Error("half-full set should use the bitset path")
+	}
+	sparse := []uint32{1, 5, 900}
+	if NewRep(universe, sparse).Dense() {
+		t.Error("3-element set should stay slice-only")
+	}
+	if NewRep(0, nil).Dense() {
+		t.Error("empty universe should stay slice-only")
+	}
+}

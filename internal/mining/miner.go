@@ -1,8 +1,12 @@
 package mining
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 	"repro/internal/intset"
@@ -22,9 +26,20 @@ type Options struct {
 	// generator embeds rules up to length 16; real mining runs unlimited.
 	MaxLen int
 	// MaxNodes aborts mining after this many closed patterns (0 =
-	// unlimited); a defensive bound for adversarial datasets.
+	// unlimited); a defensive bound for adversarial datasets. The budget is
+	// shared atomically across workers, so the bound trips under
+	// concurrency exactly when it would trip sequentially.
 	MaxNodes int
+	// Workers is the number of goroutines mining first-level enumeration
+	// subtrees concurrently (0 = GOMAXPROCS). The merge is deterministic:
+	// the produced tree — node order, indices, Diffsets — is byte-identical
+	// for every worker count.
+	Workers int
 }
+
+// errStopped aborts a worker's DFS when another worker has already failed
+// (budget exhausted) or the context was cancelled.
+var errStopped = fmt.Errorf("mining: stopped")
 
 // MineClosed enumerates every closed frequent pattern of enc and returns
 // the set-enumeration tree. The algorithm is LCM-style prefix-preserving
@@ -35,6 +50,14 @@ type Options struct {
 // is not already in the parent closure (such a pattern was or will be
 // produced in another branch).
 func MineClosed(enc *dataset.Encoded, opts Options) (*Tree, error) {
+	return MineClosedContext(context.Background(), enc, opts)
+}
+
+// MineClosedContext is MineClosed with cancellation. The first-level
+// closure extensions of the root are independent subtrees; they are mined
+// concurrently by opts.Workers goroutines and merged back in enumeration
+// order, so the result is identical to the sequential run.
+func MineClosedContext(ctx context.Context, enc *dataset.Encoded, opts Options) (*Tree, error) {
 	if opts.MinSup < 1 {
 		return nil, fmt.Errorf("mining: MinSup must be >= 1, got %d", opts.MinSup)
 	}
@@ -59,20 +82,16 @@ func MineClosed(enc *dataset.Encoded, opts Options) (*Tree, error) {
 		}
 		return freq[a].item < freq[b].item
 	})
-	tids := make([][]uint32, len(freq))
-	for oi, f := range freq {
-		tids[oi] = enc.Tids[f.item]
-	}
 
 	m := &miner{
-		enc:   enc,
-		opts:  opts,
-		freq:  make([]dataset.Item, len(freq)),
-		tids:  tids,
-		inSet: make([]bool, len(freq)),
+		enc:  enc,
+		opts: opts,
+		freq: make([]dataset.Item, len(freq)),
+		reps: make([]*intset.Rep, len(freq)),
 	}
 	for oi, f := range freq {
 		m.freq[oi] = f.item
+		m.reps[oi] = intset.NewRep(n, enc.Tids[f.item])
 	}
 
 	// Root: the closure of the empty pattern is every item present in all
@@ -81,11 +100,12 @@ func MineClosed(enc *dataset.Encoded, opts Options) (*Tree, error) {
 	for r := 0; r < n; r++ {
 		rootTids[r] = uint32(r)
 	}
+	rootInSet := make([]bool, len(m.freq))
 	rootClosure := make([]int, 0)
 	for oi := range m.freq {
-		if len(m.tids[oi]) == n {
+		if m.reps[oi].Len() == n {
 			rootClosure = append(rootClosure, oi)
-			m.inSet[oi] = true
+			rootInSet[oi] = true
 		}
 	}
 	root := &Node{
@@ -97,22 +117,101 @@ func MineClosed(enc *dataset.Encoded, opts Options) (*Tree, error) {
 		Depth:       0,
 	}
 	tree := &Tree{Enc: enc, Root: root, Nodes: []*Node{root}, MinSup: opts.MinSup}
-	m.tree = tree
+	m.nodeCount.Store(1) // the root occupies one budget slot
 
-	if err := m.expand(root, rootTids, rootClosure, -1); err != nil {
+	// Every first-level candidate spawns an independent subtree task.
+	tasks := make([]int, 0, len(m.freq))
+	for cand := range m.freq {
+		if !rootInSet[cand] {
+			tasks = append(tasks, cand)
+		}
+	}
+	if len(tasks) == 0 {
+		return tree, nil
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	// A watcher translates context cancellation into the cheap stop flag
+	// the DFS polls.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			m.stop.Store(true)
+		case <-watchDone:
+		}
+	}()
+
+	results := make([][]*Node, len(tasks))
+	var next atomic.Int64
+	var firstErr atomic.Pointer[error]
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := &workerState{m: m, inSet: make([]bool, len(m.freq))}
+			copy(ws.inSet, rootInSet)
+			for {
+				ti := int(next.Add(1)) - 1
+				if ti >= len(tasks) || m.stop.Load() {
+					return
+				}
+				ws.nodes = ws.nodes[:0]
+				err := ws.mineRootChild(root, rootTids, rootClosure, tasks[ti])
+				if err != nil {
+					if err != errStopped {
+						firstErr.CompareAndSwap(nil, &err)
+						m.stop.Store(true)
+					}
+					return
+				}
+				sub := make([]*Node, len(ws.nodes))
+				copy(sub, ws.nodes)
+				results[ti] = sub
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if ep := firstErr.Load(); ep != nil {
+		return nil, *ep
+	}
+
+	// Deterministic merge: subtrees concatenate in first-level enumeration
+	// order (each already in DFS pre-order), then indices are assigned —
+	// reproducing the sequential append order exactly.
+	for _, sub := range results {
+		tree.Nodes = append(tree.Nodes, sub...)
+	}
+	for i, nd := range tree.Nodes {
+		nd.Index = i
 	}
 	return tree, nil
 }
 
+// miner holds the shared, read-only mining state plus the two cross-worker
+// atomics (node budget, stop flag).
 type miner struct {
 	enc  *dataset.Encoded
 	opts Options
-	tree *Tree
 
-	freq  []dataset.Item // order index -> original item id
-	tids  [][]uint32     // order index -> tid-list
-	inSet []bool         // order index -> currently in the DFS closure
+	freq []dataset.Item // order index -> original item id
+	reps []*intset.Rep  // order index -> adaptive tid-set (dense items carry bitsets; Ids is the tid-list)
+
+	nodeCount atomic.Int64 // nodes created across all workers (incl. root)
+	stop      atomic.Bool  // set on budget exhaustion or cancellation
 }
 
 // itemsOf converts order indices to sorted original item ids.
@@ -125,78 +224,136 @@ func (m *miner) itemsOf(orderIdx []int) []dataset.Item {
 	return out
 }
 
+// chargeNode claims one slot of the shared node budget, failing when
+// MaxNodes is exceeded. Because the budget counts every node any worker
+// creates, the bound trips if and only if the sequential enumeration would
+// exceed it.
+func (m *miner) chargeNode() error {
+	if m.opts.MaxNodes > 0 && m.nodeCount.Add(1) > int64(m.opts.MaxNodes) {
+		m.stop.Store(true)
+		return fmt.Errorf("mining: node budget %d exhausted (lower MinSup or raise MaxNodes)", m.opts.MaxNodes)
+	}
+	return nil
+}
+
+// workerState carries one worker's mutable DFS state. inSet mirrors the
+// sequential miner's invariant: inSet[oi] is true exactly for oi in the
+// closure currently on the DFS stack.
+type workerState struct {
+	m     *miner
+	inSet []bool
+	nodes []*Node // this task's subtree in DFS pre-order
+}
+
+// mineRootChild runs the body of the root-level enumeration loop for a
+// single first-level candidate: extend the root closure with cand, apply
+// the prefix-preservation check, and if the pattern survives, emit its
+// node and expand the subtree below it.
+func (ws *workerState) mineRootChild(root *Node, rootTids []uint32, rootClosure []int, cand int) error {
+	m := ws.m
+	if m.opts.MaxLen > 0 && len(rootClosure) >= m.opts.MaxLen {
+		return nil
+	}
+	child, newTids, newClosure, err := ws.extend(root, rootTids, rootClosure, cand)
+	if err != nil || child == nil {
+		return err
+	}
+	for _, oi := range newClosure[len(rootClosure):] {
+		ws.inSet[oi] = true
+	}
+	err = ws.expand(child, newTids, newClosure, cand)
+	for _, oi := range newClosure[len(rootClosure):] {
+		ws.inSet[oi] = false
+	}
+	return err
+}
+
+// extend tries to grow node's closure with candidate cand. It returns the
+// new child node (nil when the extension is infrequent, too long, or
+// pruned by prefix preservation) along with the child's tid-list and
+// closure. The child is appended to ws.nodes but its inSet bits are NOT
+// set; the caller owns the set/unset pairing around recursion.
+func (ws *workerState) extend(node *Node, tids []uint32, closure []int, cand int) (*Node, []uint32, []int, error) {
+	m := ws.m
+	newTids := m.reps[cand].Intersect(tids)
+	if len(newTids) < m.opts.MinSup {
+		return nil, nil, nil, nil
+	}
+	// Closure of the extended record set: every item (not already in
+	// the closure) whose tid-list covers newTids. Prefix-preservation:
+	// if any such item is ordered before cand, this closed pattern
+	// belongs to (and was generated by) an earlier branch.
+	newClosure := make([]int, 0, len(closure)+4)
+	newClosure = append(newClosure, closure...)
+	newClosure = append(newClosure, cand)
+	for oi := 0; oi < len(m.freq); oi++ {
+		if oi == cand || ws.inSet[oi] {
+			continue
+		}
+		// A superset needs at least as many records.
+		if m.reps[oi].Len() < len(newTids) {
+			continue
+		}
+		if m.reps[oi].ContainsAll(newTids) {
+			if oi < cand {
+				return nil, nil, nil, nil
+			}
+			newClosure = append(newClosure, oi)
+		}
+	}
+	if m.opts.MaxLen > 0 && len(newClosure) > m.opts.MaxLen {
+		return nil, nil, nil, nil
+	}
+
+	child := &Node{
+		Closure:     m.itemsOf(newClosure),
+		Support:     len(newTids),
+		Parent:      node,
+		ClassCounts: CountClasses(newTids, m.enc.Labels, m.enc.NumClasses),
+		Depth:       node.Depth + 1,
+	}
+	if m.opts.StoreDiffsets && 2*len(newTids) > len(tids) {
+		child.Diff = intset.Diff(tids, newTids)
+	} else {
+		child.Tids = newTids
+	}
+	ws.nodes = append(ws.nodes, child)
+	if err := m.chargeNode(); err != nil {
+		return nil, nil, nil, err
+	}
+	return child, newTids, newClosure, nil
+}
+
 // expand grows the set-enumeration tree below node, whose closure (as
 // order indices) is closure and whose tid-list is tids. core is the order
-// index of the extension item that produced node (-1 for root).
+// index of the extension item that produced node.
 //
-// Invariant: m.inSet[oi] is true exactly for oi ∈ closure.
-func (m *miner) expand(node *Node, tids []uint32, closure []int, core int) error {
+// Invariant: ws.inSet[oi] is true exactly for oi ∈ closure.
+func (ws *workerState) expand(node *Node, tids []uint32, closure []int, core int) error {
+	m := ws.m
 	if m.opts.MaxLen > 0 && len(closure) >= m.opts.MaxLen {
 		return nil
 	}
 	for cand := core + 1; cand < len(m.freq); cand++ {
-		if m.inSet[cand] {
+		if ws.inSet[cand] {
 			continue
 		}
-		newTids := intset.Intersect(tids, m.tids[cand])
-		if len(newTids) < m.opts.MinSup {
+		if m.stop.Load() {
+			return errStopped
+		}
+		child, newTids, newClosure, err := ws.extend(node, tids, closure, cand)
+		if err != nil {
+			return err
+		}
+		if child == nil {
 			continue
 		}
-		// Closure of the extended record set: every item (not already in
-		// the closure) whose tid-list covers newTids. Prefix-preservation:
-		// if any such item is ordered before cand, this closed pattern
-		// belongs to (and was generated by) an earlier branch.
-		newClosure := make([]int, 0, len(closure)+4)
-		newClosure = append(newClosure, closure...)
-		newClosure = append(newClosure, cand)
-		violated := false
-		for oi := 0; oi < len(m.freq); oi++ {
-			if oi == cand || m.inSet[oi] {
-				continue
-			}
-			// A superset needs at least as many records.
-			if len(m.tids[oi]) < len(newTids) {
-				continue
-			}
-			if intset.Subset(newTids, m.tids[oi]) {
-				if oi < cand {
-					violated = true
-					break
-				}
-				newClosure = append(newClosure, oi)
-			}
-		}
-		if violated {
-			continue
-		}
-		if m.opts.MaxLen > 0 && len(newClosure) > m.opts.MaxLen {
-			continue
-		}
-
-		child := &Node{
-			Closure:     m.itemsOf(newClosure),
-			Support:     len(newTids),
-			Parent:      node,
-			ClassCounts: CountClasses(newTids, m.enc.Labels, m.enc.NumClasses),
-			Index:       len(m.tree.Nodes),
-			Depth:       node.Depth + 1,
-		}
-		if m.opts.StoreDiffsets && 2*len(newTids) > len(tids) {
-			child.Diff = intset.Diff(tids, newTids)
-		} else {
-			child.Tids = newTids
-		}
-		m.tree.Nodes = append(m.tree.Nodes, child)
-		if m.opts.MaxNodes > 0 && len(m.tree.Nodes) > m.opts.MaxNodes {
-			return fmt.Errorf("mining: node budget %d exhausted (lower MinSup or raise MaxNodes)", m.opts.MaxNodes)
-		}
-
 		for _, oi := range newClosure[len(closure):] {
-			m.inSet[oi] = true
+			ws.inSet[oi] = true
 		}
-		err := m.expand(child, newTids, newClosure, cand)
+		err = ws.expand(child, newTids, newClosure, cand)
 		for _, oi := range newClosure[len(closure):] {
-			m.inSet[oi] = false
+			ws.inSet[oi] = false
 		}
 		if err != nil {
 			return err

@@ -1,0 +1,162 @@
+package mining
+
+import (
+	"context"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/intset"
+)
+
+// treesIdentical asserts that two mined trees are byte-identical: same
+// node order, closures, supports, tid-list/Diffset storage, class counts,
+// indices and depths.
+func treesIdentical(t *testing.T, label string, a, b *Tree) {
+	t.Helper()
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatalf("%s: %d nodes vs %d", label, len(a.Nodes), len(b.Nodes))
+	}
+	for i := range a.Nodes {
+		na, nb := a.Nodes[i], b.Nodes[i]
+		if na.Index != nb.Index || na.Support != nb.Support || na.Depth != nb.Depth {
+			t.Fatalf("%s node %d: index/support/depth (%d,%d,%d) vs (%d,%d,%d)",
+				label, i, na.Index, na.Support, na.Depth, nb.Index, nb.Support, nb.Depth)
+		}
+		if patternKey(na.Closure) != patternKey(nb.Closure) {
+			t.Fatalf("%s node %d: closure %v vs %v", label, i, na.Closure, nb.Closure)
+		}
+		if na.HasDiff() != nb.HasDiff() {
+			t.Fatalf("%s node %d: storage kind differs (diff=%v vs %v)", label, i, na.HasDiff(), nb.HasDiff())
+		}
+		if !intset.Equal(na.Tids, nb.Tids) || !intset.Equal(na.Diff, nb.Diff) {
+			t.Fatalf("%s node %d: tid/diff storage differs", label, i)
+		}
+		for c := range na.ClassCounts {
+			if na.ClassCounts[c] != nb.ClassCounts[c] {
+				t.Fatalf("%s node %d: class counts differ", label, i)
+			}
+		}
+		pa, pb := -1, -1
+		if na.Parent != nil {
+			pa = na.Parent.Index
+		}
+		if nb.Parent != nil {
+			pb = nb.Parent.Index
+		}
+		if pa != pb {
+			t.Fatalf("%s node %d: parent %d vs %d", label, i, pa, pb)
+		}
+	}
+}
+
+// TestParallelMinerMatchesSequentialAndBrute is the property test of the
+// worker-pool miner: on randomized small datasets, every worker count must
+// produce a tree byte-identical to the Workers=1 run, the closed-pattern
+// set must match the exhaustive brute-force reference, and the generated
+// rule p-values must be identical across worker counts.
+func TestParallelMinerMatchesSequentialAndBrute(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2026, 727))
+	for trial := 0; trial < 25; trial++ {
+		n := 20 + rng.IntN(80)
+		attrs := 2 + rng.IntN(4)
+		vals := 2 + rng.IntN(3)
+		minSup := 2 + rng.IntN(5)
+		diffsets := trial%2 == 0
+		d := randomDataset(rng, n, attrs, vals, 2)
+		enc := dataset.Encode(d)
+
+		seq, err := MineClosed(enc, Options{MinSup: minSup, StoreDiffsets: diffsets, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqRules, err := GenerateRules(seq, RuleOptions{Policy: PaperPolicy})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Brute-force reference: same closed pattern set and supports.
+		brute := BruteForceClosed(enc, minSup)
+		want := make(map[string]int, len(brute))
+		for _, p := range brute {
+			want[patternKey(p.Items)] = p.Support
+		}
+		got := make(map[string]int)
+		for _, node := range seq.Nodes {
+			if len(node.Closure) > 0 {
+				got[patternKey(node.Closure)] = node.Support
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: miner found %d patterns, brute force %d", trial, len(got), len(want))
+		}
+		for k, sup := range want {
+			if got[k] != sup {
+				t.Fatalf("trial %d: support mismatch (%d vs %d)", trial, got[k], sup)
+			}
+		}
+
+		for _, workers := range []int{2, 8} {
+			par, err := MineClosed(enc, Options{MinSup: minSup, StoreDiffsets: diffsets, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			treesIdentical(t, "workers", seq, par)
+			parRules, err := GenerateRules(par, RuleOptions{Policy: PaperPolicy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(parRules) != len(seqRules) {
+				t.Fatalf("trial %d workers=%d: %d rules vs %d", trial, workers, len(parRules), len(seqRules))
+			}
+			for i := range parRules {
+				if parRules[i].P != seqRules[i].P ||
+					parRules[i].Class != seqRules[i].Class ||
+					parRules[i].Coverage != seqRules[i].Coverage ||
+					parRules[i].Support != seqRules[i].Support {
+					t.Fatalf("trial %d workers=%d rule %d: stats differ", trial, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelMinerMaxNodesTrips checks that the shared atomic node budget
+// still aborts mining for every worker count, and that a budget high
+// enough to hold the full tree never trips.
+func TestParallelMinerMaxNodesTrips(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 9))
+	d := randomDataset(rng, 100, 6, 3, 2)
+	enc := dataset.Encode(d)
+	full, err := MineClosed(enc, Options{MinSup: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		if _, err := MineClosed(enc, Options{MinSup: 2, MaxNodes: 5, Workers: workers}); err == nil {
+			t.Errorf("workers=%d: expected node budget error", workers)
+		}
+		tree, err := MineClosed(enc, Options{MinSup: 2, MaxNodes: len(full.Nodes), Workers: workers})
+		if err != nil {
+			t.Errorf("workers=%d: exact budget should pass: %v", workers, err)
+		} else if len(tree.Nodes) != len(full.Nodes) {
+			t.Errorf("workers=%d: %d nodes under exact budget, want %d", workers, len(tree.Nodes), len(full.Nodes))
+		}
+		if _, err := MineClosed(enc, Options{MinSup: 2, MaxNodes: len(full.Nodes) - 1, Workers: workers}); err == nil {
+			t.Errorf("workers=%d: budget one short of the tree must trip", workers)
+		}
+	}
+}
+
+// TestMineClosedContextCancelled checks that an already-cancelled context
+// aborts mining with the context's error.
+func TestMineClosedContextCancelled(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 17))
+	d := randomDataset(rng, 200, 8, 3, 2)
+	enc := dataset.Encode(d)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MineClosedContext(ctx, enc, Options{MinSup: 2, Workers: 4}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -2,7 +2,6 @@ package permute
 
 import (
 	"math"
-	"math/rand/v2"
 	"testing"
 
 	"repro/internal/dataset"
@@ -45,15 +44,13 @@ func TestEngineThreeClasses(t *testing.T) {
 
 	// Naive recomputation.
 	hyper := mining.NewHypergeoms(enc)
-	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
 	shuffled := make([]int32, enc.NumRecords)
-	copy(shuffled, enc.Labels)
 	tidsOf := make([][]uint32, len(tree.Nodes))
 	for i, node := range tree.Nodes {
 		tidsOf[i] = node.MaterializeTids()
 	}
 	for j := 0; j < numPerms; j++ {
-		rng.Shuffle(enc.NumRecords, func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+		shufflePerm(shuffled, enc.Labels, seed, j)
 		minP := 1.0
 		for ri := range rules {
 			r := &rules[ri]

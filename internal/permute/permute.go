@@ -16,11 +16,13 @@
 package permute
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/mining"
 	"repro/internal/stats"
@@ -72,8 +74,14 @@ type Config struct {
 	// 1000).
 	NumPerms int
 	// Seed drives the label shuffles; equal seeds give identical
-	// permutations.
+	// permutations. Each permutation j derives its own RNG from
+	// (Seed, j), so the shuffles are generated concurrently and are
+	// byte-identical for every worker count.
 	Seed uint64
+	// Ctx, when non-nil, cancels a run early: workers poll the context's
+	// cancellation and the engine's Err method reports the context error
+	// after an aborted run. A nil Ctx means no cancellation.
+	Ctx context.Context
 	// Opt selects the optimisation level (default OptStaticBuffer).
 	Opt OptLevel
 	// StaticBudget is the static buffer size in bytes under
@@ -117,6 +125,30 @@ type Engine struct {
 	rulesByNode [][]int32
 	children    [][]int32
 	hypergeoms  []*stats.Hypergeom
+
+	stop   atomic.Bool           // set when cfg.Ctx is cancelled mid-run
+	runErr atomic.Pointer[error] // sticky: first cancellation error observed
+}
+
+// setErr records the first cancellation error (later calls are no-ops).
+func (e *Engine) setErr(err error) {
+	if err != nil {
+		e.runErr.CompareAndSwap(nil, &err)
+	}
+}
+
+// permStreamBase offsets the per-permutation PCG stream: permutation j is
+// shuffled by rand.NewPCG(seed, permStreamBase+j). Deriving an independent
+// RNG per permutation index (rather than one sequential stream) lets any
+// worker generate any permutation and keeps the label matrix byte-identical
+// for every worker count.
+const permStreamBase = 0x9e3779b97f4a7c15
+
+// shufflePerm fills dst with labels shuffled under permutation j's RNG.
+func shufflePerm(dst, labels []int32, seed uint64, j int) {
+	copy(dst, labels)
+	rng := rand.New(rand.NewPCG(seed, permStreamBase+uint64(j)))
+	rng.Shuffle(len(dst), func(a, b int) { dst[a], dst[b] = dst[b], dst[a] })
 }
 
 // NewEngine prepares a permutation run over the given mined tree and rule
@@ -141,15 +173,37 @@ func NewEngine(tree *mining.Tree, rules []mining.Rule, cfg Config) (*Engine, err
 	}
 
 	// Permutation label matrix, transposed for cache-friendly access when
-	// iterating a tid-list across a block of permutations.
+	// iterating a tid-list across a block of permutations. Workers fill
+	// disjoint permutation (column) ranges concurrently; per-permutation
+	// RNG derivation makes the matrix independent of the worker count.
 	e.permLabels = make([]int8, e.n*cfg.NumPerms)
-	rng := rand.New(rand.NewPCG(cfg.Seed, 0x9e3779b97f4a7c15))
-	shuffled := make([]int32, e.n)
-	copy(shuffled, enc.Labels)
-	for j := 0; j < cfg.NumPerms; j++ {
-		rng.Shuffle(e.n, func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
-		for r := 0; r < e.n; r++ {
-			e.permLabels[r*cfg.NumPerms+j] = int8(shuffled[r])
+	genWorkers := cfg.Workers
+	if genWorkers > cfg.NumPerms {
+		genWorkers = cfg.NumPerms
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < genWorkers; w++ {
+		lo := w * cfg.NumPerms / genWorkers
+		hi := (w + 1) * cfg.NumPerms / genWorkers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			shuffled := make([]int32, e.n)
+			for j := lo; j < hi; j++ {
+				if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+					return
+				}
+				shufflePerm(shuffled, enc.Labels, cfg.Seed, j)
+				for r := 0; r < e.n; r++ {
+					e.permLabels[r*cfg.NumPerms+j] = int8(shuffled[r])
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if cfg.Ctx != nil {
+		if err := cfg.Ctx.Err(); err != nil {
+			return nil, err
 		}
 	}
 
@@ -169,6 +223,16 @@ func NewEngine(tree *mining.Tree, rules []mining.Rule, cfg Config) (*Engine, err
 
 // NumPerms returns the configured permutation count.
 func (e *Engine) NumPerms() int { return e.cfg.NumPerms }
+
+// Err reports the first cancellation error observed by any run; results
+// returned by MinP, CountLE or PerRuleLE after a non-nil Err are partial
+// and must be discarded.
+func (e *Engine) Err() error {
+	if ep := e.runErr.Load(); ep != nil {
+		return *ep
+	}
+	return nil
+}
 
 // visitor receives the p-values of one rule across a block of
 // permutations: ps[j] is the rule's p-value on permutation perm0+j.
@@ -202,6 +266,21 @@ func (e *Engine) run(mkVisitor func() visitor, merge func(visitor)) {
 		lo = hi
 	}
 
+	// Translate context cancellation into the cheap stop flag the DFS
+	// polls at every node.
+	if e.cfg.Ctx != nil {
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-e.cfg.Ctx.Done():
+				e.setErr(e.cfg.Ctx.Err())
+				e.stop.Store(true)
+			case <-watchDone:
+			}
+		}()
+	}
+
 	visitors := make([]visitor, workers)
 	var wg sync.WaitGroup
 	for w := range blocks {
@@ -213,6 +292,9 @@ func (e *Engine) run(mkVisitor func() visitor, merge func(visitor)) {
 		}(w)
 	}
 	wg.Wait()
+	if e.cfg.Ctx != nil {
+		e.setErr(e.cfg.Ctx.Err())
+	}
 	for _, v := range visitors {
 		merge(v)
 	}
@@ -304,6 +386,9 @@ func (w *walker) countsFromTids(tids []uint32) []int32 {
 // its children. counts is nd's class-count matrix for the block; ownership
 // stays with the caller.
 func (w *walker) node(nd *mining.Node, counts []int32) {
+	if w.e.stop.Load() {
+		return
+	}
 	bl := w.blockLen
 	for _, ri := range w.e.rulesByNode[nd.Index] {
 		rule := &w.e.rules[ri]

@@ -1,8 +1,8 @@
 package permute
 
 import (
+	"context"
 	"math"
-	"math/rand/v2"
 	"testing"
 
 	"repro/internal/dataset"
@@ -42,9 +42,7 @@ func naiveMinP(tree *mining.Tree, rules []mining.Rule, numPerms int, seed uint64
 	n := enc.NumRecords
 	hyper := mining.NewHypergeoms(enc)
 
-	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
 	shuffled := make([]int32, n)
-	copy(shuffled, enc.Labels)
 
 	tidsOf := make([][]uint32, len(tree.Nodes))
 	for i, node := range tree.Nodes {
@@ -53,7 +51,7 @@ func naiveMinP(tree *mining.Tree, rules []mining.Rule, numPerms int, seed uint64
 
 	out := make([]float64, numPerms)
 	for j := 0; j < numPerms; j++ {
-		rng.Shuffle(n, func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+		shufflePerm(shuffled, enc.Labels, seed, j)
 		minP := 1.0
 		for ri := range rules {
 			r := &rules[ri]
@@ -106,16 +104,14 @@ func TestEngineCountLEMatchesNaive(t *testing.T) {
 	enc := tree.Enc
 	n := enc.NumRecords
 	hyper := mining.NewHypergeoms(enc)
-	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
 	shuffled := make([]int32, n)
-	copy(shuffled, enc.Labels)
 	tidsOf := make([][]uint32, len(tree.Nodes))
 	for i, node := range tree.Nodes {
 		tidsOf[i] = node.MaterializeTids()
 	}
 	var pool []float64
 	for j := 0; j < numPerms; j++ {
-		rng.Shuffle(n, func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+		shufflePerm(shuffled, enc.Labels, seed, j)
 		for ri := range rules {
 			r := &rules[ri]
 			k := 0
@@ -224,5 +220,28 @@ func TestOptLevelStrings(t *testing.T) {
 	}
 	if !OptDiffsets.WantDiffsets() || OptDynamicBuffer.WantDiffsets() {
 		t.Error("WantDiffsets boundaries wrong")
+	}
+}
+
+func TestEngineContextCancelled(t *testing.T) {
+	tree, rules := buildCase(t, 61, 200, 6, 12, true)
+
+	// Already-cancelled context: construction itself aborts.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewEngine(tree, rules, Config{NumPerms: 50, Seed: 9, Opt: OptStaticBuffer, Ctx: ctx, Workers: 2}); err != context.Canceled {
+		t.Fatalf("NewEngine err = %v, want context.Canceled", err)
+	}
+
+	// Cancellation between construction and the run: Err() reports it.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	e, err := NewEngine(tree, rules, Config{NumPerms: 50, Seed: 9, Opt: OptStaticBuffer, Ctx: ctx2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel2()
+	e.MinP()
+	if e.Err() != context.Canceled {
+		t.Fatalf("Err() = %v, want context.Canceled", e.Err())
 	}
 }
