@@ -210,6 +210,66 @@ func TestFacadeMineContextWorkersIdentical(t *testing.T) {
 	}
 }
 
+// TestFacadeSessionBatch checks the public Session surface: MineBatch
+// over configs sharing mining parameters costs one encode/mine/score
+// (Stats), and every result matches a fresh Mine of the same config.
+func TestFacadeSessionBatch(t *testing.T) {
+	p := SyntheticDefaults()
+	p.N = 600
+	p.Attrs = 10
+	p.NumRules = 2
+	p.MinCvg, p.MaxCvg = 100, 150
+	p.MinConf, p.MaxConf = 0.8, 0.9
+	p.Seed = 17
+	gen, err := Synthetic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []Config{
+		{MinSup: 50, Method: MethodNone},
+		{MinSup: 50, Method: MethodDirect, Control: ControlFWER},
+		{MinSup: 50, Method: MethodDirect, Control: ControlFDR},
+		{MinSup: 50, Method: MethodPermutation, Control: ControlFWER, Permutations: 40, Seed: 2},
+	}
+	sess := NewSession(gen.Data)
+	if sess.Dataset() != gen.Data {
+		t.Fatal("Dataset() does not echo the session dataset")
+	}
+	outs, err := sess.MineBatch(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Stats()
+	if st.Encodes != 1 || st.Mines != 1 || st.Scores != 1 {
+		t.Errorf("stats = %+v, want one encode/mine/score", st)
+	}
+	for i, cfg := range cfgs {
+		fresh, err := Mine(gen.Data, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := outs[i], fresh
+		if got.NumTested != want.NumTested || got.Cutoff != want.Cutoff ||
+			len(got.Significant) != len(want.Significant) {
+			t.Fatalf("config %d: session result differs from fresh Mine", i)
+		}
+		for j := range got.Significant {
+			if got.Significant[j].P != want.Significant[j].P ||
+				strings.Join(got.Significant[j].Items, "^") != strings.Join(want.Significant[j].Items, "^") {
+				t.Fatalf("config %d: significant rule %d differs", i, j)
+			}
+		}
+	}
+	// Session.Mine reuses the cache too: a fifth config differing only in
+	// alpha must not trigger another mine.
+	if _, err := sess.Mine(Config{MinSup: 50, Method: MethodDirect, Alpha: 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	if st := sess.Stats(); st.Mines != 1 {
+		t.Errorf("mines=%d after alpha-only config, want 1", st.Mines)
+	}
+}
+
 // TestFacadeMineContextCancel checks that a cancelled context aborts the
 // pipeline with context.Canceled.
 func TestFacadeMineContextCancel(t *testing.T) {

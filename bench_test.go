@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -294,6 +295,66 @@ func BenchmarkParallelMinePermute(b *testing.B) {
 			}
 		})
 	}
+}
+
+// sessionBatchConfigs returns N configs that differ only in correction
+// method/control/alpha — the "many configs, one dataset" shape Sessions
+// amortise (one encode + one mine + one score instead of N).
+func sessionBatchConfigs() []Config {
+	return []Config{
+		{MinSup: 120, Method: MethodNone},
+		{MinSup: 120, Method: MethodDirect, Control: ControlFWER},
+		{MinSup: 120, Method: MethodDirect, Control: ControlFDR},
+		{MinSup: 120, Method: MethodDirect, Control: ControlFDR, Alpha: 0.01},
+		{MinSup: 120, Method: MethodLayered, Control: ControlFWER},
+		{MinSup: 120, Method: MethodPermutation, Control: ControlFWER, Permutations: 30, Seed: 1},
+	}
+}
+
+// BenchmarkSessionBatch compares N independent Mine calls against one
+// Session.MineBatch over the same N configs. Mining dominates each
+// independent call, so the batch is expected to spend ≈N× less mining
+// time (the corrections still run once per config).
+func BenchmarkSessionBatch(b *testing.B) {
+	d := benchDataset(b)
+	cfgs := sessionBatchConfigs()
+
+	b.Run("fresh-mines", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, cfg := range cfgs {
+				res, err := Mine(d, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink = res
+			}
+		}
+	})
+	b.Run("session-batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			results, err := NewSession(d).MineBatch(context.Background(), cfgs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink = results
+		}
+	})
+	// The serving-layer shape: the Session outlives the batch, so later
+	// requests pay only their correction.
+	b.Run("session-warm", func(b *testing.B) {
+		sess := NewSession(d)
+		if _, err := sess.MineBatch(context.Background(), cfgs); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := sess.Mine(cfgs[i%len(cfgs)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink = res
+		}
+	})
 }
 
 // Extension ablations (beyond the paper's figures; see EXPERIMENTS.md).

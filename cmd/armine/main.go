@@ -8,20 +8,41 @@
 //	armine -in data.csv -minsup 60 -method permutation -perms 1000
 //	armine -uci german -minsup 60 -method holdout -control fwer
 //
+// A comma-separated -methods list reports several corrections from a
+// single mine: the dataset is encoded, mined and scored once and only the
+// corrections differ. (Holdout is the exception — it mines the
+// exploratory half separately by construction, so listing it adds one
+// extra, smaller mine.)
+//
+//	armine -uci german -minsup 60 -methods none,direct,permutation,layered
+//
 // Output: one rule per line, most significant first, with coverage,
-// support, confidence and p-value.
+// support, confidence and p-value; -json switches to machine-readable
+// output (a JSON array with one entry per method run). -cpuprofile and
+// -memprofile write pprof profiles for production-style inspection.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "armine:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		in         = flag.String("in", "", "input CSV file (header row, class label last)")
 		uciName    = flag.String("uci", "", "use a built-in UCI stand-in instead of -in (adult|german|hypo|mushroom)")
@@ -31,21 +52,25 @@ func main() {
 		alpha      = flag.Float64("alpha", 0.05, "error level")
 		control    = flag.String("control", "fwer", "error measure: fwer | fdr")
 		method     = flag.String("method", "direct", "correction: none | direct | permutation | holdout | layered")
-		perms      = flag.Int("perms", 1000, "permutations for -method permutation")
+		methods    = flag.String("methods", "", "comma-separated corrections sharing a single mine (overrides -method; holdout mines its exploratory half separately), e.g. none,direct,permutation")
+		perms      = flag.Int("perms", 1000, "permutations for permutation runs")
 		seed       = flag.Uint64("seed", 1, "random seed (permutations, holdout split, stand-ins)")
 		workers    = flag.Int("workers", 0, "worker goroutines for mining and permutations (0 = all CPUs)")
 		maxLen     = flag.Int("maxlen", 0, "maximum rule LHS length (0 = unlimited)")
-		limit      = flag.Int("limit", 50, "print at most this many rules (0 = all)")
-		quiet      = flag.Bool("q", false, "print rules only, no summary")
+		limit      = flag.Int("limit", 50, "print at most this many rules per run (0 = all)")
+		jsonOut    = flag.Bool("json", false, "emit a JSON array (one entry per method run) instead of text")
+		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the mining to this file")
+		memProf    = flag.String("memprofile", "", "write a pprof heap profile after mining to this file")
+		quiet      = flag.Bool("q", false, "print rules only, no summaries")
 	)
 	flag.Parse()
 
 	d, err := loadDataset(*in, *uciName, *seed)
 	if err != nil {
-		fail(err)
+		return err
 	}
 
-	cfg := repro.Config{
+	base := repro.Config{
 		MinSup:       *minSup,
 		MinSupFrac:   *minSupFrac,
 		MinConf:      *minConf,
@@ -57,13 +82,74 @@ func main() {
 	}
 	switch strings.ToLower(*control) {
 	case "fwer":
-		cfg.Control = repro.ControlFWER
+		base.Control = repro.ControlFWER
 	case "fdr":
-		cfg.Control = repro.ControlFDR
+		base.Control = repro.ControlFDR
 	default:
-		fail(fmt.Errorf("unknown -control %q (want fwer or fdr)", *control))
+		return fmt.Errorf("unknown -control %q (want fwer or fdr)", *control)
 	}
-	switch strings.ToLower(*method) {
+
+	names := []string{*method}
+	if *methods != "" {
+		names = strings.Split(*methods, ",")
+	}
+	cfgs := make([]repro.Config, len(names))
+	for i, name := range names {
+		cfg := base
+		if err := setMethod(&cfg, name); err != nil {
+			return err
+		}
+		cfgs[i] = cfg
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	sess := repro.NewSession(d)
+	results, err := sess.MineBatch(context.Background(), cfgs)
+	if err != nil {
+		return err
+	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+
+	if *jsonOut {
+		return printJSON(d, results, *limit)
+	}
+	printText(d, results, *limit, *quiet)
+	if !*quiet && len(results) > 1 {
+		st := sess.Stats()
+		line := fmt.Sprintf("# session: %d mine(s) + %d score(s)", st.Mines, st.Scores)
+		if st.Holdouts > 0 {
+			line += fmt.Sprintf(" + %d holdout run(s)", st.Holdouts)
+		}
+		fmt.Printf("%s served %d method runs\n", line, len(results))
+	}
+	return nil
+}
+
+// setMethod applies one -method/-methods name to cfg.
+func setMethod(cfg *repro.Config, name string) error {
+	switch strings.ToLower(strings.TrimSpace(name)) {
 	case "none":
 		cfg.Method = repro.MethodNone
 	case "direct":
@@ -76,32 +162,98 @@ func main() {
 	case "layered":
 		cfg.Method = repro.MethodLayered
 	default:
-		fail(fmt.Errorf("unknown -method %q", *method))
+		return fmt.Errorf("unknown method %q (want none|direct|permutation|holdout|layered)", name)
 	}
+	return nil
+}
 
-	res, err := repro.Mine(d, cfg)
-	if err != nil {
-		fail(err)
+// printText renders the classic line-per-rule report, one block per run.
+func printText(d *repro.Dataset, results []*repro.Result, limit int, quiet bool) {
+	for _, res := range results {
+		if !quiet {
+			fmt.Printf("# %d records, %d rules tested (min_sup=%d), method=%s control=%s alpha=%g\n",
+				res.NumRecords, res.NumTested, res.MinSup, res.Method, res.Control, res.Alpha)
+			fmt.Printf("# %d significant rules, cutoff p <= %.4g, mine %v + correct %v\n",
+				len(res.Significant), res.Cutoff, res.MineTime.Round(1e6), res.CorrectTime.Round(1e6))
+		}
+		n := len(res.Significant)
+		if limit > 0 && n > limit {
+			n = limit
+		}
+		for _, r := range res.Significant[:n] {
+			fmt.Printf("%s => %s=%s  cvg=%d supp=%d conf=%.3f p=%.4g\n",
+				strings.Join(r.Items, " ^ "), d.Schema.Class.Name, r.Class,
+				r.Coverage, r.Support, r.Confidence, r.P)
+		}
+		if !quiet && n < len(res.Significant) {
+			fmt.Printf("# ... %d more (raise -limit)\n", len(res.Significant)-n)
+		}
 	}
+}
 
-	if !*quiet {
-		fmt.Printf("# %d records, %d rules tested (min_sup=%d), method=%s control=%s alpha=%g\n",
-			res.NumRecords, res.NumTested, res.MinSup, res.Method, res.Control, res.Alpha)
-		fmt.Printf("# %d significant rules, cutoff p <= %.4g, mine %v + correct %v\n",
-			len(res.Significant), res.Cutoff, res.MineTime.Round(1e6), res.CorrectTime.Round(1e6))
+// jsonRule is the machine-readable form of one significant rule.
+type jsonRule struct {
+	Items      []string `json:"items"`
+	Class      string   `json:"class"`
+	Coverage   int      `json:"coverage"`
+	Support    int      `json:"support"`
+	Confidence float64  `json:"confidence"`
+	P          float64  `json:"p"`
+}
+
+// jsonRun is the machine-readable form of one method run.
+type jsonRun struct {
+	Method         string     `json:"method"`
+	Control        string     `json:"control"`
+	Alpha          float64    `json:"alpha"`
+	MinSup         int        `json:"min_sup"`
+	NumRecords     int        `json:"num_records"`
+	NumPatterns    int        `json:"num_patterns"`
+	NumTested      int        `json:"num_tested"`
+	NumSignificant int        `json:"num_significant"`
+	Cutoff         float64    `json:"cutoff"`
+	MineMillis     float64    `json:"mine_ms"`
+	CorrectMillis  float64    `json:"correct_ms"`
+	Rules          []jsonRule `json:"rules"`
+}
+
+// printJSON emits one array entry per run, rules truncated to limit.
+func printJSON(d *repro.Dataset, results []*repro.Result, limit int) error {
+	runs := make([]jsonRun, len(results))
+	for i, res := range results {
+		run := jsonRun{
+			Method:         res.Method.String(),
+			Control:        res.Control.String(),
+			Alpha:          res.Alpha,
+			MinSup:         res.MinSup,
+			NumRecords:     res.NumRecords,
+			NumPatterns:    res.NumPatterns,
+			NumTested:      res.NumTested,
+			NumSignificant: len(res.Significant),
+			Cutoff:         res.Cutoff,
+			MineMillis:     float64(res.MineTime.Microseconds()) / 1e3,
+			CorrectMillis:  float64(res.CorrectTime.Microseconds()) / 1e3,
+			Rules:          []jsonRule{},
+		}
+		n := len(res.Significant)
+		if limit > 0 && n > limit {
+			n = limit
+		}
+		for _, r := range res.Significant[:n] {
+			run.Rules = append(run.Rules, jsonRule{
+				Items:      r.Items,
+				Class:      r.Class,
+				Coverage:   r.Coverage,
+				Support:    r.Support,
+				Confidence: r.Confidence,
+				P:          r.P,
+			})
+		}
+		runs[i] = run
 	}
-	n := len(res.Significant)
-	if *limit > 0 && n > *limit {
-		n = *limit
-	}
-	for _, r := range res.Significant[:n] {
-		fmt.Printf("%s => %s=%s  cvg=%d supp=%d conf=%.3f p=%.4g\n",
-			strings.Join(r.Items, " ^ "), d.Schema.Class.Name, r.Class,
-			r.Coverage, r.Support, r.Confidence, r.P)
-	}
-	if !*quiet && n < len(res.Significant) {
-		fmt.Printf("# ... %d more (raise -limit)\n", len(res.Significant)-n)
-	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(runs)
 }
 
 func loadDataset(in, uciName string, seed uint64) (*repro.Dataset, error) {
@@ -115,9 +267,4 @@ func loadDataset(in, uciName string, seed uint64) (*repro.Dataset, error) {
 	default:
 		return nil, fmt.Errorf("need -in FILE or -uci NAME")
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "armine:", err)
-	os.Exit(1)
 }

@@ -4,7 +4,34 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro"
 )
+
+func TestSetMethod(t *testing.T) {
+	cases := map[string]repro.Method{
+		"none":        repro.MethodNone,
+		"direct":      repro.MethodDirect,
+		"Permutation": repro.MethodPermutation, // case-insensitive
+		" holdout ":   repro.MethodHoldout,     // whitespace-tolerant (from -methods lists)
+		"layered":     repro.MethodLayered,
+	}
+	for name, want := range cases {
+		var cfg repro.Config
+		if err := setMethod(&cfg, name); err != nil {
+			t.Errorf("setMethod(%q): %v", name, err)
+		} else if cfg.Method != want {
+			t.Errorf("setMethod(%q) = %v, want %v", name, cfg.Method, want)
+		}
+	}
+	var cfg repro.Config
+	if err := setMethod(&cfg, "bogus"); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if err := setMethod(&cfg, "holdout"); err != nil || !cfg.HoldoutRandom {
+		t.Error("holdout should select the random split")
+	}
+}
 
 func TestLoadDatasetSelection(t *testing.T) {
 	if _, err := loadDataset("", "", 1); err == nil {

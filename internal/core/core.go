@@ -16,7 +16,6 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/mining"
 	"repro/internal/permute"
-	"repro/internal/redundancy"
 )
 
 // Control selects the error measure being controlled (§2.3).
@@ -238,185 +237,65 @@ func Run(d *dataset.Dataset, cfg Config) (*Result, error) {
 // run — encode → mine → score → correct — threading ctx and cfg.Workers
 // into every parallel stage. Cancelling ctx aborts the run promptly with
 // the context's error; results are byte-identical for every worker count.
+//
+// RunContext is a one-shot Session: callers with several configs over one
+// dataset should build a Session (or use RunBatch) so the prepared stages
+// amortise across runs.
 func RunContext(ctx context.Context, d *dataset.Dataset, cfg Config) (*Result, error) {
-	cfg, err := cfg.withDefaults(d.NumRecords())
-	if err != nil {
-		return nil, err
-	}
-	if cfg.Method == MethodHoldout {
-		if cfg.Test != mining.TestFisher {
-			return nil, fmt.Errorf("core: the holdout method supports the Fisher test only")
-		}
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		return runHoldout(ctx, d, cfg)
-	}
-
-	p := &pipeline{ctx: ctx, cfg: cfg, data: d}
-	for _, stage := range []func() error{p.encode, p.mine, p.score, p.correct} {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if err := stage(); err != nil {
-			return nil, err
-		}
-	}
-	return p.finish(), nil
+	return NewSession(d).RunContext(ctx, cfg)
 }
 
-// pipeline carries the intermediate state of one RunContext through its
-// four stages. Each stage reads the outputs of the previous ones and the
-// shared ctx/cfg; splitting them out keeps the parallelism knobs (Workers,
-// cancellation) visible at every hand-off.
-type pipeline struct {
-	ctx  context.Context
-	cfg  Config
-	data *dataset.Dataset
-
-	// encode
-	enc *dataset.Encoded
-	// mine
-	tree     *mining.Tree
-	mineTime time.Duration
-	// score
-	rules []mining.Rule
-	// correct
-	outcome     *correction.Outcome
-	correctTime time.Duration
-}
-
-// encode builds the vertical (item → tid-list) representation.
-func (p *pipeline) encode() error {
-	p.enc = dataset.Encode(p.data)
-	return nil
-}
-
-// mine enumerates closed frequent patterns on the worker pool.
-func (p *pipeline) mine() error {
-	start := time.Now()
-	tree, err := mining.MineClosedContext(p.ctx, p.enc, mining.Options{
-		MinSup:        p.cfg.MinSup,
-		StoreDiffsets: p.cfg.Method != MethodPermutation || p.cfg.Opt.WantDiffsets(),
-		MaxLen:        p.cfg.MaxLen,
-		MaxNodes:      p.cfg.MaxNodes,
-		Workers:       p.cfg.Workers,
-	})
-	if err != nil {
-		return err
-	}
-	p.tree = tree
-	p.mineTime = time.Since(start)
-	return nil
-}
-
-// score turns patterns into rules with original-label p-values, optionally
-// folding near-duplicate patterns (§7 redundancy reduction) before testing.
-func (p *pipeline) score() error {
-	start := time.Now()
-	rules, err := mining.GenerateRules(p.tree, mining.RuleOptions{
-		Policy:  p.cfg.Policy,
-		Class:   p.cfg.FixedClass,
-		MinConf: p.cfg.MinConf,
-		Test:    p.cfg.Test,
-	})
-	if err != nil {
-		return err
-	}
-	if p.cfg.RedundancyEpsilon > 0 {
-		reduction, err := redundancy.Reduce(p.tree, rules, p.cfg.RedundancyEpsilon)
-		if err != nil {
-			return err
-		}
-		rules = reduction.KeptRules
-	}
-	p.rules = rules
-	p.mineTime += time.Since(start)
-	return nil
-}
-
-// correct applies the configured multiple-testing correction.
-func (p *pipeline) correct() error {
-	cfg := p.cfg
-	rules := p.rules
-	start := time.Now()
+// runCorrection applies the configured multiple-testing correction to the
+// scored rule set. It never mutates tree or rules, which may be shared
+// across concurrent runs of one Session.
+func runCorrection(ctx context.Context, cfg Config, tree *mining.Tree, rules []mining.Rule) (*correction.Outcome, error) {
 	ps := make([]float64, len(rules))
 	for i := range rules {
 		ps[i] = rules[i].P
 	}
-	var outcome *correction.Outcome
 	switch cfg.Method {
 	case MethodNone:
-		outcome = correction.None(ps, cfg.Alpha)
+		return correction.None(ps, cfg.Alpha), nil
 	case MethodLayered:
 		if cfg.Control != ControlFWER {
-			return fmt.Errorf("core: layered critical values control FWER only")
+			return nil, fmt.Errorf("core: layered critical values control FWER only")
 		}
 		lengths := make([]int, len(rules))
 		for i := range rules {
 			lengths[i] = rules[i].Length()
 		}
-		var err error
-		outcome, err = correction.LayeredCriticalValues(ps, lengths, 0, cfg.Alpha)
-		if err != nil {
-			return err
-		}
+		return correction.LayeredCriticalValues(ps, lengths, 0, cfg.Alpha)
 	case MethodDirect:
 		if cfg.Control == ControlFWER {
-			outcome = correction.Bonferroni(ps, len(ps), cfg.Alpha)
-		} else {
-			outcome = correction.BenjaminiHochberg(ps, len(ps), cfg.Alpha)
+			return correction.Bonferroni(ps, len(ps), cfg.Alpha), nil
 		}
+		return correction.BenjaminiHochberg(ps, len(ps), cfg.Alpha), nil
 	case MethodPermutation:
-		engine, err := permute.NewEngine(p.tree, rules, permute.Config{
+		engine, err := permute.NewEngine(tree, rules, permute.Config{
 			NumPerms:     cfg.Permutations,
 			Seed:         cfg.Seed,
 			Opt:          cfg.Opt,
 			StaticBudget: cfg.StaticBudget,
 			Workers:      cfg.Workers,
 			Test:         cfg.Test,
-			Ctx:          p.ctx,
+			Ctx:          ctx,
 		})
 		if err != nil {
-			return err
+			return nil, err
 		}
+		var outcome *correction.Outcome
 		if cfg.Control == ControlFWER {
 			outcome = correction.PermFWER(engine, rules, cfg.Alpha)
 		} else {
 			outcome = correction.PermFDR(engine, rules, cfg.Alpha)
 		}
 		if err := engine.Err(); err != nil {
-			return err
+			return nil, err
 		}
+		return outcome, nil
 	default:
-		return fmt.Errorf("core: unknown method %d", cfg.Method)
+		return nil, fmt.Errorf("core: unknown method %d", cfg.Method)
 	}
-	p.outcome = outcome
-	p.correctTime = time.Since(start)
-	return nil
-}
-
-// finish assembles the user-facing Result.
-func (p *pipeline) finish() *Result {
-	res := &Result{
-		Method:      p.cfg.Method,
-		Control:     p.cfg.Control,
-		Alpha:       p.cfg.Alpha,
-		MinSup:      p.cfg.MinSup,
-		NumRecords:  p.data.NumRecords(),
-		NumPatterns: p.tree.NumPatterns(),
-		NumTested:   len(p.rules),
-		Cutoff:      p.outcome.Cutoff,
-		Tested:      p.rules,
-		Outcome:     p.outcome,
-		MineTime:    p.mineTime,
-		CorrectTime: p.correctTime,
-	}
-	for _, i := range p.outcome.Significant {
-		res.Significant = append(res.Significant, toRule(&p.rules[i], p.enc.Enc))
-	}
-	sortRules(res.Significant)
-	return res
 }
 
 // runHoldout executes the two-phase holdout pipeline.

@@ -1,0 +1,540 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/correction"
+	"repro/internal/dataset"
+	"repro/internal/mining"
+	"repro/internal/permute"
+	"repro/internal/redundancy"
+)
+
+// treeKey is the subset of Config that determines the mined tree: two
+// configs with equal treeKeys share one closed-pattern enumeration.
+// Workers is deliberately absent — the miner's output is byte-identical
+// for every worker count — as are the correction knobs (Method, Control,
+// Alpha, Seed, Permutations, ...), which only consume the tree.
+type treeKey struct {
+	minSup        int
+	maxLen        int
+	maxNodes      int
+	storeDiffsets bool
+}
+
+// ruleKey extends treeKey with the scoring-relevant fields: configs with
+// equal ruleKeys share one scored (rule generation + significance +
+// redundancy reduction) stage.
+type ruleKey struct {
+	tree       treeKey
+	policy     mining.RuleClassPolicy
+	fixedClass int32
+	minConf    float64
+	test       mining.TestKind
+	redundancy float64
+}
+
+// permKey identifies a permutation-null construction: batch configs with
+// equal permKeys (differing only in Control/Alpha) share one engine. The
+// significance test is keyed via ruleKey; Workers is absent because
+// engine output is byte-identical for every worker count.
+type permKey struct {
+	rule   ruleKey
+	perms  int
+	seed   uint64
+	opt    permute.OptLevel
+	budget int
+}
+
+// permKey derives the engine-sharing key of a normalized permutation
+// config.
+func (c Config) permKey() permKey {
+	return permKey{
+		rule:   c.ruleKey(),
+		perms:  c.Permutations,
+		seed:   c.Seed,
+		opt:    c.Opt,
+		budget: c.StaticBudget,
+	}
+}
+
+// storeDiffsets reports whether the mined tree needs Diffset storage under
+// cfg — the same decision the one-shot pipeline makes: every non-
+// permutation method stores them, and permutation runs follow the
+// optimisation level (so the Fig-4 "no Diffsets" ablations stay exact).
+func (c Config) storeDiffsets() bool {
+	return c.Method != MethodPermutation || c.Opt.WantDiffsets()
+}
+
+// treeKey derives the mining cache key of a normalized config.
+func (c Config) treeKey() treeKey {
+	return treeKey{
+		minSup:        c.MinSup,
+		maxLen:        c.MaxLen,
+		maxNodes:      c.MaxNodes,
+		storeDiffsets: c.storeDiffsets(),
+	}
+}
+
+// ruleKey derives the scoring cache key of a normalized config.
+func (c Config) ruleKey() ruleKey {
+	k := ruleKey{
+		tree:       c.treeKey(),
+		policy:     c.Policy,
+		minConf:    c.MinConf,
+		test:       c.Test,
+		redundancy: c.RedundancyEpsilon,
+	}
+	if c.Policy == mining.FixedClass {
+		k.fixedClass = c.FixedClass
+	}
+	return k
+}
+
+// treeStage is a cached mine stage: the tree plus the wall-clock cost of
+// producing it.
+type treeStage struct {
+	tree *mining.Tree
+	dur  time.Duration
+}
+
+// ruleStage is a cached score stage: the tested rule set (shared by every
+// run that hits it — treat as read-only) plus its producing tree stage and
+// cost.
+type ruleStage struct {
+	tree  treeStage
+	rules []mining.Rule
+	dur   time.Duration
+}
+
+// entry is one singleflight cache slot: done is closed when the compute
+// finished, after which exactly one of val/err is meaningful.
+type entry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// getOrCompute returns m[key], computing it with fn at most once across
+// concurrent callers. On error the slot is removed before callers are
+// released, so a later call (with a live context) retries instead of
+// observing a poisoned cache. The second result reports a cache hit.
+func getOrCompute[K comparable, V any](mu *sync.Mutex, m map[K]*entry[V], key K, fn func() (V, error)) (V, bool, error) {
+	for {
+		mu.Lock()
+		e, ok := m[key]
+		if !ok {
+			e = &entry[V]{done: make(chan struct{})}
+			m[key] = e
+			mu.Unlock()
+			// Unpublish the slot and release waiters on ANY failure,
+			// including a panic in fn: the panic propagates to this
+			// caller (as in a fresh run), while waiters observe an error
+			// and retry rather than blocking on a never-closed channel.
+			completed := false
+			defer func() {
+				if !completed {
+					mu.Lock()
+					delete(m, key)
+					mu.Unlock()
+					e.err = fmt.Errorf("core: stage computation did not complete")
+					close(e.done)
+				}
+			}()
+			v, err := fn()
+			completed = true
+			if err != nil {
+				mu.Lock()
+				delete(m, key)
+				mu.Unlock()
+				e.err = err
+				close(e.done)
+				var zero V
+				return zero, false, err
+			}
+			e.val = v
+			close(e.done)
+			return v, false, nil
+		}
+		mu.Unlock()
+		<-e.done
+		if e.err == nil {
+			return e.val, true, nil
+		}
+		// The computing call failed (cancelled context, exhausted node
+		// budget, ...) and unpublished its slot; retry with our own fn.
+	}
+}
+
+// SessionStats counts the pipeline stages a Session has executed (not the
+// cheap cache hits). A batch of N configs sharing mining parameters shows
+// Encodes == Mines == Scores == 1 and Corrections == N.
+type SessionStats struct {
+	// Encodes / Mines / Scores count executed encode, mine and score
+	// stages; TreeHits / ScoreHits count runs served from the caches
+	// instead.
+	Encodes   int64
+	Mines     int64
+	Scores    int64
+	TreeHits  int64
+	ScoreHits int64
+	// Corrections counts correction stages (always one per non-holdout
+	// run; corrections are never cached because Method/Control/Alpha/Seed
+	// vary freely across runs).
+	Corrections int64
+	// Holdouts counts holdout runs, which bypass the shared stages (they
+	// mine the exploratory half, not the whole dataset).
+	Holdouts int64
+}
+
+// Session is a prepared dataset for repeated mining: it owns the encoded
+// vertical representation and small keyed caches of mined trees and scored
+// rule sets, so that N configs differing only in correction method,
+// control, alpha, seed or permutation count share one encode + one mine +
+// one score (the paper's "mine once, re-evaluate many times" posture,
+// §4.2.1, promoted to the whole pipeline).
+//
+// A Session is safe for concurrent use. Results are byte-identical to
+// fresh Run calls with the same (Seed, Config) — the caches only ever
+// reuse stages whose outputs a fresh run would recompute bit-for-bit.
+// Cached stages are shared across results: treat Result.Tested as
+// read-only.
+type Session struct {
+	data *dataset.Dataset
+
+	encOnce sync.Once
+	enc     *dataset.Encoded
+
+	mu    sync.Mutex
+	trees map[treeKey]*entry[treeStage]
+	rules map[ruleKey]*entry[ruleStage]
+
+	encodes, mines, scores atomic.Int64
+	treeHits, scoreHits    atomic.Int64
+	corrections, holdouts  atomic.Int64
+}
+
+// NewSession prepares d for repeated mining. The encode stage runs lazily
+// on the first Run.
+func NewSession(d *dataset.Dataset) *Session {
+	return &Session{
+		data:  d,
+		trees: make(map[treeKey]*entry[treeStage]),
+		rules: make(map[ruleKey]*entry[ruleStage]),
+	}
+}
+
+// Data returns the dataset the session was built on.
+func (s *Session) Data() *dataset.Dataset { return s.data }
+
+// Stats snapshots the stage counters.
+func (s *Session) Stats() SessionStats {
+	return SessionStats{
+		Encodes:     s.encodes.Load(),
+		Mines:       s.mines.Load(),
+		Scores:      s.scores.Load(),
+		TreeHits:    s.treeHits.Load(),
+		ScoreHits:   s.scoreHits.Load(),
+		Corrections: s.corrections.Load(),
+		Holdouts:    s.holdouts.Load(),
+	}
+}
+
+// encoded returns the session-wide vertical representation, building it on
+// first use.
+func (s *Session) encoded() *dataset.Encoded {
+	s.encOnce.Do(func() {
+		s.enc = dataset.Encode(s.data)
+		s.encodes.Add(1)
+	})
+	return s.enc
+}
+
+// treeFor returns the mined tree of cfg, mining it at most once per
+// distinct treeKey.
+func (s *Session) treeFor(ctx context.Context, cfg Config) (treeStage, error) {
+	key := cfg.treeKey()
+	v, hit, err := getOrCompute(&s.mu, s.trees, key, func() (treeStage, error) {
+		enc := s.encoded()
+		start := time.Now()
+		tree, err := mining.MineClosedContext(ctx, enc, mining.Options{
+			MinSup:        key.minSup,
+			StoreDiffsets: key.storeDiffsets,
+			MaxLen:        key.maxLen,
+			MaxNodes:      key.maxNodes,
+			Workers:       cfg.Workers,
+		})
+		if err != nil {
+			return treeStage{}, err
+		}
+		s.mines.Add(1)
+		return treeStage{tree: tree, dur: time.Since(start)}, nil
+	})
+	if hit {
+		s.treeHits.Add(1)
+	}
+	return v, err
+}
+
+// rulesFor returns the scored rule set of cfg, scoring it at most once per
+// distinct ruleKey (and mining its tree at most once per treeKey).
+func (s *Session) rulesFor(ctx context.Context, cfg Config) (ruleStage, error) {
+	key := cfg.ruleKey()
+	v, hit, err := getOrCompute(&s.mu, s.rules, key, func() (ruleStage, error) {
+		ts, err := s.treeFor(ctx, cfg)
+		if err != nil {
+			return ruleStage{}, err
+		}
+		start := time.Now()
+		rules, err := mining.GenerateRules(ts.tree, mining.RuleOptions{
+			Policy:  cfg.Policy,
+			Class:   cfg.FixedClass,
+			MinConf: cfg.MinConf,
+			Test:    cfg.Test,
+		})
+		if err != nil {
+			return ruleStage{}, err
+		}
+		if cfg.RedundancyEpsilon > 0 {
+			reduction, err := redundancy.Reduce(ts.tree, rules, cfg.RedundancyEpsilon)
+			if err != nil {
+				return ruleStage{}, err
+			}
+			rules = reduction.KeptRules
+		}
+		s.scores.Add(1)
+		return ruleStage{tree: ts, rules: rules, dur: time.Since(start)}, nil
+	})
+	if hit {
+		s.scoreHits.Add(1)
+	}
+	return v, err
+}
+
+// Run executes one config against the prepared dataset, reusing any
+// already-computed encode/mine/score stage whose parameters match.
+func (s *Session) Run(cfg Config) (*Result, error) {
+	return s.RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation. The result is byte-identical to
+// RunContext(ctx, s.Data(), cfg) — the caches never change outputs, only
+// cost.
+func (s *Session) RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults(s.data.NumRecords())
+	if err != nil {
+		return nil, err
+	}
+	return s.run(ctx, cfg)
+}
+
+// run executes an already-normalized config.
+func (s *Session) run(ctx context.Context, cfg Config) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cfg.Method == MethodHoldout {
+		if cfg.Test != mining.TestFisher {
+			return nil, fmt.Errorf("core: the holdout method supports the Fisher test only")
+		}
+		s.holdouts.Add(1)
+		return runHoldout(ctx, s.data, cfg)
+	}
+	rs, err := s.rulesFor(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	outcome, err := runCorrection(ctx, cfg, rs.tree.tree, rs.rules)
+	if err != nil {
+		return nil, err
+	}
+	s.corrections.Add(1)
+	return s.assemble(cfg, rs, outcome, time.Since(start)), nil
+}
+
+// assemble builds the user-facing Result of one corrected run. MineTime
+// reports the cost of the (possibly shared) mine + score stages behind
+// the result; CorrectTime is this run's own correction cost.
+func (s *Session) assemble(cfg Config, rs ruleStage, outcome *correction.Outcome, correctTime time.Duration) *Result {
+	res := &Result{
+		Method:      cfg.Method,
+		Control:     cfg.Control,
+		Alpha:       cfg.Alpha,
+		MinSup:      cfg.MinSup,
+		NumRecords:  s.data.NumRecords(),
+		NumPatterns: rs.tree.tree.NumPatterns(),
+		NumTested:   len(rs.rules),
+		Cutoff:      outcome.Cutoff,
+		Tested:      rs.rules,
+		Outcome:     outcome,
+		MineTime:    rs.tree.dur + rs.dur,
+		CorrectTime: correctTime,
+	}
+	for _, i := range outcome.Significant {
+		res.Significant = append(res.Significant, toRule(&rs.rules[i], s.encoded().Enc))
+	}
+	sortRules(res.Significant)
+	return res
+}
+
+// RunBatch executes every config against the prepared dataset,
+// deduplicating the encode/mine/score stages across them: each distinct
+// stage key is computed exactly once (in first-appearance order), then the
+// per-config corrections run concurrently on a worker pool bounded by the
+// largest per-config Workers value. results[i] corresponds to cfgs[i] and
+// is byte-identical to a fresh Run of that config. The batch fails
+// atomically: the first error (lowest config index) is returned and no
+// results are.
+func (s *Session) RunBatch(ctx context.Context, cfgs []Config) ([]*Result, error) {
+	n := s.data.NumRecords()
+	norm := make([]Config, len(cfgs))
+	maxWorkers := 1
+	for i := range cfgs {
+		c, err := cfgs[i].withDefaults(n)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch config %d: %w", i, err)
+		}
+		norm[i] = c
+		if c.Workers > maxWorkers {
+			maxWorkers = c.Workers
+		}
+	}
+
+	// Stage pass: compute each distinct scored rule set once, up front and
+	// in order, so the heavy mining work runs deterministically before the
+	// corrections fan out (and a mining failure surfaces with the first
+	// config that needs it).
+	seen := make(map[ruleKey]bool)
+	for i := range norm {
+		if norm[i].Method == MethodHoldout {
+			continue
+		}
+		key := norm[i].ruleKey()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if _, err := s.rulesFor(ctx, norm[i]); err != nil {
+			return nil, fmt.Errorf("core: batch config %d: %w", i, err)
+		}
+	}
+
+	// Correction pass: independent per config, bounded by the pool.
+	// Permutation configs sharing a null construction (same scored rules,
+	// permutation count, seed, optimisation level and budget) are grouped
+	// onto one engine: the label matrix and the tree-walk index are built
+	// once per group — the paper's FWER/FDR pairing — instead of once per
+	// config.
+	groups := make(map[permKey][]int)
+	var groupKeys []permKey // deterministic group launch order
+	var singles []int
+	for i := range norm {
+		if norm[i].Method == MethodPermutation {
+			k := norm[i].permKey()
+			if _, ok := groups[k]; !ok {
+				groupKeys = append(groupKeys, k)
+			}
+			groups[k] = append(groups[k], i)
+		} else {
+			singles = append(singles, i)
+		}
+	}
+
+	results := make([]*Result, len(norm))
+	errs := make([]error, len(norm))
+	sem := make(chan struct{}, maxWorkers)
+	var wg sync.WaitGroup
+	for _, i := range singles {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = s.run(ctx, norm[i])
+		}(i)
+	}
+	for _, k := range groupKeys {
+		idxs := groups[k]
+		wg.Add(1)
+		go func(idxs []int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			s.runPermGroup(ctx, norm, idxs, results, errs)
+		}(idxs)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: batch config %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// runPermGroup evaluates several permutation configs on one shared
+// engine. The engine's MinP/CountLE walks are per-correction either way;
+// sharing saves the label-matrix fill and index construction. Results are
+// byte-identical to per-config engines because the engine is fully
+// determined by (tree, rules, NumPerms, Seed, Opt, StaticBudget, Test)
+// and its walks are deterministic for every worker count.
+func (s *Session) runPermGroup(ctx context.Context, norm []Config, idxs []int, results []*Result, errs []error) {
+	fail := func(err error) {
+		for _, i := range idxs {
+			errs[i] = err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		fail(err)
+		return
+	}
+	cfg0 := norm[idxs[0]]
+	rs, err := s.rulesFor(ctx, cfg0)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		fail(err)
+		return
+	}
+	start := time.Now()
+	engine, err := permute.NewEngine(rs.tree.tree, rs.rules, permute.Config{
+		NumPerms:     cfg0.Permutations,
+		Seed:         cfg0.Seed,
+		Opt:          cfg0.Opt,
+		StaticBudget: cfg0.StaticBudget,
+		Workers:      cfg0.Workers,
+		Test:         cfg0.Test,
+		Ctx:          ctx,
+	})
+	if err != nil {
+		fail(err)
+		return
+	}
+	engineDur := time.Since(start)
+	for _, i := range idxs {
+		cfg := norm[i]
+		correct := time.Now()
+		var outcome *correction.Outcome
+		if cfg.Control == ControlFWER {
+			outcome = correction.PermFWER(engine, rs.rules, cfg.Alpha)
+		} else {
+			outcome = correction.PermFDR(engine, rs.rules, cfg.Alpha)
+		}
+		if err := engine.Err(); err != nil {
+			errs[i] = err
+			continue
+		}
+		s.corrections.Add(1)
+		results[i] = s.assemble(cfg, rs, outcome, engineDur+time.Since(correct))
+	}
+}

@@ -1,14 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
-	"repro/internal/correction"
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/evalx"
-	"repro/internal/mining"
-	"repro/internal/permute"
 	"repro/internal/synth"
 )
 
@@ -114,129 +113,119 @@ type perDataset struct {
 	err                      error
 }
 
+// methodSpec maps one battery method label onto the shared pipeline
+// config that produces it.
+type methodSpec struct {
+	method string
+	cfg    core.Config
+}
+
+// batterySpecs builds the pipeline configs of the requested methods. The
+// no-correction run always rides along (first) because every battery
+// reports the whole-dataset tested-rule count (Figs 6, 7 and 11 plot it);
+// it shares the batch's single mine and its correction is free.
+func batterySpecs(cfg batteryConfig, genSeed uint64) []methodSpec {
+	base := core.Config{
+		MinSup:       cfg.minSupWhole,
+		Alpha:        cfg.alpha,
+		MaxNodes:     2_000_000,
+		Permutations: cfg.perms,
+		Workers:      1, // parallelism lives at the dataset level here
+	}
+	specs := []methodSpec{{MNone, base}}
+	add := func(m string, mut func(c *core.Config)) {
+		if !cfg.wants(m) {
+			return
+		}
+		c := base
+		mut(&c)
+		specs = append(specs, methodSpec{m, c})
+	}
+	add(MBC, func(c *core.Config) { c.Method = core.MethodDirect; c.Control = core.ControlFWER })
+	add(MBH, func(c *core.Config) { c.Method = core.MethodDirect; c.Control = core.ControlFDR })
+	add(MPermFWER, func(c *core.Config) {
+		c.Method = core.MethodPermutation
+		c.Control = core.ControlFWER
+		c.Seed = genSeed ^ 0xa5a5a5a5
+	})
+	add(MPermFDR, func(c *core.Config) {
+		c.Method = core.MethodPermutation
+		c.Control = core.ControlFDR
+		c.Seed = genSeed ^ 0xa5a5a5a5
+	})
+	add(MHDBC, func(c *core.Config) { c.Method = core.MethodHoldout; c.Control = core.ControlFWER })
+	add(MHDBH, func(c *core.Config) { c.Method = core.MethodHoldout; c.Control = core.ControlFDR })
+	add(MRHBC, func(c *core.Config) {
+		c.Method = core.MethodHoldout
+		c.Control = core.ControlFWER
+		c.HoldoutRandom = true
+		c.Seed = genSeed ^ 0x5a5a5a5a
+	})
+	add(MRHBH, func(c *core.Config) {
+		c.Method = core.MethodHoldout
+		c.Control = core.ControlFDR
+		c.HoldoutRandom = true
+		c.Seed = genSeed ^ 0x5a5a5a5a
+	})
+	return specs
+}
+
 // runOneDataset generates dataset di of the battery and evaluates all
-// requested methods on it.
+// requested methods on it through one shared mining Session: every
+// whole-dataset method reuses a single encode/mine/score, and the holdout
+// variants run through the same pipeline instead of private plumbing.
 func runOneDataset(cfg batteryConfig, di int) (res perDataset) {
 	res.evals = make(map[string]evalx.DatasetEval)
 
 	p := cfg.params
 	p.Seed = cfg.seed + uint64(di)*0x9e3779b97f4a7c15 + 1
-	whole, first, second, err := synth.GeneratePaired(p)
+	whole, first, _, err := synth.GeneratePaired(p)
 	if err != nil {
 		res.err = err
 		return res
 	}
 	judge := evalx.NewJudge(whole.Data, whole.Rules, cfg.alpha)
 
-	enc := dataset.Encode(whole.Data)
-	tree, err := mining.MineClosed(enc, mining.Options{
-		MinSup:        cfg.minSupWhole,
-		StoreDiffsets: true,
-		MaxNodes:      2_000_000,
-		Workers:       1, // parallelism lives at the dataset level here
-	})
+	specs := batterySpecs(cfg, p.Seed)
+	cfgs := make([]core.Config, len(specs))
+	for i := range specs {
+		cfgs[i] = specs[i].cfg
+	}
+	sess := core.NewSession(whole.Data)
+	outs, err := sess.RunBatch(context.Background(), cfgs)
 	if err != nil {
 		res.err = err
 		return res
 	}
-	rules, err := mining.GenerateRules(tree, mining.RuleOptions{Policy: mining.PaperPolicy})
-	if err != nil {
-		res.err = err
-		return res
-	}
-	res.tw = float64(len(rules))
-	ps := make([]float64, len(rules))
-	for i := range rules {
-		ps[i] = rules[i].P
-	}
 
-	judgeOutcome := func(m string, o *correction.Outcome) {
-		res.evals[m] = judge.Evaluate(rules, o.Significant)
-	}
-	if cfg.wants(MNone) {
-		judgeOutcome(MNone, correction.None(ps, cfg.alpha))
-	}
-	if cfg.wants(MBC) {
-		judgeOutcome(MBC, correction.Bonferroni(ps, len(ps), cfg.alpha))
-	}
-	if cfg.wants(MBH) {
-		judgeOutcome(MBH, correction.BenjaminiHochberg(ps, len(ps), cfg.alpha))
-	}
-	if cfg.wants(MPermFWER) || cfg.wants(MPermFDR) {
-		engine, err := permute.NewEngine(tree, rules, permute.Config{
-			NumPerms: cfg.perms,
-			Seed:     p.Seed ^ 0xa5a5a5a5,
-			Opt:      permute.OptStaticBuffer,
-			Workers:  1, // parallelism lives at the dataset level here
-		})
-		if err != nil {
-			res.err = err
-			return res
-		}
-		if cfg.wants(MPermFWER) {
-			judgeOutcome(MPermFWER, correction.PermFWER(engine, rules, cfg.alpha))
-		}
-		if cfg.wants(MPermFDR) {
-			judgeOutcome(MPermFDR, correction.PermFDR(engine, rules, cfg.alpha))
-		}
-	}
-
-	holdout := func(expl, eval *dataset.Dataset, fdr bool) (*correction.HoldoutResult, error) {
-		return correction.Holdout(expl, eval, correction.HoldoutConfig{
-			MinSupExplore: max(1, cfg.minSupWhole/2),
-			Alpha:         cfg.alpha,
-			UseFDR:        fdr,
-			Policy:        mining.PaperPolicy,
-			Workers:       1, // parallelism lives at the dataset level here
-		})
-	}
-	if cfg.wants(MHDBC) || cfg.wants(MHDBH) {
-		for _, fdr := range []bool{false, true} {
-			m := MHDBC
-			if fdr {
-				m = MHDBH
+	var rexp *dataset.Dataset // random-holdout exploratory half, for judging
+	for i, sp := range specs {
+		out := outs[i]
+		switch sp.method {
+		case MHDBC, MHDBH:
+			res.evals[sp.method] = judge.EvaluateHoldout(first, out.Holdout)
+			res.the = float64(out.Holdout.NumExploreTested)
+			res.thev = float64(len(out.Holdout.Candidates))
+		case MRHBC, MRHBH:
+			if rexp == nil {
+				// The same split the pipeline's random holdout performed
+				// (both derive it from Config.Seed).
+				rexp, _ = whole.Data.RandomSplit(sp.cfg.Seed)
 			}
-			if !cfg.wants(m) {
-				continue
+			res.evals[sp.method] = judge.EvaluateHoldout(rexp, out.Holdout)
+			res.tre = float64(out.Holdout.NumExploreTested)
+			res.trev = float64(len(out.Holdout.Candidates))
+		default:
+			if sp.method == MNone {
+				res.tw = float64(out.NumTested)
+				if !cfg.wants(MNone) {
+					continue
+				}
 			}
-			hres, err := holdout(first, second, fdr)
-			if err != nil {
-				res.err = err
-				return res
-			}
-			res.evals[m] = judge.EvaluateHoldout(first, hres)
-			res.the = float64(hres.NumExploreTested)
-			res.thev = float64(len(hres.Candidates))
-		}
-	}
-	if cfg.wants(MRHBC) || cfg.wants(MRHBH) {
-		rexp, reval := whole.Data.RandomSplit(p.Seed ^ 0x5a5a5a5a)
-		for _, fdr := range []bool{false, true} {
-			m := MRHBC
-			if fdr {
-				m = MRHBH
-			}
-			if !cfg.wants(m) {
-				continue
-			}
-			hres, err := holdout(rexp, reval, fdr)
-			if err != nil {
-				res.err = err
-				return res
-			}
-			res.evals[m] = judge.EvaluateHoldout(rexp, hres)
-			res.tre = float64(hres.NumExploreTested)
-			res.trev = float64(len(hres.Candidates))
+			res.evals[sp.method] = judge.Evaluate(out.Tested, out.Outcome.Significant)
 		}
 	}
 	return res
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // embeddedRuleParams returns the §5.5 generator configuration: N=2000,

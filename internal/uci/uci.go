@@ -15,7 +15,8 @@
 // The paper's real-data experiments (Figs 4, 5, 14, 15, 16 and Table 4)
 // compare the *relative* behaviour of the correction approaches, which is
 // driven by exactly these distributional properties, not by the datasets'
-// semantics. See DESIGN.md §5 for the substitution rationale.
+// semantics — that is the substitution rationale: shape-matched stand-ins
+// preserve the comparisons even though the records themselves differ.
 package uci
 
 import (
