@@ -59,12 +59,32 @@
 //	    {MinSup: 60, Method: repro.MethodPermutation, Permutations: 1000},
 //	})
 //
-// Session results are byte-identical to fresh Mine calls.
+// Session results are byte-identical to fresh Mine calls. Session stage
+// caches are size-bounded (CacheLimits): long-lived sessions evict their
+// least-recently-used prepared stages instead of growing without bound.
+//
+// # Serving
+//
+// The pipeline is also available as a long-lived HTTP/JSON service: named
+// datasets live in a capacity-bounded LRU Registry of Sessions, and a
+// Server exposes upload, mine, batch and stats endpoints with per-request
+// timeouts and graceful drain on shutdown ("armine serve" is the CLI
+// entry point):
+//
+//	reg := repro.NewRegistry(16, repro.CacheLimits{})
+//	reg.Register("census", d)
+//	srv := repro.NewServer(reg, repro.ServeOptions{Addr: ":8080"})
+//	go srv.ListenAndServe()
+//	...
+//	srv.Shutdown(ctx) // drains in-flight mining
+//
+// See Server.Handler for the endpoint table; concurrent requests against
+// one dataset share mining stages through the session caches.
 //
 // The heavy machinery lives in internal packages; this package is the
 // supported surface: datasets (LoadCSV/FromTable/Synthetic/UCIStandIn),
 // the pipeline (Mine/MineContext, Session/NewSession for repeated
-// mining), and the result types.
+// mining), the HTTP service (Registry/NewServer), and the result types.
 package repro
 
 import (
@@ -78,6 +98,7 @@ import (
 	"repro/internal/disc"
 	"repro/internal/mining"
 	"repro/internal/permute"
+	"repro/internal/server"
 	"repro/internal/synth"
 	"repro/internal/uci"
 )
@@ -191,10 +212,21 @@ type Session struct {
 // served from its caches.
 type SessionStats = core.SessionStats
 
+// CacheLimits bounds a Session's stage caches: each cache evicts its
+// least-recently-used completed entry past the cap and recomputes it
+// (bit-for-bit identically) on re-request. Zero fields pick the defaults;
+// negative fields mean unbounded.
+type CacheLimits = core.CacheLimits
+
 // NewSession prepares d for repeated mining with Session.Mine and
-// Session.MineBatch.
+// Session.MineBatch, using the default CacheLimits.
 func NewSession(d *Dataset) *Session {
 	return &Session{s: core.NewSession(d)}
+}
+
+// NewSessionLimits is NewSession with explicit stage-cache bounds.
+func NewSessionLimits(d *Dataset, lim CacheLimits) *Session {
+	return &Session{s: core.NewSessionLimits(d, lim)}
 }
 
 // Mine runs one config against the prepared dataset, reusing any cached
@@ -335,3 +367,54 @@ func BasketPermFWER(d *BasketData, rules []BasketRule, alpha float64, numPerms i
 // Outcome is a correction decision (indices of significant rules plus the
 // effective cut-off).
 type Outcome = correction.Outcome
+
+// ParseControl maps a case-insensitive control name ("fwer" or "fdr") to
+// its Control.
+func ParseControl(s string) (Control, error) { return core.ParseControl(s) }
+
+// ParseMethod maps a case-insensitive method name
+// (none|direct|permutation|holdout|layered) to its Method.
+func ParseMethod(s string) (Method, error) { return core.ParseMethod(s) }
+
+// ParseTest maps a case-insensitive test name (fisher|midp|chisq) to its
+// TestKind; the empty string selects Fisher.
+func ParseTest(s string) (TestKind, error) { return core.ParseTest(s) }
+
+// Registry maps dataset names to prepared mining sessions behind an LRU
+// with a fixed capacity: registering past the capacity evicts the least
+// recently used session, keeping a long-lived serving process's memory
+// bounded. Safe for concurrent use.
+type Registry = server.Registry
+
+// ServeOptions configures the HTTP mining service (listen address,
+// per-request timeout, upload cap, logger).
+type ServeOptions = server.Options
+
+// Server is the long-lived HTTP/JSON mining service over a Registry.
+// Server.Handler documents the endpoint table; Shutdown drains in-flight
+// mining before returning.
+type Server = server.Server
+
+// ConfigJSON is the wire form of a Config (enum fields as strings), used
+// by the HTTP service's request bodies.
+type ConfigJSON = server.ConfigJSON
+
+// RunJSON is the wire form of one mining result, shared by the HTTP
+// service's responses and "armine -json".
+type RunJSON = server.RunJSON
+
+// NewRegistry returns a registry holding at most capacity sessions
+// (a default capacity if <= 0), each with the given stage-cache limits.
+func NewRegistry(capacity int, limits CacheLimits) *Registry {
+	return server.NewRegistry(capacity, limits)
+}
+
+// NewServer builds the HTTP mining service over reg. Use Server.Handler
+// for a custom listener or Server.ListenAndServe for opts.Addr.
+func NewServer(reg *Registry, opts ServeOptions) *Server {
+	return server.New(reg, opts)
+}
+
+// EncodeRun converts a Result into its wire form, truncating the rule list
+// to limit entries (0 = all).
+func EncodeRun(res *Result, limit int) RunJSON { return server.EncodeRun(res, limit) }

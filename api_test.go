@@ -1,7 +1,13 @@
 package repro
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 )
@@ -288,5 +294,78 @@ func TestFacadeMineContextCancel(t *testing.T) {
 		if _, err := MineContext(ctx, res.Data, cfg); err != context.Canceled {
 			t.Fatalf("method=%v: err = %v, want context.Canceled", method, err)
 		}
+	}
+}
+
+// TestFacadeServe drives the exported serving surface end to end: a
+// registry-backed Server handler serves a mine request whose deterministic
+// fields are byte-identical to a direct repro.Mine call's wire encoding.
+func TestFacadeServe(t *testing.T) {
+	p := SyntheticDefaults()
+	p.N = 500
+	p.Attrs = 8
+	p.NumRules = 1
+	p.MinCvg, p.MaxCvg = 120, 120
+	p.MinConf, p.MaxConf = 0.9, 0.9
+	p.Seed = 33
+	gen, err := Synthetic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(4, CacheLimits{})
+	if _, err := reg.Register("demo", gen.Data); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(reg, ServeOptions{Log: log.New(io.Discard, "", 0)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/datasets/demo/mine", "application/json",
+		strings.NewReader(`{"min_sup": 60, "method": "direct", "control": "fdr"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+
+	fresh, err := Mine(gen.Data, Config{MinSup: 60, Method: MethodDirect, Control: ControlFDR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := EncodeRun(fresh, 0)
+	var got RunJSON
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	// Wall-clock timings can never reproduce; everything else must.
+	got.MineMillis, got.CorrectMillis = 0, 0
+	want.MineMillis, want.CorrectMillis = 0, 0
+	gotB, _ := json.Marshal(got)
+	wantB, _ := json.Marshal(want)
+	if !bytes.Equal(gotB, wantB) {
+		t.Fatalf("served result differs from direct Mine:\n got %s\nwant %s", gotB, wantB)
+	}
+
+	// The health endpoint reflects the registry.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var h struct {
+		Status   string `json:"status"`
+		Datasets int    `json:"datasets"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Datasets != 1 {
+		t.Errorf("healthz = %+v", h)
 	}
 }

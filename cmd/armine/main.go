@@ -1,11 +1,17 @@
 // Command armine mines statistically significant class association rules
 // from a CSV file (header row; the LAST column is the class label; numeric
-// columns are discretized automatically with Fayyad–Irani).
+// columns are discretized automatically with Fayyad–Irani), or serves the
+// mining pipeline as a long-lived HTTP/JSON service.
 //
-// Examples:
+// Subcommands:
 //
-//	armine -in data.csv -minsup-frac 0.05 -control fdr -method direct
-//	armine -in data.csv -minsup 60 -method permutation -perms 1000
+//	armine mine  [flags]   one-shot mining run (default when flags come first)
+//	armine serve [flags]   HTTP mining service over a bounded session registry
+//
+// Mining examples:
+//
+//	armine mine -in data.csv -minsup-frac 0.05 -control fdr -method direct
+//	armine mine -in data.csv -minsup 60 -method permutation -perms 1000
 //	armine -uci german -minsup 60 -method holdout -control fwer
 //
 // A comma-separated -methods list reports several corrections from a
@@ -14,60 +20,131 @@
 // exploratory half separately by construction, so listing it adds one
 // extra, smaller mine.)
 //
-//	armine -uci german -minsup 60 -methods none,direct,permutation,layered
+//	armine mine -uci german -minsup 60 -methods none,direct,permutation,layered
 //
 // Output: one rule per line, most significant first, with coverage,
 // support, confidence and p-value; -json switches to machine-readable
-// output (a JSON array with one entry per method run). -cpuprofile and
-// -memprofile write pprof profiles for production-style inspection.
+// output (a JSON array with one entry per method run) on stdout — errors
+// always go to stderr with a non-zero exit, never into the JSON stream.
+// -cpuprofile and -memprofile write pprof profiles.
+//
+// Serving examples:
+//
+//	armine serve -addr :8080 -capacity 16 -timeout 2m
+//	armine serve -preload census=data.csv -preload german=uci:german
+//
+// See the repro package docs (api.go) for the endpoint table.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro"
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "armine:", err)
-		os.Exit(1)
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain dispatches to a subcommand; bare flags select "mine" for
+// backward compatibility. Errors go to stderr with exit 1 — stdout carries
+// only the requested report (text or JSON).
+func realMain(args []string, stdout, stderr io.Writer) int {
+	cmd, rest := "mine", args
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd, rest = args[0], args[1:]
+	}
+	var err error
+	switch cmd {
+	case "mine":
+		err = runMine(rest, stdout, stderr)
+	case "serve":
+		err = runServe(rest, stderr)
+	case "help":
+		usage(stdout)
+	default:
+		err = fmt.Errorf("unknown command %q (want mine or serve)", cmd)
+	}
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, flag.ErrHelp):
+		return 0
+	case errors.Is(err, errUsage):
+		// The flag set already reported the problem on stderr.
+		return 1
+	default:
+		fmt.Fprintln(stderr, "armine:", err)
+		return 1
 	}
 }
 
-func run() error {
-	var (
-		in         = flag.String("in", "", "input CSV file (header row, class label last)")
-		uciName    = flag.String("uci", "", "use a built-in UCI stand-in instead of -in (adult|german|hypo|mushroom)")
-		minSup     = flag.Int("minsup", 0, "absolute minimum support")
-		minSupFrac = flag.Float64("minsup-frac", 0, "relative minimum support (fraction of records)")
-		minConf    = flag.Float64("minconf", 0, "minimum confidence (domain filter; default 0)")
-		alpha      = flag.Float64("alpha", 0.05, "error level")
-		control    = flag.String("control", "fwer", "error measure: fwer | fdr")
-		method     = flag.String("method", "direct", "correction: none | direct | permutation | holdout | layered")
-		methods    = flag.String("methods", "", "comma-separated corrections sharing a single mine (overrides -method; holdout mines its exploratory half separately), e.g. none,direct,permutation")
-		perms      = flag.Int("perms", 1000, "permutations for permutation runs")
-		seed       = flag.Uint64("seed", 1, "random seed (permutations, holdout split, stand-ins)")
-		workers    = flag.Int("workers", 0, "worker goroutines for mining and permutations (0 = all CPUs)")
-		maxLen     = flag.Int("maxlen", 0, "maximum rule LHS length (0 = unlimited)")
-		limit      = flag.Int("limit", 50, "print at most this many rules per run (0 = all)")
-		jsonOut    = flag.Bool("json", false, "emit a JSON array (one entry per method run) instead of text")
-		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the mining to this file")
-		memProf    = flag.String("memprofile", "", "write a pprof heap profile after mining to this file")
-		quiet      = flag.Bool("q", false, "print rules only, no summaries")
-	)
-	flag.Parse()
+// errUsage marks a flag-parse failure already reported by the flag set.
+var errUsage = errors.New("usage error")
 
-	d, err := loadDataset(*in, *uciName, *seed)
-	if err != nil {
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `armine — significant class association rule mining
+
+  armine mine  [flags]   one-shot mining run ("armine -in ..." also works)
+  armine serve [flags]   HTTP mining service
+
+Run "armine mine -h" or "armine serve -h" for flags.`)
+}
+
+// parseArgs runs fs over args, normalizing help and parse failures.
+func parseArgs(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return flag.ErrHelp
+		}
+		return errUsage
+	}
+	return nil
+}
+
+func runMine(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("mine", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in         = fs.String("in", "", "input CSV file (header row, class label last)")
+		uciName    = fs.String("uci", "", "use a built-in UCI stand-in instead of -in (adult|german|hypo|mushroom)")
+		minSup     = fs.Int("minsup", 0, "absolute minimum support")
+		minSupFrac = fs.Float64("minsup-frac", 0, "relative minimum support (fraction of records)")
+		minConf    = fs.Float64("minconf", 0, "minimum confidence (domain filter; default 0)")
+		alpha      = fs.Float64("alpha", 0.05, "error level")
+		control    = fs.String("control", "fwer", "error measure: fwer | fdr")
+		method     = fs.String("method", "direct", "correction: none | direct | permutation | holdout | layered")
+		methods    = fs.String("methods", "", "comma-separated corrections sharing a single mine (overrides -method; holdout mines its exploratory half separately), e.g. none,direct,permutation")
+		perms      = fs.Int("perms", 1000, "permutations for permutation runs")
+		seed       = fs.Uint64("seed", 1, "random seed (permutations, holdout split, stand-ins)")
+		workers    = fs.Int("workers", 0, "worker goroutines for mining and permutations (0 = all CPUs)")
+		maxLen     = fs.Int("maxlen", 0, "maximum rule LHS length (0 = unlimited)")
+		limit      = fs.Int("limit", 50, "print at most this many rules per run (0 = all)")
+		jsonOut    = fs.Bool("json", false, "emit a JSON array (one entry per method run) instead of text")
+		cpuProf    = fs.String("cpuprofile", "", "write a pprof CPU profile of the mining to this file")
+		memProf    = fs.String("memprofile", "", "write a pprof heap profile after mining to this file")
+		quiet      = fs.Bool("q", false, "print rules only, no summaries")
+	)
+	if err := parseArgs(fs, args); err != nil {
 		return err
+	}
+	if fs.NArg() > 0 {
+		// flag parsing stops at the first positional: anything after it
+		// would be silently dropped, so reject rather than misbehave.
+		return fmt.Errorf("mine takes no positional arguments, got %q", fs.Arg(0))
 	}
 
 	base := repro.Config{
@@ -80,15 +157,14 @@ func run() error {
 		Workers:      *workers,
 		MaxLen:       *maxLen,
 	}
-	switch strings.ToLower(*control) {
-	case "fwer":
-		base.Control = repro.ControlFWER
-	case "fdr":
-		base.Control = repro.ControlFDR
-	default:
-		return fmt.Errorf("unknown -control %q (want fwer or fdr)", *control)
+	var err error
+	if base.Control, err = repro.ParseControl(*control); err != nil {
+		return err
 	}
 
+	// Validate the whole method list up front — before any dataset load or
+	// mining — so a typo in -methods fails fast instead of surfacing after
+	// minutes of work (and never leaks into a -json stream).
 	names := []string{*method}
 	if *methods != "" {
 		names = strings.Split(*methods, ",")
@@ -100,6 +176,11 @@ func run() error {
 			return err
 		}
 		cfgs[i] = cfg
+	}
+
+	d, err := loadDataset(*in, *uciName, *seed)
+	if err != nil {
+		return err
 	}
 
 	if *cpuProf != "" {
@@ -133,47 +214,118 @@ func run() error {
 	}
 
 	if *jsonOut {
-		return printJSON(d, results, *limit)
+		return printJSON(stdout, results, *limit)
 	}
-	printText(d, results, *limit, *quiet)
+	printText(stdout, d, results, *limit, *quiet)
 	if !*quiet && len(results) > 1 {
 		st := sess.Stats()
 		line := fmt.Sprintf("# session: %d mine(s) + %d score(s)", st.Mines, st.Scores)
 		if st.Holdouts > 0 {
 			line += fmt.Sprintf(" + %d holdout run(s)", st.Holdouts)
 		}
-		fmt.Printf("%s served %d method runs\n", line, len(results))
+		fmt.Fprintf(stdout, "%s served %d method runs\n", line, len(results))
 	}
 	return nil
 }
 
+// preloads collects repeated -preload name=path flags.
+type preloads []struct{ name, path string }
+
+func (p *preloads) set(spec string) error {
+	name, path, ok := strings.Cut(spec, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("invalid -preload %q (want name=path.csv or name=uci:standin)", spec)
+	}
+	*p = append(*p, struct{ name, path string }{name, path})
+	return nil
+}
+
+func runServe(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var pre preloads
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		capacity  = fs.Int("capacity", 0, "max registered datasets; the LRU session is evicted past this (0 = default 16)")
+		timeout   = fs.Duration("timeout", 2*time.Minute, "per-request mining deadline (negative = none)")
+		treeCache = fs.Int("tree-cache", 0, "per-session mined-tree cache entries (0 = default, negative = unbounded)")
+		ruleCache = fs.Int("rule-cache", 0, "per-session scored-rule cache entries (0 = default, negative = unbounded)")
+		maxUpload = fs.Int64("max-upload", 0, "max CSV upload bytes (0 = default 64 MiB)")
+		drain     = fs.Duration("drain", 30*time.Second, "max wait for in-flight mining on shutdown")
+		seed      = fs.Uint64("seed", 1, "seed for uci: preloads")
+	)
+	fs.Func("preload", "register a dataset at startup: name=path.csv or name=uci:standin (repeatable)", pre.set)
+	if err := parseArgs(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("serve takes no positional arguments, got %q", fs.Arg(0))
+	}
+
+	logger := log.New(stderr, "", log.LstdFlags)
+	reg := repro.NewRegistry(*capacity, repro.CacheLimits{MaxTrees: *treeCache, MaxRules: *ruleCache})
+	for _, p := range pre {
+		var d *repro.Dataset
+		var err error
+		if uciName, ok := strings.CutPrefix(p.path, "uci:"); ok {
+			d, err = repro.UCIStandIn(uciName, *seed)
+		} else {
+			d, err = repro.LoadCSVFile(p.path)
+		}
+		if err != nil {
+			return fmt.Errorf("preloading %s: %w", p.name, err)
+		}
+		if _, err := reg.Register(p.name, d); err != nil {
+			return err
+		}
+		logger.Printf("armine: preloaded dataset %q (%d records)", p.name, d.NumRecords())
+	}
+
+	srv := repro.NewServer(reg, repro.ServeOptions{
+		Addr:           *addr,
+		Timeout:        *timeout,
+		MaxUploadBytes: *maxUpload,
+		Log:            logger,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		logger.Printf("armine: shutting down, draining in-flight requests (max %v)", *drain)
+		shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		return <-errCh
+	}
+}
+
 // setMethod applies one -method/-methods name to cfg.
 func setMethod(cfg *repro.Config, name string) error {
-	switch strings.ToLower(strings.TrimSpace(name)) {
-	case "none":
-		cfg.Method = repro.MethodNone
-	case "direct":
-		cfg.Method = repro.MethodDirect
-	case "permutation":
-		cfg.Method = repro.MethodPermutation
-	case "holdout":
-		cfg.Method = repro.MethodHoldout
+	m, err := repro.ParseMethod(name)
+	if err != nil {
+		return err
+	}
+	cfg.Method = m
+	if m == repro.MethodHoldout {
 		cfg.HoldoutRandom = true
-	case "layered":
-		cfg.Method = repro.MethodLayered
-	default:
-		return fmt.Errorf("unknown method %q (want none|direct|permutation|holdout|layered)", name)
 	}
 	return nil
 }
 
 // printText renders the classic line-per-rule report, one block per run.
-func printText(d *repro.Dataset, results []*repro.Result, limit int, quiet bool) {
+func printText(w io.Writer, d *repro.Dataset, results []*repro.Result, limit int, quiet bool) {
 	for _, res := range results {
 		if !quiet {
-			fmt.Printf("# %d records, %d rules tested (min_sup=%d), method=%s control=%s alpha=%g\n",
+			fmt.Fprintf(w, "# %d records, %d rules tested (min_sup=%d), method=%s control=%s alpha=%g\n",
 				res.NumRecords, res.NumTested, res.MinSup, res.Method, res.Control, res.Alpha)
-			fmt.Printf("# %d significant rules, cutoff p <= %.4g, mine %v + correct %v\n",
+			fmt.Fprintf(w, "# %d significant rules, cutoff p <= %.4g, mine %v + correct %v\n",
 				len(res.Significant), res.Cutoff, res.MineTime.Round(1e6), res.CorrectTime.Round(1e6))
 		}
 		n := len(res.Significant)
@@ -181,77 +333,24 @@ func printText(d *repro.Dataset, results []*repro.Result, limit int, quiet bool)
 			n = limit
 		}
 		for _, r := range res.Significant[:n] {
-			fmt.Printf("%s => %s=%s  cvg=%d supp=%d conf=%.3f p=%.4g\n",
+			fmt.Fprintf(w, "%s => %s=%s  cvg=%d supp=%d conf=%.3f p=%.4g\n",
 				strings.Join(r.Items, " ^ "), d.Schema.Class.Name, r.Class,
 				r.Coverage, r.Support, r.Confidence, r.P)
 		}
 		if !quiet && n < len(res.Significant) {
-			fmt.Printf("# ... %d more (raise -limit)\n", len(res.Significant)-n)
+			fmt.Fprintf(w, "# ... %d more (raise -limit)\n", len(res.Significant)-n)
 		}
 	}
 }
 
-// jsonRule is the machine-readable form of one significant rule.
-type jsonRule struct {
-	Items      []string `json:"items"`
-	Class      string   `json:"class"`
-	Coverage   int      `json:"coverage"`
-	Support    int      `json:"support"`
-	Confidence float64  `json:"confidence"`
-	P          float64  `json:"p"`
-}
-
-// jsonRun is the machine-readable form of one method run.
-type jsonRun struct {
-	Method         string     `json:"method"`
-	Control        string     `json:"control"`
-	Alpha          float64    `json:"alpha"`
-	MinSup         int        `json:"min_sup"`
-	NumRecords     int        `json:"num_records"`
-	NumPatterns    int        `json:"num_patterns"`
-	NumTested      int        `json:"num_tested"`
-	NumSignificant int        `json:"num_significant"`
-	Cutoff         float64    `json:"cutoff"`
-	MineMillis     float64    `json:"mine_ms"`
-	CorrectMillis  float64    `json:"correct_ms"`
-	Rules          []jsonRule `json:"rules"`
-}
-
-// printJSON emits one array entry per run, rules truncated to limit.
-func printJSON(d *repro.Dataset, results []*repro.Result, limit int) error {
-	runs := make([]jsonRun, len(results))
+// printJSON emits one array entry per run, rules truncated to limit, using
+// the same wire form the HTTP service serves.
+func printJSON(w io.Writer, results []*repro.Result, limit int) error {
+	runs := make([]repro.RunJSON, len(results))
 	for i, res := range results {
-		run := jsonRun{
-			Method:         res.Method.String(),
-			Control:        res.Control.String(),
-			Alpha:          res.Alpha,
-			MinSup:         res.MinSup,
-			NumRecords:     res.NumRecords,
-			NumPatterns:    res.NumPatterns,
-			NumTested:      res.NumTested,
-			NumSignificant: len(res.Significant),
-			Cutoff:         res.Cutoff,
-			MineMillis:     float64(res.MineTime.Microseconds()) / 1e3,
-			CorrectMillis:  float64(res.CorrectTime.Microseconds()) / 1e3,
-			Rules:          []jsonRule{},
-		}
-		n := len(res.Significant)
-		if limit > 0 && n > limit {
-			n = limit
-		}
-		for _, r := range res.Significant[:n] {
-			run.Rules = append(run.Rules, jsonRule{
-				Items:      r.Items,
-				Class:      r.Class,
-				Coverage:   r.Coverage,
-				Support:    r.Support,
-				Confidence: r.Confidence,
-				P:          r.P,
-			})
-		}
-		runs[i] = run
+		runs[i] = repro.EncodeRun(res, limit)
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(runs)
 }

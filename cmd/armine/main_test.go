@@ -1,12 +1,151 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro"
 )
+
+// writeTempCSV drops a small mineable CSV and returns its path.
+func writeTempCSV(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "d.csv")
+	var b strings.Builder
+	b.WriteString("color,class\n")
+	for i := 0; i < 30; i++ {
+		b.WriteString("red,yes\n")
+	}
+	for i := 0; i < 30; i++ {
+		b.WriteString("blue,no\n")
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRealMainDispatch covers the subcommand surface: bare flags fall back
+// to mine, "help" succeeds, unknown commands and unknown flags fail with
+// exit 1 and a message on stderr only.
+func TestRealMainDispatch(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"help"}, &stdout, &stderr); code != 0 {
+		t.Errorf("help exit = %d, stderr %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "serve") {
+		t.Errorf("help output missing subcommands: %q", stdout.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := realMain([]string{"bogus"}, &stdout, &stderr); code != 1 {
+		t.Errorf("unknown command exit = %d", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown command") || stdout.Len() != 0 {
+		t.Errorf("unknown command: stderr=%q stdout=%q", stderr.String(), stdout.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := realMain([]string{"mine", "-bogusflag"}, &stdout, &stderr); code != 1 {
+		t.Errorf("unknown flag exit = %d", code)
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("unknown flag leaked to stdout: %q", stdout.String())
+	}
+}
+
+// TestMineJSONErrorsToStderr is the -json error-handling regression:
+// failures must reach stderr with a non-zero exit and NEVER the JSON
+// stream on stdout.
+func TestMineJSONErrorsToStderr(t *testing.T) {
+	cases := [][]string{
+		{"-json"}, // no input selected
+		{"-json", "-in", "/nonexistent/file.csv"},                                // unreadable input
+		{"-json", "-uci", "german"},                                              // no -minsup / -minsup-frac
+		{"-uci", "german", "-minsup", "60", "-json", "-methods", "direct,bogus"}, // bad method token
+		{"-uci", "german", "-minsup", "60", "-json", "-control", "bogus"},        // bad control
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := realMain(args, &stdout, &stderr); code != 1 {
+			t.Errorf("%v: exit = %d, want 1", args, code)
+		}
+		if stdout.Len() != 0 {
+			t.Errorf("%v: error leaked into the JSON stream: %q", args, stdout.String())
+		}
+		if stderr.Len() == 0 {
+			t.Errorf("%v: no error on stderr", args)
+		}
+	}
+}
+
+// TestMineMethodsRejectedUpFront pins that a bad -methods token fails
+// before any dataset work: the error names the token, and an empty token
+// (trailing comma) is an error rather than a silent skip.
+func TestMineMethodsRejectedUpFront(t *testing.T) {
+	// The input file does not exist — if methods were validated after the
+	// dataset load, the error would be about the file instead.
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{"-in", "/nonexistent/file.csv", "-minsup", "5", "-methods", "direct,bogus"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(stderr.String(), "bogus") {
+		t.Errorf("error does not name the bad token: %q", stderr.String())
+	}
+	if strings.Contains(stderr.String(), "no such file") {
+		t.Errorf("dataset was loaded before method validation: %q", stderr.String())
+	}
+	stderr.Reset()
+	if code := realMain([]string{"-in", "/nonexistent/file.csv", "-minsup", "5", "-methods", "direct,"}, &stdout, &stderr); code != 1 {
+		t.Errorf("trailing comma exit = %d, want 1 (empty tokens must not be silently skipped)", code)
+	}
+}
+
+// TestMineJSONOutput runs a real -json mine and checks stdout is exactly
+// one parseable JSON array, with per-run wire fields populated.
+func TestMineJSONOutput(t *testing.T) {
+	path := writeTempCSV(t)
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{"mine", "-in", path, "-minsup", "5", "-json", "-methods", "none,direct"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr %s", code, stderr.String())
+	}
+	var runs []repro.RunJSON
+	if err := json.Unmarshal(stdout.Bytes(), &runs); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(runs) != 2 || runs[0].Method != "none" || runs[1].Method != "direct" {
+		t.Fatalf("runs = %+v", runs)
+	}
+	if runs[0].NumRecords != 60 {
+		t.Errorf("num_records = %d, want 60", runs[0].NumRecords)
+	}
+}
+
+// TestServeFlagValidation covers serve's argument surface without binding
+// a listener.
+func TestServeFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"serve", "-bogus"},
+		{"serve", "-preload", "malformed"},
+		{"serve", "-preload", "name=/nonexistent/file.csv"},
+		{"serve", "positional"},
+		// A stray positional in mine would silently drop every flag after
+		// it (flag parsing stops there) — reject instead.
+		{"mine", "-uci", "german", "-minsup", "60", "stray", "-method", "permutation"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := realMain(args, &stdout, &stderr); code != 1 {
+			t.Errorf("%v: exit = %d, want 1", args, code)
+		}
+	}
+}
 
 func TestSetMethod(t *testing.T) {
 	cases := map[string]repro.Method{

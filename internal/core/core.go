@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/correction"
@@ -77,6 +78,54 @@ func (m Method) String() string {
 		return "layered"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ParseControl maps a case-insensitive control name ("fwer" or "fdr") to
+// its Control. Surrounding whitespace is ignored.
+func ParseControl(s string) (Control, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "fwer":
+		return ControlFWER, nil
+	case "fdr":
+		return ControlFDR, nil
+	default:
+		return 0, fmt.Errorf("core: unknown control %q (want fwer or fdr)", s)
+	}
+}
+
+// ParseMethod maps a case-insensitive method name to its Method.
+// Surrounding whitespace is ignored; the empty string is rejected (callers
+// choose their own default).
+func ParseMethod(s string) (Method, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "none":
+		return MethodNone, nil
+	case "direct":
+		return MethodDirect, nil
+	case "permutation":
+		return MethodPermutation, nil
+	case "holdout":
+		return MethodHoldout, nil
+	case "layered":
+		return MethodLayered, nil
+	default:
+		return 0, fmt.Errorf("core: unknown method %q (want none|direct|permutation|holdout|layered)", s)
+	}
+}
+
+// ParseTest maps a case-insensitive significance-test name to its
+// TestKind. The empty string selects the paper's default (Fisher).
+func ParseTest(s string) (mining.TestKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "fisher":
+		return mining.TestFisher, nil
+	case "midp", "mid-p":
+		return mining.TestMidP, nil
+	case "chisq", "chi2", "chisquare", "chi-square":
+		return mining.TestChiSquare, nil
+	default:
+		return 0, fmt.Errorf("core: unknown test %q (want fisher|midp|chisq)", s)
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/correction"
 	"repro/internal/dataset"
+	"repro/internal/lru"
 	"repro/internal/mining"
 	"repro/internal/permute"
 	"repro/internal/redundancy"
@@ -119,18 +121,58 @@ type entry[V any] struct {
 	err  error
 }
 
-// getOrCompute returns m[key], computing it with fn at most once across
-// concurrent callers. On error the slot is removed before callers are
-// released, so a later call (with a live context) retries instead of
-// observing a poisoned cache. The second result reports a cache hit.
-func getOrCompute[K comparable, V any](mu *sync.Mutex, m map[K]*entry[V], key K, fn func() (V, error)) (V, bool, error) {
+// ErrStageIncomplete is the error singleflight waiters observe when the
+// goroutine computing their stage panicked: the slot is unpublished (so a
+// retry recomputes) and the panic propagates on the computing caller. A
+// caller receiving it hit an internal fault, not a bad configuration.
+var ErrStageIncomplete = errors.New("core: stage computation did not complete")
+
+// stageCache is a bounded, keyed singleflight cache: each key's value is
+// computed at most once across concurrent callers, and the number of
+// retained *completed* entries never exceeds the index capacity — the
+// least recently used entry is evicted first. In-flight computations are
+// never evicted (they are not retained state yet; waiters hold the slot
+// pointer directly), so the singleflight guarantee is unaffected by the
+// bound. A re-request of an evicted key simply recomputes — eviction
+// changes cost, never output.
+type stageCache[K comparable, V any] struct {
+	mu  sync.Mutex
+	m   map[K]*entry[V]
+	idx *lru.Index[K] // completed keys only
+}
+
+func newStageCache[K comparable, V any](cap int) *stageCache[K, V] {
+	return &stageCache[K, V]{m: make(map[K]*entry[V]), idx: lru.New[K](cap)}
+}
+
+// len reports the number of completed entries currently retained.
+func (c *stageCache[K, V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.Len()
+}
+
+// retain records key as the most recently used completed entry and evicts
+// past the capacity. Callers hold c.mu.
+func (c *stageCache[K, V]) retain(key K) {
+	for _, victim := range c.idx.Insert(key) {
+		delete(c.m, victim)
+	}
+}
+
+// getOrCompute returns the cached value of key, computing it with fn at
+// most once across concurrent callers. On error the slot is removed before
+// callers are released, so a later call (with a live context) retries
+// instead of observing a poisoned cache. The second result reports a cache
+// hit.
+func (c *stageCache[K, V]) getOrCompute(key K, fn func() (V, error)) (V, bool, error) {
 	for {
-		mu.Lock()
-		e, ok := m[key]
+		c.mu.Lock()
+		e, ok := c.m[key]
 		if !ok {
 			e = &entry[V]{done: make(chan struct{})}
-			m[key] = e
-			mu.Unlock()
+			c.m[key] = e
+			c.mu.Unlock()
 			// Unpublish the slot and release waiters on ANY failure,
 			// including a panic in fn: the panic propagates to this
 			// caller (as in a fresh run), while waiters observe an error
@@ -138,29 +180,33 @@ func getOrCompute[K comparable, V any](mu *sync.Mutex, m map[K]*entry[V], key K,
 			completed := false
 			defer func() {
 				if !completed {
-					mu.Lock()
-					delete(m, key)
-					mu.Unlock()
-					e.err = fmt.Errorf("core: stage computation did not complete")
+					c.mu.Lock()
+					delete(c.m, key)
+					c.mu.Unlock()
+					e.err = ErrStageIncomplete
 					close(e.done)
 				}
 			}()
 			v, err := fn()
 			completed = true
 			if err != nil {
-				mu.Lock()
-				delete(m, key)
-				mu.Unlock()
+				c.mu.Lock()
+				delete(c.m, key)
+				c.mu.Unlock()
 				e.err = err
 				close(e.done)
 				var zero V
 				return zero, false, err
 			}
 			e.val = v
+			c.mu.Lock()
+			c.retain(key)
+			c.mu.Unlock()
 			close(e.done)
 			return v, false, nil
 		}
-		mu.Unlock()
+		c.idx.Touch(key)
+		c.mu.Unlock()
 		<-e.done
 		if e.err == nil {
 			return e.val, true, nil
@@ -189,6 +235,44 @@ type SessionStats struct {
 	// Holdouts counts holdout runs, which bypass the shared stages (they
 	// mine the exploratory half, not the whole dataset).
 	Holdouts int64
+	// TreeEvictions / RuleEvictions count cache entries dropped by the
+	// size bound (see CacheLimits). A long-lived session sweeping many
+	// distinct mining parameters shows these grow while the cached entry
+	// count stays at the cap.
+	TreeEvictions int64
+	RuleEvictions int64
+	// CachedTrees / CachedRules are the completed entries currently
+	// retained (always <= the configured caps).
+	CachedTrees int64
+	CachedRules int64
+}
+
+// Default stage-cache capacities: generous enough that any realistic
+// parameter sweep stays fully cached, small enough that a long-lived
+// session (a serving daemon) cannot grow without bound.
+const (
+	DefaultTreeCacheCap = 64
+	DefaultRuleCacheCap = 128
+)
+
+// CacheLimits bounds a Session's stage caches. Each cache evicts its least
+// recently used completed entry once it holds more than the cap; an
+// evicted stage is recomputed (bit-for-bit identically) if requested
+// again. Zero fields pick the defaults (DefaultTreeCacheCap /
+// DefaultRuleCacheCap); negative fields mean unbounded.
+type CacheLimits struct {
+	MaxTrees int
+	MaxRules int
+}
+
+func (l CacheLimits) withDefaults() CacheLimits {
+	if l.MaxTrees == 0 {
+		l.MaxTrees = DefaultTreeCacheCap
+	}
+	if l.MaxRules == 0 {
+		l.MaxRules = DefaultRuleCacheCap
+	}
+	return l
 }
 
 // Session is a prepared dataset for repeated mining: it owns the encoded
@@ -203,28 +287,38 @@ type SessionStats struct {
 // reuse stages whose outputs a fresh run would recompute bit-for-bit.
 // Cached stages are shared across results: treat Result.Tested as
 // read-only.
+//
+// The stage caches are size-bounded (see CacheLimits): a session that
+// outlives one batch — a serving daemon sweeping many distinct mining
+// parameters — evicts least-recently-used stages instead of growing
+// without bound, and recomputes them identically on re-request.
 type Session struct {
 	data *dataset.Dataset
 
 	encOnce sync.Once
 	enc     *dataset.Encoded
 
-	mu    sync.Mutex
-	trees map[treeKey]*entry[treeStage]
-	rules map[ruleKey]*entry[ruleStage]
+	trees *stageCache[treeKey, treeStage]
+	rules *stageCache[ruleKey, ruleStage]
 
 	encodes, mines, scores atomic.Int64
 	treeHits, scoreHits    atomic.Int64
 	corrections, holdouts  atomic.Int64
 }
 
-// NewSession prepares d for repeated mining. The encode stage runs lazily
-// on the first Run.
+// NewSession prepares d for repeated mining with the default CacheLimits.
+// The encode stage runs lazily on the first Run.
 func NewSession(d *dataset.Dataset) *Session {
+	return NewSessionLimits(d, CacheLimits{})
+}
+
+// NewSessionLimits is NewSession with explicit stage-cache bounds.
+func NewSessionLimits(d *dataset.Dataset, lim CacheLimits) *Session {
+	lim = lim.withDefaults()
 	return &Session{
 		data:  d,
-		trees: make(map[treeKey]*entry[treeStage]),
-		rules: make(map[ruleKey]*entry[ruleStage]),
+		trees: newStageCache[treeKey, treeStage](lim.MaxTrees),
+		rules: newStageCache[ruleKey, ruleStage](lim.MaxRules),
 	}
 }
 
@@ -234,13 +328,17 @@ func (s *Session) Data() *dataset.Dataset { return s.data }
 // Stats snapshots the stage counters.
 func (s *Session) Stats() SessionStats {
 	return SessionStats{
-		Encodes:     s.encodes.Load(),
-		Mines:       s.mines.Load(),
-		Scores:      s.scores.Load(),
-		TreeHits:    s.treeHits.Load(),
-		ScoreHits:   s.scoreHits.Load(),
-		Corrections: s.corrections.Load(),
-		Holdouts:    s.holdouts.Load(),
+		Encodes:       s.encodes.Load(),
+		Mines:         s.mines.Load(),
+		Scores:        s.scores.Load(),
+		TreeHits:      s.treeHits.Load(),
+		ScoreHits:     s.scoreHits.Load(),
+		Corrections:   s.corrections.Load(),
+		Holdouts:      s.holdouts.Load(),
+		TreeEvictions: s.trees.idx.Evictions(),
+		RuleEvictions: s.rules.idx.Evictions(),
+		CachedTrees:   int64(s.trees.len()),
+		CachedRules:   int64(s.rules.len()),
 	}
 }
 
@@ -258,7 +356,7 @@ func (s *Session) encoded() *dataset.Encoded {
 // distinct treeKey.
 func (s *Session) treeFor(ctx context.Context, cfg Config) (treeStage, error) {
 	key := cfg.treeKey()
-	v, hit, err := getOrCompute(&s.mu, s.trees, key, func() (treeStage, error) {
+	v, hit, err := s.trees.getOrCompute(key, func() (treeStage, error) {
 		enc := s.encoded()
 		start := time.Now()
 		tree, err := mining.MineClosedContext(ctx, enc, mining.Options{
@@ -284,7 +382,7 @@ func (s *Session) treeFor(ctx context.Context, cfg Config) (treeStage, error) {
 // distinct ruleKey (and mining its tree at most once per treeKey).
 func (s *Session) rulesFor(ctx context.Context, cfg Config) (ruleStage, error) {
 	key := cfg.ruleKey()
-	v, hit, err := getOrCompute(&s.mu, s.rules, key, func() (ruleStage, error) {
+	v, hit, err := s.rules.getOrCompute(key, func() (ruleStage, error) {
 		ts, err := s.treeFor(ctx, cfg)
 		if err != nil {
 			return ruleStage{}, err
@@ -348,6 +446,11 @@ func (s *Session) run(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.correctWith(ctx, cfg, rs)
+}
+
+// correctWith runs cfg's correction over an already-prepared scored stage.
+func (s *Session) correctWith(ctx context.Context, cfg Config, rs ruleStage) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -411,20 +514,24 @@ func (s *Session) RunBatch(ctx context.Context, cfgs []Config) ([]*Result, error
 	// Stage pass: compute each distinct scored rule set once, up front and
 	// in order, so the heavy mining work runs deterministically before the
 	// corrections fan out (and a mining failure surfaces with the first
-	// config that needs it).
-	seen := make(map[ruleKey]bool)
+	// config that needs it). The stages are held locally for the duration
+	// of the batch — not re-fetched through the bounded cache — so the
+	// once-per-key guarantee stands even when the batch has more distinct
+	// keys than the cache retains.
+	held := make(map[ruleKey]ruleStage)
 	for i := range norm {
 		if norm[i].Method == MethodHoldout {
 			continue
 		}
 		key := norm[i].ruleKey()
-		if seen[key] {
+		if _, ok := held[key]; ok {
 			continue
 		}
-		seen[key] = true
-		if _, err := s.rulesFor(ctx, norm[i]); err != nil {
+		rs, err := s.rulesFor(ctx, norm[i])
+		if err != nil {
 			return nil, fmt.Errorf("core: batch config %d: %w", i, err)
 		}
+		held[key] = rs
 	}
 
 	// Correction pass: independent per config, bounded by the pool.
@@ -458,18 +565,23 @@ func (s *Session) RunBatch(ctx context.Context, cfgs []Config) ([]*Result, error
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = s.run(ctx, norm[i])
+			if norm[i].Method == MethodHoldout {
+				results[i], errs[i] = s.run(ctx, norm[i])
+			} else {
+				results[i], errs[i] = s.correctWith(ctx, norm[i], held[norm[i].ruleKey()])
+			}
 		}(i)
 	}
 	for _, k := range groupKeys {
 		idxs := groups[k]
+		rs := held[k.rule]
 		wg.Add(1)
-		go func(idxs []int) {
+		go func(idxs []int, rs ruleStage) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			s.runPermGroup(ctx, norm, idxs, results, errs)
-		}(idxs)
+			s.runPermGroup(ctx, norm, idxs, rs, results, errs)
+		}(idxs, rs)
 	}
 	wg.Wait()
 	for i, err := range errs {
@@ -486,7 +598,7 @@ func (s *Session) RunBatch(ctx context.Context, cfgs []Config) ([]*Result, error
 // byte-identical to per-config engines because the engine is fully
 // determined by (tree, rules, NumPerms, Seed, Opt, StaticBudget, Test)
 // and its walks are deterministic for every worker count.
-func (s *Session) runPermGroup(ctx context.Context, norm []Config, idxs []int, results []*Result, errs []error) {
+func (s *Session) runPermGroup(ctx context.Context, norm []Config, idxs []int, rs ruleStage, results []*Result, errs []error) {
 	fail := func(err error) {
 		for _, i := range idxs {
 			errs[i] = err
@@ -497,15 +609,6 @@ func (s *Session) runPermGroup(ctx context.Context, norm []Config, idxs []int, r
 		return
 	}
 	cfg0 := norm[idxs[0]]
-	rs, err := s.rulesFor(ctx, cfg0)
-	if err != nil {
-		fail(err)
-		return
-	}
-	if err := ctx.Err(); err != nil {
-		fail(err)
-		return
-	}
 	start := time.Now()
 	engine, err := permute.NewEngine(rs.tree.tree, rs.rules, permute.Config{
 		NumPerms:     cfg0.Permutations,

@@ -246,6 +246,148 @@ func TestSessionConcurrent(t *testing.T) {
 	}
 }
 
+// TestSessionCacheEviction sweeps more MinSup values than the caches can
+// hold: eviction must fire (observable in Stats), the retained entry count
+// must stay at the cap, and an evicted stage must recompute bit-for-bit on
+// re-request.
+func TestSessionCacheEviction(t *testing.T) {
+	res := signalDataset(t, 27)
+	sess := NewSessionLimits(res.Data, CacheLimits{MaxTrees: 2, MaxRules: 2})
+	sweep := []int{100, 110, 120, 130}
+	first := make([]*Result, len(sweep))
+	for i, ms := range sweep {
+		out, err := sess.Run(Config{MinSup: ms, Method: MethodDirect})
+		if err != nil {
+			t.Fatal(err)
+		}
+		first[i] = out
+	}
+	st := sess.Stats()
+	if st.Mines != int64(len(sweep)) {
+		t.Fatalf("mines=%d, want %d", st.Mines, len(sweep))
+	}
+	if st.TreeEvictions != 2 || st.RuleEvictions != 2 {
+		t.Errorf("evictions: trees=%d rules=%d, want 2/2", st.TreeEvictions, st.RuleEvictions)
+	}
+	if st.CachedTrees != 2 || st.CachedRules != 2 {
+		t.Errorf("cached entries: trees=%d rules=%d, want 2/2", st.CachedTrees, st.CachedRules)
+	}
+	// MinSup=100 was evicted; re-running it mines again and reproduces the
+	// original result exactly.
+	again, err := sess.Run(Config{MinSup: sweep[0], Method: MethodDirect})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "recompute after eviction", again, first[0])
+	if st2 := sess.Stats(); st2.Mines != int64(len(sweep))+1 {
+		t.Errorf("mines after re-request=%d, want %d", st2.Mines, len(sweep)+1)
+	}
+}
+
+// TestSessionBatchExceedsCacheCaps pins RunBatch's once-per-key guarantee
+// against the bounded caches: a batch with more distinct stage keys than
+// the caches retain still mines each key exactly once (stages are held
+// for the batch, not re-fetched through the evictable cache), and every
+// result matches a fresh run.
+func TestSessionBatchExceedsCacheCaps(t *testing.T) {
+	res := signalDataset(t, 30)
+	sess := NewSessionLimits(res.Data, CacheLimits{MaxTrees: 2, MaxRules: 2})
+	sweep := []int{100, 105, 110, 115, 120}
+	var cfgs []Config
+	for _, ms := range sweep {
+		cfgs = append(cfgs,
+			Config{MinSup: ms, Method: MethodDirect},
+			Config{MinSup: ms, Method: MethodDirect, Control: ControlFDR})
+	}
+	outs, err := sess.RunBatch(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Stats()
+	if st.Mines != int64(len(sweep)) {
+		t.Errorf("mines=%d, want %d (one per distinct key despite cap 2)", st.Mines, len(sweep))
+	}
+	if st.TreeEvictions == 0 {
+		t.Error("expected evictions while filling past the cap")
+	}
+	for i, cfg := range cfgs {
+		fresh, err := Run(res.Data, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, fmt.Sprintf("config %d", i), outs[i], fresh)
+	}
+}
+
+// TestStageCacheLRUOrder verifies recency, not insertion order, decides
+// the victim: touching the older entry saves it.
+func TestStageCacheLRUOrder(t *testing.T) {
+	c := newStageCache[string, int](2)
+	computes := 0
+	get := func(key string) {
+		t.Helper()
+		v, _, err := c.getOrCompute(key, func() (int, error) {
+			computes++
+			return len(key), nil
+		})
+		if err != nil || v != len(key) {
+			t.Fatalf("get(%q) = %d, %v", key, v, err)
+		}
+	}
+	get("a")  // computes: a
+	get("bb") // computes: a, bb
+	get("a")  // hit, touches a: bb is now the LRU victim
+	get("ccc")
+	if c.idx.Evictions() != 1 {
+		t.Fatalf("evictions=%d, want 1", c.idx.Evictions())
+	}
+	get("a") // must still be cached
+	if computes != 3 {
+		t.Errorf("computes=%d, want 3 (touched entry must survive eviction)", computes)
+	}
+	get("bb") // the victim: recomputes
+	if computes != 4 {
+		t.Errorf("computes after re-requesting victim=%d, want 4", computes)
+	}
+	if c.len() != 2 {
+		t.Errorf("retained=%d, want 2", c.len())
+	}
+}
+
+// TestStageCacheErrorNotRetained verifies a failed compute occupies no
+// cache slot: errors are returned but never cached or counted as entries.
+func TestStageCacheErrorNotRetained(t *testing.T) {
+	c := newStageCache[string, int](2)
+	wantErr := fmt.Errorf("boom")
+	if _, _, err := c.getOrCompute("k", func() (int, error) { return 0, wantErr }); err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if c.len() != 0 {
+		t.Fatalf("failed compute retained: len=%d", c.len())
+	}
+	v, hit, err := c.getOrCompute("k", func() (int, error) { return 7, nil })
+	if err != nil || hit || v != 7 {
+		t.Fatalf("retry after error: v=%d hit=%v err=%v", v, hit, err)
+	}
+}
+
+// TestSessionDefaultCacheLimits pins the defaults: NewSession must be
+// bounded (a long-lived serving process must not leak stages), with the
+// documented capacities.
+func TestSessionDefaultCacheLimits(t *testing.T) {
+	res := signalDataset(t, 29)
+	sess := NewSession(res.Data)
+	if sess.trees.idx.Cap() != DefaultTreeCacheCap {
+		t.Errorf("default tree cache cap = %d, want %d", sess.trees.idx.Cap(), DefaultTreeCacheCap)
+	}
+	if sess.rules.idx.Cap() != DefaultRuleCacheCap {
+		t.Errorf("default rule cache cap = %d, want %d", sess.rules.idx.Cap(), DefaultRuleCacheCap)
+	}
+	if unbounded := NewSessionLimits(res.Data, CacheLimits{MaxTrees: -1, MaxRules: -1}); unbounded.trees.idx.Cap() > 0 || unbounded.rules.idx.Cap() > 0 {
+		t.Error("negative limits should mean unbounded")
+	}
+}
+
 // TestSessionBatchErrors verifies atomic failure with the offending config
 // index in the error.
 func TestSessionBatchErrors(t *testing.T) {

@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"bufio"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -16,9 +17,27 @@ type Table struct {
 	Rows   [][]string
 }
 
-// ReadTable reads a CSV stream with a header row.
+// utf8BOM is the byte-order mark Excel (and other Windows tools) prepend
+// to UTF-8 CSV exports. encoding/csv does not strip it, so without special
+// handling the first header cell is parsed as "\uFEFFname" and column
+// lookups silently miss.
+var utf8BOM = []byte{0xEF, 0xBB, 0xBF}
+
+// skipBOM returns r with a leading UTF-8 byte-order mark consumed, if
+// present.
+func skipBOM(r io.Reader) io.Reader {
+	br := bufio.NewReader(r)
+	if lead, err := br.Peek(len(utf8BOM)); err == nil &&
+		lead[0] == utf8BOM[0] && lead[1] == utf8BOM[1] && lead[2] == utf8BOM[2] {
+		br.Discard(len(utf8BOM))
+	}
+	return br
+}
+
+// ReadTable reads a CSV stream with a header row. A leading UTF-8 BOM
+// (as written by Excel CSV exports) is stripped.
 func ReadTable(r io.Reader) (*Table, error) {
-	cr := csv.NewReader(r)
+	cr := csv.NewReader(skipBOM(r))
 	cr.ReuseRecord = false
 	cr.TrimLeadingSpace = true
 	header, err := cr.Read()

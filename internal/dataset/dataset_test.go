@@ -190,6 +190,33 @@ func TestCSVRoundTrip(t *testing.T) {
 	}
 }
 
+// TestReadTableStripsBOM is the Excel-export regression: a UTF-8 BOM at
+// stream start must not leak into the first header name (which would make
+// column lookups silently miss), and a BOM-only prefix shorter than three
+// bytes or mid-stream BOM bytes must be left alone.
+func TestReadTableStripsBOM(t *testing.T) {
+	tab, err := ReadTable(strings.NewReader("\uFEFFa,b,class\nx,y,z\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Header[0] != "a" {
+		t.Errorf("BOM leaked into header: %q", tab.Header[0])
+	}
+	// A BOM only counts at the very start of the stream; a field that
+	// legitimately begins with U+FEFF in a data row is preserved.
+	tab, err = ReadTable(strings.NewReader("a,b,class\n\uFEFFx,y,z\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows[0][0] != "\uFEFFx" {
+		t.Errorf("mid-stream BOM mangled: %q", tab.Rows[0][0])
+	}
+	// Streams shorter than a BOM still parse (here: fail cleanly on EOF).
+	if _, err := ReadTable(strings.NewReader("ab")); err != nil {
+		t.Fatalf("short stream: %v", err)
+	}
+}
+
 func TestReadTableErrors(t *testing.T) {
 	if _, err := ReadTable(strings.NewReader("")); err == nil {
 		t.Error("empty stream should fail")

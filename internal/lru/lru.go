@@ -1,0 +1,82 @@
+// Package lru provides a small recency index: an ordered set of
+// comparable keys with a capacity bound and an eviction counter. It holds
+// keys only — callers keep the associated values in their own map and
+// drop the entries Insert reports evicted. An Index is not synchronized;
+// callers guard it with the same lock as their value map.
+package lru
+
+import (
+	"container/list"
+	"sync/atomic"
+)
+
+// Index tracks key recency: Touch and Insert move a key to the front, and
+// Insert evicts back-of-list keys past the capacity.
+type Index[K comparable] struct {
+	cap       int // <= 0 means unbounded
+	ll        *list.List
+	pos       map[K]*list.Element
+	evictions atomic.Int64
+}
+
+// New returns an index evicting past cap keys (cap <= 0: unbounded).
+func New[K comparable](cap int) *Index[K] {
+	return &Index[K]{cap: cap, ll: list.New(), pos: make(map[K]*list.Element)}
+}
+
+// Touch marks k most recently used, reporting whether it was present.
+func (x *Index[K]) Touch(k K) bool {
+	el, ok := x.pos[k]
+	if ok {
+		x.ll.MoveToFront(el)
+	}
+	return ok
+}
+
+// Insert records k as the most recently used key (inserting it if new)
+// and returns the keys evicted to restore the capacity bound.
+func (x *Index[K]) Insert(k K) (evicted []K) {
+	if !x.Touch(k) {
+		x.pos[k] = x.ll.PushFront(k)
+	}
+	for x.cap > 0 && len(x.pos) > x.cap {
+		oldest := x.ll.Back()
+		victim := oldest.Value.(K)
+		x.ll.Remove(oldest)
+		delete(x.pos, victim)
+		x.evictions.Add(1)
+		evicted = append(evicted, victim)
+	}
+	return evicted
+}
+
+// Remove drops k without counting an eviction. It reports whether k was
+// present.
+func (x *Index[K]) Remove(k K) bool {
+	el, ok := x.pos[k]
+	if !ok {
+		return false
+	}
+	x.ll.Remove(el)
+	delete(x.pos, k)
+	return true
+}
+
+// Len reports the number of indexed keys.
+func (x *Index[K]) Len() int { return len(x.pos) }
+
+// Cap reports the capacity bound (<= 0: unbounded).
+func (x *Index[K]) Cap() int { return x.cap }
+
+// Evictions reports how many keys Insert has evicted. It may be read
+// without the caller's lock.
+func (x *Index[K]) Evictions() int64 { return x.evictions.Load() }
+
+// Keys lists the indexed keys, most recently used first.
+func (x *Index[K]) Keys() []K {
+	keys := make([]K, 0, len(x.pos))
+	for el := x.ll.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(K))
+	}
+	return keys
+}

@@ -1,0 +1,56 @@
+package lru
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestInsertEvictsLRU(t *testing.T) {
+	x := New[string](2)
+	if ev := x.Insert("a"); ev != nil {
+		t.Fatalf("evicted %v on first insert", ev)
+	}
+	x.Insert("b")
+	if !x.Touch("a") { // a most recent: b is the victim
+		t.Fatal("a not present")
+	}
+	if ev := x.Insert("c"); !reflect.DeepEqual(ev, []string{"b"}) {
+		t.Fatalf("evicted %v, want [b]", ev)
+	}
+	if x.Len() != 2 || x.Evictions() != 1 {
+		t.Fatalf("len=%d evictions=%d, want 2/1", x.Len(), x.Evictions())
+	}
+	if got := x.Keys(); !reflect.DeepEqual(got, []string{"c", "a"}) {
+		t.Fatalf("Keys() = %v, want [c a]", got)
+	}
+}
+
+func TestInsertExistingTouches(t *testing.T) {
+	x := New[int](2)
+	x.Insert(1)
+	x.Insert(2)
+	if ev := x.Insert(1); ev != nil { // re-insert: touch, no growth
+		t.Fatalf("re-insert evicted %v", ev)
+	}
+	if ev := x.Insert(3); !reflect.DeepEqual(ev, []int{2}) {
+		t.Fatalf("evicted %v, want [2]", ev)
+	}
+}
+
+func TestRemoveAndUnbounded(t *testing.T) {
+	x := New[int](0) // unbounded
+	for i := 0; i < 100; i++ {
+		if ev := x.Insert(i); ev != nil {
+			t.Fatalf("unbounded index evicted %v", ev)
+		}
+	}
+	if x.Len() != 100 || x.Evictions() != 0 {
+		t.Fatalf("len=%d evictions=%d", x.Len(), x.Evictions())
+	}
+	if !x.Remove(50) || x.Remove(50) {
+		t.Fatal("Remove should succeed once then report missing")
+	}
+	if x.Len() != 99 || x.Evictions() != 0 {
+		t.Fatal("Remove must not count as an eviction")
+	}
+}

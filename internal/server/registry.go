@@ -1,0 +1,104 @@
+// Package server exposes the mining library as a long-lived HTTP/JSON
+// service: named datasets are registered once (CSV upload) and served as
+// core.Sessions behind a capacity-bounded LRU registry, so repeated and
+// concurrent mining requests share prepared stages while process memory
+// stays bounded. See Handler for the endpoint table.
+package server
+
+import (
+	"fmt"
+	"regexp"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/lru"
+)
+
+// nameRE restricts dataset names to path- and shell-safe tokens.
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
+
+// Registry maps dataset names to prepared mining Sessions behind an LRU
+// with a fixed capacity: registering past the capacity evicts the least
+// recently used session (its in-flight requests, which hold the Session
+// pointer directly, still complete; the name just stops resolving). Every
+// lookup counts as a use. A Registry is safe for concurrent use.
+type Registry struct {
+	mu     sync.Mutex
+	limits core.CacheLimits
+	byName map[string]*core.Session
+	idx    *lru.Index[string]
+}
+
+// DefaultCapacity is the registry capacity when NewRegistry is given a
+// non-positive one.
+const DefaultCapacity = 16
+
+// NewRegistry returns a registry holding at most capacity sessions
+// (DefaultCapacity if capacity <= 0), each with the given per-session
+// stage-cache limits (zero fields pick the core defaults).
+func NewRegistry(capacity int, limits core.CacheLimits) *Registry {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Registry{
+		limits: limits,
+		byName: make(map[string]*core.Session),
+		idx:    lru.New[string](capacity),
+	}
+}
+
+// Register builds a Session over d and binds it to name, replacing any
+// existing binding and evicting the LRU session if the registry is full.
+func (r *Registry) Register(name string, d *dataset.Dataset) (*core.Session, error) {
+	if !nameRE.MatchString(name) {
+		return nil, fmt.Errorf("server: invalid dataset name %q (want [A-Za-z0-9][A-Za-z0-9._-]*, at most 128 chars)", name)
+	}
+	sess := core.NewSessionLimits(d, r.limits)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.byName[name] = sess
+	for _, victim := range r.idx.Insert(name) {
+		delete(r.byName, victim)
+	}
+	return sess, nil
+}
+
+// Get resolves name to its session, marking it most recently used.
+func (r *Registry) Get(name string) (*core.Session, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sess, ok := r.byName[name]
+	if ok {
+		r.idx.Touch(name)
+	}
+	return sess, ok
+}
+
+// Remove drops name's session. It reports whether the name was bound.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.byName, name)
+	return r.idx.Remove(name)
+}
+
+// Names lists the registered dataset names, most recently used first.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.idx.Keys()
+}
+
+// Len reports the number of registered sessions.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.idx.Len()
+}
+
+// Capacity reports the maximum number of registered sessions.
+func (r *Registry) Capacity() int { return r.idx.Cap() }
+
+// Evictions reports how many sessions the capacity bound has dropped.
+func (r *Registry) Evictions() int64 { return r.idx.Evictions() }

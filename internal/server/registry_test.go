@@ -1,0 +1,107 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func tinyData() *dataset.Dataset {
+	d := dataset.New(&dataset.Schema{
+		Attrs: []dataset.Attribute{{Name: "a", Values: []string{"x", "y"}}},
+		Class: dataset.Attribute{Name: "class", Values: []string{"p", "n"}},
+	}, 4)
+	d.Append([]int32{0}, 0)
+	d.Append([]int32{0}, 0)
+	d.Append([]int32{1}, 1)
+	d.Append([]int32{1}, 1)
+	return d
+}
+
+func TestRegistryLRUEviction(t *testing.T) {
+	r := NewRegistry(2, core.CacheLimits{})
+	d := tinyData()
+	mustRegister := func(name string) {
+		t.Helper()
+		if _, err := r.Register(name, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustRegister("a")
+	mustRegister("b")
+	if _, ok := r.Get("a"); !ok { // touch a: b becomes the victim
+		t.Fatal("a not found")
+	}
+	mustRegister("c")
+	if r.Len() != 2 || r.Evictions() != 1 {
+		t.Fatalf("len=%d evictions=%d, want 2/1", r.Len(), r.Evictions())
+	}
+	if _, ok := r.Get("b"); ok {
+		t.Error("LRU victim b still registered")
+	}
+	if _, ok := r.Get("a"); !ok {
+		t.Error("recently used a evicted")
+	}
+	if _, ok := r.Get("c"); !ok {
+		t.Error("newest c evicted")
+	}
+}
+
+func TestRegistryReplaceAndRemove(t *testing.T) {
+	r := NewRegistry(2, core.CacheLimits{})
+	d := tinyData()
+	s1, err := r.Register("a", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := r.Register("a", d) // replace: no eviction, fresh session
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Error("re-registering did not build a fresh session")
+	}
+	if r.Len() != 1 || r.Evictions() != 0 {
+		t.Fatalf("len=%d evictions=%d after replace, want 1/0", r.Len(), r.Evictions())
+	}
+	if got, _ := r.Get("a"); got != s2 {
+		t.Error("lookup did not return the replacement session")
+	}
+	if !r.Remove("a") || r.Remove("a") {
+		t.Error("Remove should succeed once then report missing")
+	}
+	if r.Len() != 0 {
+		t.Errorf("len=%d after remove, want 0", r.Len())
+	}
+}
+
+func TestRegistryNameValidation(t *testing.T) {
+	r := NewRegistry(2, core.CacheLimits{})
+	d := tinyData()
+	for _, bad := range []string{"", "-lead", "a b", "a/b", "..", "x\n"} {
+		if _, err := r.Register(bad, d); err == nil {
+			t.Errorf("name %q accepted", bad)
+		}
+	}
+	for _, good := range []string{"a", "A-1", "data.v2", "x_y"} {
+		if _, err := r.Register(good, d); err != nil {
+			t.Errorf("name %q rejected: %v", good, err)
+		}
+	}
+}
+
+func TestRegistryNamesOrder(t *testing.T) {
+	r := NewRegistry(8, core.CacheLimits{})
+	d := tinyData()
+	for _, n := range []string{"a", "b", "c"} {
+		if _, err := r.Register(n, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Get("a")
+	names := r.Names()
+	if len(names) != 3 || names[0] != "a" {
+		t.Errorf("Names() = %v, want a first (most recently used)", names)
+	}
+}
