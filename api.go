@@ -311,8 +311,8 @@ func SyntheticPaired(p SynthParams) (whole *SynthResult, first, second *Dataset,
 }
 
 // UCIStandIn generates the offline stand-in for one of the paper's four
-// UCI datasets: "adult", "german", "hypo" or "mushroom". See the
-// repro/internal/uci package documentation for the substitution rationale.
+// UCI datasets: "adult", "german", "hypo" or "mushroom". See DESIGN.md for
+// the substitution rationale.
 func UCIStandIn(name string, seed uint64) (*Dataset, error) {
 	return uci.Load(name, seed)
 }

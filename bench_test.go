@@ -2,7 +2,7 @@
 // (§5). Each benchmark runs its experiment at a reduced but
 // shape-preserving scale (a few Monte-Carlo datasets, tens of
 // permutations); `go run ./cmd/experiments -fig <id> -full` runs the
-// paper-scale version. EXPERIMENTS.md records paper-vs-measured for each.
+// paper-scale version, recording paper-vs-measured numbers for each.
 package repro
 
 import (
@@ -357,7 +357,7 @@ func BenchmarkSessionBatch(b *testing.B) {
 	})
 }
 
-// Extension ablations (beyond the paper's figures; see EXPERIMENTS.md).
+// Extension ablations (beyond the paper's figures).
 
 func BenchmarkExtRedundancyAblation(b *testing.B) {
 	o := benchOptions()

@@ -7,6 +7,7 @@
 //
 //	armine mine  [flags]   one-shot mining run (default when flags come first)
 //	armine serve [flags]   HTTP mining service over a bounded session registry
+//	armine bench [flags]   permutation-engine benchmark matrix -> BENCH_<rev>.json
 //
 // Mining examples:
 //
@@ -34,6 +35,12 @@
 //	armine serve -preload census=data.csv -preload german=uci:german
 //
 // See the repro package docs (api.go) for the endpoint table.
+//
+// Benchmarking examples (see DESIGN.md §6 for the BENCH json schema):
+//
+//	armine bench -quick -rev $(git rev-parse --short HEAD)
+//	armine bench -in data.csv -minsup 60 -perms 100,1000 -workers 1,0 \
+//	    -baseline BENCH_prev.json -out BENCH_cur.json
 package main
 
 import (
@@ -73,10 +80,12 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		err = runMine(rest, stdout, stderr)
 	case "serve":
 		err = runServe(rest, stderr)
+	case "bench":
+		err = runBench(rest, stdout, stderr)
 	case "help":
 		usage(stdout)
 	default:
-		err = fmt.Errorf("unknown command %q (want mine or serve)", cmd)
+		err = fmt.Errorf("unknown command %q (want mine, serve or bench)", cmd)
 	}
 	switch {
 	case err == nil:
@@ -100,8 +109,9 @@ func usage(w io.Writer) {
 
   armine mine  [flags]   one-shot mining run ("armine -in ..." also works)
   armine serve [flags]   HTTP mining service
+  armine bench [flags]   permutation-engine benchmarks -> BENCH_<rev>.json
 
-Run "armine mine -h" or "armine serve -h" for flags.`)
+Run "armine mine -h", "armine serve -h" or "armine bench -h" for flags.`)
 }
 
 // parseArgs runs fs over args, normalizing help and parse failures.
@@ -115,59 +125,81 @@ func parseArgs(fs *flag.FlagSet, args []string) error {
 	return nil
 }
 
-func runMine(args []string, stdout, stderr io.Writer) error {
+// mineFlags bundles the mine subcommand's flag set with its parsed
+// values. Flag registration lives in one constructor per subcommand so
+// the README drift test can assert documented flags against the real
+// sets.
+type mineFlags struct {
+	fs                         *flag.FlagSet
+	in, uciName                *string
+	minSup                     *int
+	minSupFrac, minConf, alpha *float64
+	control, method, methods   *string
+	perms, workers, maxLen     *int
+	seed                       *uint64
+	limit                      *int
+	jsonOut, quiet             *bool
+	cpuProf, memProf           *string
+}
+
+func newMineFlags(stderr io.Writer) *mineFlags {
 	fs := flag.NewFlagSet("mine", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	var (
-		in         = fs.String("in", "", "input CSV file (header row, class label last)")
-		uciName    = fs.String("uci", "", "use a built-in UCI stand-in instead of -in (adult|german|hypo|mushroom)")
-		minSup     = fs.Int("minsup", 0, "absolute minimum support")
-		minSupFrac = fs.Float64("minsup-frac", 0, "relative minimum support (fraction of records)")
-		minConf    = fs.Float64("minconf", 0, "minimum confidence (domain filter; default 0)")
-		alpha      = fs.Float64("alpha", 0.05, "error level")
-		control    = fs.String("control", "fwer", "error measure: fwer | fdr")
-		method     = fs.String("method", "direct", "correction: none | direct | permutation | holdout | layered")
-		methods    = fs.String("methods", "", "comma-separated corrections sharing a single mine (overrides -method; holdout mines its exploratory half separately), e.g. none,direct,permutation")
-		perms      = fs.Int("perms", 1000, "permutations for permutation runs")
-		seed       = fs.Uint64("seed", 1, "random seed (permutations, holdout split, stand-ins)")
-		workers    = fs.Int("workers", 0, "worker goroutines for mining and permutations (0 = all CPUs)")
-		maxLen     = fs.Int("maxlen", 0, "maximum rule LHS length (0 = unlimited)")
-		limit      = fs.Int("limit", 50, "print at most this many rules per run (0 = all)")
-		jsonOut    = fs.Bool("json", false, "emit a JSON array (one entry per method run) instead of text")
-		cpuProf    = fs.String("cpuprofile", "", "write a pprof CPU profile of the mining to this file")
-		memProf    = fs.String("memprofile", "", "write a pprof heap profile after mining to this file")
-		quiet      = fs.Bool("q", false, "print rules only, no summaries")
-	)
-	if err := parseArgs(fs, args); err != nil {
+	return &mineFlags{
+		fs:         fs,
+		in:         fs.String("in", "", "input CSV file (header row, class label last)"),
+		uciName:    fs.String("uci", "", "use a built-in UCI stand-in instead of -in (adult|german|hypo|mushroom)"),
+		minSup:     fs.Int("minsup", 0, "absolute minimum support"),
+		minSupFrac: fs.Float64("minsup-frac", 0, "relative minimum support (fraction of records)"),
+		minConf:    fs.Float64("minconf", 0, "minimum confidence (domain filter; default 0)"),
+		alpha:      fs.Float64("alpha", 0.05, "error level"),
+		control:    fs.String("control", "fwer", "error measure: fwer | fdr"),
+		method:     fs.String("method", "direct", "correction: none | direct | permutation | holdout | layered"),
+		methods:    fs.String("methods", "", "comma-separated corrections sharing a single mine (overrides -method; holdout mines its exploratory half separately), e.g. none,direct,permutation"),
+		perms:      fs.Int("perms", 1000, "permutations for permutation runs"),
+		seed:       fs.Uint64("seed", 1, "random seed (permutations, holdout split, stand-ins)"),
+		workers:    fs.Int("workers", 0, "worker goroutines for mining and permutations (0 = all CPUs)"),
+		maxLen:     fs.Int("maxlen", 0, "maximum rule LHS length (0 = unlimited)"),
+		limit:      fs.Int("limit", 50, "print at most this many rules per run (0 = all)"),
+		jsonOut:    fs.Bool("json", false, "emit a JSON array (one entry per method run) instead of text"),
+		cpuProf:    fs.String("cpuprofile", "", "write a pprof CPU profile of the mining to this file"),
+		memProf:    fs.String("memprofile", "", "write a pprof heap profile after mining to this file"),
+		quiet:      fs.Bool("q", false, "print rules only, no summaries"),
+	}
+}
+
+func runMine(args []string, stdout, stderr io.Writer) error {
+	f := newMineFlags(stderr)
+	if err := parseArgs(f.fs, args); err != nil {
 		return err
 	}
-	if fs.NArg() > 0 {
+	if f.fs.NArg() > 0 {
 		// flag parsing stops at the first positional: anything after it
 		// would be silently dropped, so reject rather than misbehave.
-		return fmt.Errorf("mine takes no positional arguments, got %q", fs.Arg(0))
+		return fmt.Errorf("mine takes no positional arguments, got %q", f.fs.Arg(0))
 	}
 
 	base := repro.Config{
-		MinSup:       *minSup,
-		MinSupFrac:   *minSupFrac,
-		MinConf:      *minConf,
-		Alpha:        *alpha,
-		Permutations: *perms,
-		Seed:         *seed,
-		Workers:      *workers,
-		MaxLen:       *maxLen,
+		MinSup:       *f.minSup,
+		MinSupFrac:   *f.minSupFrac,
+		MinConf:      *f.minConf,
+		Alpha:        *f.alpha,
+		Permutations: *f.perms,
+		Seed:         *f.seed,
+		Workers:      *f.workers,
+		MaxLen:       *f.maxLen,
 	}
 	var err error
-	if base.Control, err = repro.ParseControl(*control); err != nil {
+	if base.Control, err = repro.ParseControl(*f.control); err != nil {
 		return err
 	}
 
 	// Validate the whole method list up front — before any dataset load or
 	// mining — so a typo in -methods fails fast instead of surfacing after
 	// minutes of work (and never leaks into a -json stream).
-	names := []string{*method}
-	if *methods != "" {
-		names = strings.Split(*methods, ",")
+	names := []string{*f.method}
+	if *f.methods != "" {
+		names = strings.Split(*f.methods, ",")
 	}
 	cfgs := make([]repro.Config, len(names))
 	for i, name := range names {
@@ -178,18 +210,18 @@ func runMine(args []string, stdout, stderr io.Writer) error {
 		cfgs[i] = cfg
 	}
 
-	d, err := loadDataset(*in, *uciName, *seed)
+	d, err := loadDataset(*f.in, *f.uciName, *f.seed)
 	if err != nil {
 		return err
 	}
 
-	if *cpuProf != "" {
-		f, err := os.Create(*cpuProf)
+	if *f.cpuProf != "" {
+		pf, err := os.Create(*f.cpuProf)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
 			return err
 		}
 		defer pprof.StopCPUProfile()
@@ -201,23 +233,23 @@ func runMine(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	if *memProf != "" {
-		f, err := os.Create(*memProf)
+	if *f.memProf != "" {
+		pf, err := os.Create(*f.memProf)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer pf.Close()
 		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
+		if err := pprof.WriteHeapProfile(pf); err != nil {
 			return err
 		}
 	}
 
-	if *jsonOut {
-		return printJSON(stdout, results, *limit)
+	if *f.jsonOut {
+		return printJSON(stdout, results, *f.limit)
 	}
-	printText(stdout, d, results, *limit, *quiet)
-	if !*quiet && len(results) > 1 {
+	printText(stdout, d, results, *f.limit, *f.quiet)
+	if !*f.quiet && len(results) > 1 {
 		st := sess.Stats()
 		line := fmt.Sprintf("# session: %d mine(s) + %d score(s)", st.Mines, st.Scores)
 		if st.Holdouts > 0 {
@@ -240,21 +272,40 @@ func (p *preloads) set(spec string) error {
 	return nil
 }
 
-func runServe(args []string, stderr io.Writer) error {
+// serveFlags bundles the serve subcommand's flag set with its parsed
+// values.
+type serveFlags struct {
+	fs                             *flag.FlagSet
+	addr                           *string
+	capacity, treeCache, ruleCache *int
+	timeout, drain                 *time.Duration
+	maxUpload                      *int64
+	seed                           *uint64
+	pre                            *preloads
+}
+
+func newServeFlags(stderr io.Writer) *serveFlags {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	var pre preloads
-	var (
-		addr      = fs.String("addr", ":8080", "listen address")
-		capacity  = fs.Int("capacity", 0, "max registered datasets; the LRU session is evicted past this (0 = default 16)")
-		timeout   = fs.Duration("timeout", 2*time.Minute, "per-request mining deadline (negative = none)")
-		treeCache = fs.Int("tree-cache", 0, "per-session mined-tree cache entries (0 = default, negative = unbounded)")
-		ruleCache = fs.Int("rule-cache", 0, "per-session scored-rule cache entries (0 = default, negative = unbounded)")
-		maxUpload = fs.Int64("max-upload", 0, "max CSV upload bytes (0 = default 64 MiB)")
-		drain     = fs.Duration("drain", 30*time.Second, "max wait for in-flight mining on shutdown")
-		seed      = fs.Uint64("seed", 1, "seed for uci: preloads")
-	)
-	fs.Func("preload", "register a dataset at startup: name=path.csv or name=uci:standin (repeatable)", pre.set)
+	f := &serveFlags{
+		fs:        fs,
+		addr:      fs.String("addr", ":8080", "listen address"),
+		capacity:  fs.Int("capacity", 0, "max registered datasets; the LRU session is evicted past this (0 = default 16)"),
+		timeout:   fs.Duration("timeout", 2*time.Minute, "per-request mining deadline (negative = none)"),
+		treeCache: fs.Int("tree-cache", 0, "per-session mined-tree cache entries (0 = default, negative = unbounded)"),
+		ruleCache: fs.Int("rule-cache", 0, "per-session scored-rule cache entries (0 = default, negative = unbounded)"),
+		maxUpload: fs.Int64("max-upload", 0, "max CSV upload bytes (0 = default 64 MiB)"),
+		drain:     fs.Duration("drain", 30*time.Second, "max wait for in-flight mining on shutdown"),
+		seed:      fs.Uint64("seed", 1, "seed for uci: preloads"),
+		pre:       &preloads{},
+	}
+	fs.Func("preload", "register a dataset at startup: name=path.csv or name=uci:standin (repeatable)", f.pre.set)
+	return f
+}
+
+func runServe(args []string, stderr io.Writer) error {
+	f := newServeFlags(stderr)
+	fs := f.fs
 	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
@@ -263,12 +314,12 @@ func runServe(args []string, stderr io.Writer) error {
 	}
 
 	logger := log.New(stderr, "", log.LstdFlags)
-	reg := repro.NewRegistry(*capacity, repro.CacheLimits{MaxTrees: *treeCache, MaxRules: *ruleCache})
-	for _, p := range pre {
+	reg := repro.NewRegistry(*f.capacity, repro.CacheLimits{MaxTrees: *f.treeCache, MaxRules: *f.ruleCache})
+	for _, p := range *f.pre {
 		var d *repro.Dataset
 		var err error
 		if uciName, ok := strings.CutPrefix(p.path, "uci:"); ok {
-			d, err = repro.UCIStandIn(uciName, *seed)
+			d, err = repro.UCIStandIn(uciName, *f.seed)
 		} else {
 			d, err = repro.LoadCSVFile(p.path)
 		}
@@ -282,9 +333,9 @@ func runServe(args []string, stderr io.Writer) error {
 	}
 
 	srv := repro.NewServer(reg, repro.ServeOptions{
-		Addr:           *addr,
-		Timeout:        *timeout,
-		MaxUploadBytes: *maxUpload,
+		Addr:           *f.addr,
+		Timeout:        *f.timeout,
+		MaxUploadBytes: *f.maxUpload,
 		Log:            logger,
 	})
 
@@ -296,8 +347,8 @@ func runServe(args []string, stderr io.Writer) error {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
-		logger.Printf("armine: shutting down, draining in-flight requests (max %v)", *drain)
-		shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		logger.Printf("armine: shutting down, draining in-flight requests (max %v)", *f.drain)
+		shCtx, cancel := context.WithTimeout(context.Background(), *f.drain)
 		defer cancel()
 		if err := srv.Shutdown(shCtx); err != nil {
 			return fmt.Errorf("shutdown: %w", err)

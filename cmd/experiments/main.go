@@ -72,7 +72,7 @@ var runners = map[string]runner{
 	"fig16":  func(o experiments.Options) ([]string, error) { return figs(experiments.Fig16(o)) },
 	"table4": func(o experiments.Options) ([]string, error) { return tab(experiments.Table4(o)) },
 	// Extensions beyond the paper's figures (ablations of this
-	// reproduction's design choices; see EXPERIMENTS.md).
+	// reproduction's design choices).
 	"ext-redundancy":   func(o experiments.Options) ([]string, error) { return fig(experiments.ExtRedundancy(o)) },
 	"ext-testkinds":    func(o experiments.Options) ([]string, error) { return tab(experiments.ExtTestKinds(o)) },
 	"ext-bufferbudget": func(o experiments.Options) ([]string, error) { return tab(experiments.ExtBufferBudget(o)) },

@@ -3,10 +3,18 @@
 // buffer — cuts the cost of a 300-permutation test on a german-style
 // dataset (the workload of Fig 4b).
 //
+// All four levels run through one Session.MineBatch: the session caches
+// the prepared stages, so the dataset is encoded once and mined once per
+// tree shape (the two Diffsets levels share one tree, the two
+// non-Diffsets levels the other) instead of once per level — the cheap
+// path for sweeping configurations over one dataset. Each level's own
+// cost is its correction time, reported per result.
+//
 //	go run ./examples/permopt
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -22,13 +30,12 @@ func main() {
 	fmt.Printf("german stand-in: %d records, %d attributes; min_sup=60, 300 permutations\n\n",
 		data.NumRecords(), data.Schema.NumAttrs())
 
-	fmt.Printf("%-40s %10s %12s %9s\n", "optimisation level", "time", "significant", "speedup")
-	var base time.Duration
-	for _, opt := range []repro.OptLevel{
+	levels := []repro.OptLevel{
 		repro.OptNone, repro.OptDynamicBuffer, repro.OptDiffsets, repro.OptStaticBuffer,
-	} {
-		start := time.Now()
-		res, err := repro.Mine(data, repro.Config{
+	}
+	cfgs := make([]repro.Config, len(levels))
+	for i, opt := range levels {
+		cfgs[i] = repro.Config{
 			MinSup:       60,
 			Control:      repro.ControlFWER,
 			Method:       repro.MethodPermutation,
@@ -37,18 +44,32 @@ func main() {
 			Opt:          opt,
 			OptSet:       true,
 			Workers:      1, // single-threaded, like the paper's measurements
-		})
-		if err != nil {
-			log.Fatal(err)
 		}
-		took := time.Since(start)
+	}
+
+	sess := repro.NewSession(data)
+	results, err := sess.MineBatch(context.Background(), cfgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-40s %10s %12s %9s\n", "optimisation level", "correct", "significant", "speedup")
+	var base time.Duration
+	for i, res := range results {
+		took := res.CorrectTime
 		if base == 0 {
 			base = took
 		}
 		fmt.Printf("%-40s %10v %12d %8.1fx\n",
-			opt, took.Round(time.Millisecond), len(res.Significant),
+			levels[i], took.Round(time.Millisecond), len(res.Significant),
 			float64(base)/float64(took))
 	}
+
+	st := sess.Stats()
+	fmt.Printf("\nsession: %d mine(s) + %d score(s) served all %d levels — the\n",
+		st.Mines, st.Scores, len(levels))
+	fmt.Println("batch pays mining once per tree shape (with/without Diffsets) and")
+	fmt.Println("re-runs only the permutation correction per level.")
 
 	fmt.Println("\nAll levels certify the identical rule set — the optimisations are")
 	fmt.Println("exact. The dynamic buffer alone removes most of the p-value cost;")

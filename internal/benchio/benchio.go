@@ -1,0 +1,337 @@
+// Package benchio is the measurement half of the armine bench harness: it
+// runs a fixed dataset × optimisation-level × workers × permutations
+// matrix over the permutation engine — mining excluded from the timings,
+// exactly what Fig 4 measures — with explicit warmup/repeat control, and
+// reads, writes and compares the machine-readable BENCH_<rev>.json files
+// that record the repo's performance trajectory (DESIGN.md §6).
+//
+// Each matrix cell times engine construction plus a full MinP pass
+// (repeat times, keeping the minimum — the standard way to suppress
+// scheduler noise) and, optionally, the same cell with word-parallel
+// counting disabled, so every report carries its own word-vs-scalar
+// ablation. Absolute ns/op is machine-dependent; the regression gate
+// (Compare) therefore checks the machine-independent ratios — speedup
+// versus the "none" level and the word-path speedup — rather than raw
+// times.
+package benchio
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/mining"
+	"repro/internal/permute"
+)
+
+// SchemaVersion identifies the BENCH json layout; bump on incompatible
+// changes so downstream tooling can reject files it cannot read.
+const SchemaVersion = 1
+
+// Dataset is one named input of a bench run.
+type Dataset struct {
+	// Name labels the dataset in entries (e.g. "synth-n1000-a15",
+	// "german", or a CSV base name).
+	Name string
+	// Data is the loaded dataset.
+	Data *dataset.Dataset
+	// MinSup is the absolute minimum support used when mining it.
+	MinSup int
+}
+
+// Spec fixes the benchmark matrix and its measurement discipline.
+type Spec struct {
+	Datasets []Dataset
+	// Opts, Workers and Perms span the matrix (each combination is one
+	// entry). A workers value of 0 means GOMAXPROCS.
+	Opts    []permute.OptLevel
+	Workers []int
+	Perms   []int
+	// Warmup runs per cell are discarded; Repeat timed runs follow and
+	// the minimum is kept. Repeat < 1 is treated as 1.
+	Warmup, Repeat int
+	// Seed drives the permutation shuffles of every cell.
+	Seed uint64
+	// MeasureScalar additionally times each cell with word-parallel
+	// counting disabled and records the ratio as the word-path speedup.
+	MeasureScalar bool
+	// MaxLen caps mined pattern length (0 = unlimited).
+	MaxLen int
+}
+
+// Entry is one measured matrix cell.
+type Entry struct {
+	Dataset string `json:"dataset"`
+	Records int    `json:"records"`
+	Rules   int    `json:"rules"`
+	MinSup  int    `json:"min_sup"`
+	Opt     string `json:"opt"`
+	Workers int    `json:"workers"`
+	Perms   int    `json:"perms"`
+
+	// NsPerOp is the minimum wall-clock time of one engine build + MinP
+	// pass; AllocsPerOp/BytesPerOp are the allocation counters of that
+	// same run (monotonic runtime counters, so GC-independent).
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
+
+	// SpeedupVsNone is ns/op of the matching "none"-level cell divided by
+	// this cell's — the Fig 4 ladder read off the same run (1.0 for the
+	// "none" cells themselves, 0 when no matching cell was measured).
+	SpeedupVsNone float64 `json:"speedup_vs_none"`
+
+	// ScalarNsPerOp and WordSpeedup record the word-counting ablation:
+	// the same cell with DisableWordCounting, and scalar/word ns ratio.
+	// Zero when the ablation was not measured.
+	ScalarNsPerOp int64   `json:"scalar_ns_per_op,omitempty"`
+	WordSpeedup   float64 `json:"word_speedup,omitempty"`
+}
+
+// Report is the persisted form of one bench run (one BENCH_<rev>.json).
+type Report struct {
+	SchemaVersion int     `json:"schema_version"`
+	Rev           string  `json:"rev"`
+	GoVersion     string  `json:"go_version"`
+	GOOS          string  `json:"goos"`
+	GOARCH        string  `json:"goarch"`
+	CPUs          int     `json:"cpus"`
+	CreatedAt     string  `json:"created_at"` // RFC 3339
+	Entries       []Entry `json:"entries"`
+}
+
+// Run measures the full matrix of spec. Cells are measured strictly
+// sequentially (concurrent cells would contend and corrupt each other's
+// timings); ctx aborts between runs.
+func Run(ctx context.Context, spec Spec, rev string) (*Report, error) {
+	if len(spec.Datasets) == 0 || len(spec.Opts) == 0 || len(spec.Workers) == 0 || len(spec.Perms) == 0 {
+		return nil, fmt.Errorf("benchio: empty matrix dimension (datasets/opts/workers/perms)")
+	}
+	if spec.Repeat < 1 {
+		spec.Repeat = 1
+	}
+	rep := &Report{
+		SchemaVersion: SchemaVersion,
+		Rev:           rev,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		CPUs:          runtime.NumCPU(),
+		CreatedAt:     time.Now().UTC().Format(time.RFC3339),
+	}
+
+	for _, ds := range spec.Datasets {
+		enc := dataset.Encode(ds.Data)
+		for _, opt := range spec.Opts {
+			// Mining is outside the timed region: the engine consumes a
+			// prepared tree, mirroring the paper's mine-once accounting.
+			tree, err := mining.MineClosedContext(ctx, enc, mining.Options{
+				MinSup:        ds.MinSup,
+				StoreDiffsets: opt.WantDiffsets(),
+				MaxLen:        spec.MaxLen,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("benchio: mining %s: %w", ds.Name, err)
+			}
+			rules, err := mining.GenerateRules(tree, mining.RuleOptions{Policy: mining.PaperPolicy})
+			if err != nil {
+				return nil, fmt.Errorf("benchio: rules for %s: %w", ds.Name, err)
+			}
+			for _, workers := range spec.Workers {
+				for _, perms := range spec.Perms {
+					cell := permute.Config{
+						NumPerms: perms,
+						Seed:     spec.Seed,
+						Opt:      opt,
+						Workers:  workers,
+						Ctx:      ctx,
+					}
+					e := Entry{
+						Dataset: ds.Name,
+						Records: ds.Data.NumRecords(),
+						Rules:   len(rules),
+						MinSup:  ds.MinSup,
+						Opt:     opt.Name(),
+						Workers: workers,
+						Perms:   perms,
+					}
+					m, err := measure(ctx, tree, rules, cell, spec.Warmup, spec.Repeat)
+					if err != nil {
+						return nil, err
+					}
+					e.NsPerOp, e.AllocsPerOp, e.BytesPerOp = m.ns, m.allocs, m.bytes
+					if spec.MeasureScalar {
+						cell.DisableWordCounting = true
+						sm, err := measure(ctx, tree, rules, cell, spec.Warmup, spec.Repeat)
+						if err != nil {
+							return nil, err
+						}
+						e.ScalarNsPerOp = sm.ns
+						if e.NsPerOp > 0 {
+							e.WordSpeedup = float64(sm.ns) / float64(e.NsPerOp)
+						}
+					}
+					rep.Entries = append(rep.Entries, e)
+				}
+			}
+		}
+	}
+	fillSpeedups(rep.Entries)
+	return rep, nil
+}
+
+type measurement struct {
+	ns     int64
+	allocs uint64
+	bytes  uint64
+}
+
+// measure times engine construction + one MinP pass, warmup times
+// untimed, then repeat times keeping the fastest. Allocation counters
+// come from the fastest run's Mallocs/TotalAlloc deltas — monotonic, so
+// unaffected by garbage collections during the run.
+func measure(ctx context.Context, tree *mining.Tree, rules []mining.Rule, cfg permute.Config, warmup, repeat int) (measurement, error) {
+	run := func() (measurement, error) {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		e, err := permute.NewEngine(tree, rules, cfg)
+		if err != nil {
+			return measurement{}, fmt.Errorf("benchio: engine: %w", err)
+		}
+		e.MinP()
+		if err := e.Err(); err != nil {
+			return measurement{}, err
+		}
+		ns := time.Since(start).Nanoseconds()
+		runtime.ReadMemStats(&after)
+		return measurement{
+			ns:     ns,
+			allocs: after.Mallocs - before.Mallocs,
+			bytes:  after.TotalAlloc - before.TotalAlloc,
+		}, nil
+	}
+	for i := 0; i < warmup; i++ {
+		if err := ctx.Err(); err != nil {
+			return measurement{}, err
+		}
+		if _, err := run(); err != nil {
+			return measurement{}, err
+		}
+	}
+	var best measurement
+	for i := 0; i < repeat; i++ {
+		if err := ctx.Err(); err != nil {
+			return measurement{}, err
+		}
+		m, err := run()
+		if err != nil {
+			return measurement{}, err
+		}
+		if i == 0 || m.ns < best.ns {
+			best = m
+		}
+	}
+	return best, nil
+}
+
+// cellKey identifies a matrix cell across reports and levels.
+type cellKey struct {
+	dataset string
+	opt     string
+	workers int
+	perms   int
+}
+
+// fillSpeedups derives each entry's speedup against the matching
+// "none"-level cell of the same run.
+func fillSpeedups(entries []Entry) {
+	none := make(map[cellKey]int64)
+	for _, e := range entries {
+		if e.Opt == permute.OptNone.Name() {
+			none[cellKey{e.Dataset, "", e.Workers, e.Perms}] = e.NsPerOp
+		}
+	}
+	for i := range entries {
+		base := none[cellKey{entries[i].Dataset, "", entries[i].Workers, entries[i].Perms}]
+		if base > 0 && entries[i].NsPerOp > 0 {
+			entries[i].SpeedupVsNone = float64(base) / float64(entries[i].NsPerOp)
+		}
+	}
+}
+
+// WriteFile writes the report as indented JSON.
+func WriteFile(path string, rep *Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a BENCH json, rejecting unknown schema versions.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("benchio: %s: %w", path, err)
+	}
+	if rep.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("benchio: %s: schema version %d, want %d", path, rep.SchemaVersion, SchemaVersion)
+	}
+	return &rep, nil
+}
+
+// Regression is one matrix cell whose relative performance fell more than
+// the tolerance below the baseline.
+type Regression struct {
+	Dataset string
+	Opt     string
+	Workers int
+	Perms   int
+	Metric  string // "speedup_vs_none" or "word_speedup"
+	Base    float64
+	Now     float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s opt=%s workers=%d perms=%d: %s %.2f -> %.2f",
+		r.Dataset, r.Opt, r.Workers, r.Perms, r.Metric, r.Base, r.Now)
+}
+
+// Compare checks cur against base cell by cell and returns the cells that
+// regressed by more than tolerance (e.g. 0.20 = 20%). Only the relative
+// metrics are gated — speedup_vs_none and word_speedup — because raw
+// ns/op is not comparable across machines; cells present in only one
+// report are ignored (the matrix may legitimately grow or shrink).
+func Compare(base, cur *Report, tolerance float64) []Regression {
+	baseBy := make(map[cellKey]Entry, len(base.Entries))
+	for _, e := range base.Entries {
+		baseBy[cellKey{e.Dataset, e.Opt, e.Workers, e.Perms}] = e
+	}
+	var regs []Regression
+	for _, e := range cur.Entries {
+		b, ok := baseBy[cellKey{e.Dataset, e.Opt, e.Workers, e.Perms}]
+		if !ok {
+			continue
+		}
+		check := func(metric string, was, now float64) {
+			if was > 0 && now > 0 && now < was*(1-tolerance) {
+				regs = append(regs, Regression{
+					Dataset: e.Dataset, Opt: e.Opt, Workers: e.Workers, Perms: e.Perms,
+					Metric: metric, Base: was, Now: now,
+				})
+			}
+		}
+		check("speedup_vs_none", b.SpeedupVsNone, e.SpeedupVsNone)
+		check("word_speedup", b.WordSpeedup, e.WordSpeedup)
+	}
+	return regs
+}

@@ -1,0 +1,119 @@
+package benchio
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/permute"
+	"repro/internal/synth"
+)
+
+func tinySpec(t *testing.T) Spec {
+	t.Helper()
+	p := synth.PaperDefaults()
+	p.N = 300
+	p.Attrs = 6
+	p.Seed = 3
+	res, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Spec{
+		Datasets:      []Dataset{{Name: "tiny", Data: res.Data, MinSup: 20}},
+		Opts:          []permute.OptLevel{permute.OptNone, permute.OptDiffsets},
+		Workers:       []int{1},
+		Perms:         []int{5},
+		Warmup:        0,
+		Repeat:        1,
+		Seed:          7,
+		MeasureScalar: true,
+	}
+}
+
+func TestRunMatrixAndRoundTrip(t *testing.T) {
+	rep, err := Run(context.Background(), tinySpec(t), "test-rev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) != 2 {
+		t.Fatalf("%d entries, want 2 (2 opts × 1 workers × 1 perms)", len(rep.Entries))
+	}
+	for _, e := range rep.Entries {
+		if e.NsPerOp <= 0 {
+			t.Errorf("%s/%s: ns_per_op = %d, want > 0", e.Dataset, e.Opt, e.NsPerOp)
+		}
+		if e.ScalarNsPerOp <= 0 || e.WordSpeedup <= 0 {
+			t.Errorf("%s/%s: scalar ablation not measured (%d, %g)",
+				e.Dataset, e.Opt, e.ScalarNsPerOp, e.WordSpeedup)
+		}
+		if e.SpeedupVsNone <= 0 {
+			t.Errorf("%s/%s: speedup_vs_none = %g, want > 0", e.Dataset, e.Opt, e.SpeedupVsNone)
+		}
+		if e.Records != 300 || e.Rules == 0 || e.MinSup != 20 {
+			t.Errorf("entry metadata wrong: %+v", e)
+		}
+	}
+	if rep.Entries[0].Opt != "none" || rep.Entries[0].SpeedupVsNone != 1.0 {
+		t.Errorf("none-level entry should have speedup 1.0, got %+v", rep.Entries[0])
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := WriteFile(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rev != "test-rev" || back.SchemaVersion != SchemaVersion || len(back.Entries) != len(rep.Entries) {
+		t.Fatalf("round trip mangled the report: %+v", back)
+	}
+}
+
+func TestRunRejectsEmptyMatrix(t *testing.T) {
+	if _, err := Run(context.Background(), Spec{}, "r"); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}
+
+func TestReadFileRejectsUnknownSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_bad.json")
+	if err := WriteFile(path, &Report{SchemaVersion: SchemaVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("unknown schema version accepted")
+	}
+}
+
+func TestCompareFlagsRelativeRegressions(t *testing.T) {
+	mk := func(speedup, word float64) *Report {
+		return &Report{
+			SchemaVersion: SchemaVersion,
+			Entries: []Entry{
+				{Dataset: "d", Opt: "diffsets", Workers: 1, Perms: 100,
+					NsPerOp: 100, SpeedupVsNone: speedup, WordSpeedup: word},
+			},
+		}
+	}
+	base := mk(10, 1.5)
+
+	if regs := Compare(base, mk(9.5, 1.45), 0.20); len(regs) != 0 {
+		t.Fatalf("within-tolerance drift flagged: %v", regs)
+	}
+	regs := Compare(base, mk(5, 1.5), 0.20)
+	if len(regs) != 1 || regs[0].Metric != "speedup_vs_none" {
+		t.Fatalf("halved speedup not flagged correctly: %v", regs)
+	}
+	regs = Compare(base, mk(10, 1.0), 0.20)
+	if len(regs) != 1 || regs[0].Metric != "word_speedup" {
+		t.Fatalf("word regression not flagged correctly: %v", regs)
+	}
+	// Cells only in one report are ignored.
+	other := mk(1, 1)
+	other.Entries[0].Dataset = "elsewhere"
+	if regs := Compare(base, other, 0.20); len(regs) != 0 {
+		t.Fatalf("unmatched cell flagged: %v", regs)
+	}
+}

@@ -2,7 +2,8 @@
 // dataset → closed class-association-rule mining → Fisher p-values → one
 // of the multiple-testing correction approaches → the statistically
 // significant rule set. It is the implementation behind the repo's public
-// facade (the root package).
+// facade (the root package). DESIGN.md §2 describes the stages, §4 the
+// Session layer that caches them.
 package core
 
 import (
@@ -157,7 +158,9 @@ type Config struct {
 	// worker count.
 	Seed uint64
 	// Opt is the permutation optimisation level (default OptStaticBuffer,
-	// i.e. everything on).
+	// i.e. everything on). Orthogonally to the level, the engine counts
+	// class supports word-parallel (packed label bitmaps + popcount;
+	// DESIGN.md §3) — an exact acceleration active at every level.
 	Opt permute.OptLevel
 	// OptSet marks Opt as explicitly set (lets callers request OptNone,
 	// which is otherwise indistinguishable from "unset").

@@ -1,7 +1,7 @@
 // Package experiments regenerates every figure and table of the paper's
 // evaluation (§5). Each FigNN/TableN function returns plain data (Series
 // of x/y points, or string tables) that cmd/experiments renders and that
-// bench_test.go exercises; EXPERIMENTS.md records the comparison against
+// bench_test.go exercises and compares against
 // the paper.
 //
 // Two scales are supported: the default scaled-down runs (few Monte-Carlo

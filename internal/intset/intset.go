@@ -7,6 +7,14 @@
 // relative to its universe, so hot intersections against dense sets become
 // membership probes instead of merge loops.
 //
+// The word-level layer (Words, SetWords/ClearWords, IntersectCountWords,
+// WordArena) underpins the permutation engine's word-parallel counting: a
+// tid-list packed into a []uint64 bitmap intersect-counts against another
+// bitmap at 64 elements per AND+popcount instead of one element per merge
+// step. WordArena recycles fixed-width scratch bitmaps so the packing
+// itself stays allocation-free on hot paths, and dense Reps expose their
+// existing bitset words directly (the zero-build fast path).
+//
 // All slice-based functions require their inputs to be strictly increasing;
 // they never modify their inputs and allocate only when documented.
 package intset
@@ -221,6 +229,17 @@ func (b *Bitset) AndCount(o *Bitset) int {
 	return n
 }
 
+// Words exposes the set's backing bitmap. The returned slice is the live
+// storage, not a copy — callers must treat it as read-only.
+func (b *Bitset) Words() []uint64 { return b.words }
+
+// IntersectCountWords returns |b ∩ ws| where ws is a word bitmap over the
+// same universe: popcount(b & ws) over the shorter operand, one AND per 64
+// elements.
+func (b *Bitset) IntersectCountWords(ws []uint64) int {
+	return IntersectCountWords(b.words, ws)
+}
+
 // IntersectSliceInto appends a ∩ b to dst by membership-testing each
 // element of the strictly increasing slice a against the bitset — O(len(a))
 // regardless of the bitset's population. dst must not alias a.
@@ -261,6 +280,78 @@ func (b *Bitset) Slice(dst []uint32) []uint32 {
 		}
 	}
 	return dst
+}
+
+// Words returns the number of uint64 words needed to hold a bitmap over a
+// universe of n elements.
+func Words(n int) int { return (n + 63) / 64 }
+
+// SetWords sets the bit of every id in the bitmap ws. ids values must be
+// < 64*len(ws). O(len(ids)).
+func SetWords(ws []uint64, ids []uint32) {
+	for _, x := range ids {
+		ws[x>>6] |= 1 << (x & 63)
+	}
+}
+
+// ClearWords clears the bit of every id in the bitmap ws — the O(len(ids))
+// inverse of SetWords, so a scratch bitmap is reset without touching the
+// full universe.
+func ClearWords(ws []uint64, ids []uint32) {
+	for _, x := range ids {
+		ws[x>>6] &^= 1 << (x & 63)
+	}
+}
+
+// IntersectCountWords returns the number of elements common to two word
+// bitmaps: popcount(a & b) over the shorter of the two. This is the
+// word-parallel counterpart of IntersectCount — 64 universe elements per
+// AND+popcount.
+func IntersectCountWords(a, b []uint64) int {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	n := 0
+	for i, w := range a {
+		n += bits.OnesCount64(w & b[i])
+	}
+	return n
+}
+
+// WordArena recycles fixed-width []uint64 scratch bitmaps over one
+// universe. Get hands out an all-zero bitmap; Put takes it back together
+// with the ids that were set in it, clearing exactly those bits — so a
+// Get/SetWords/.../Put cycle costs O(len(ids)), never O(universe), after
+// the first allocation. A WordArena is not synchronized; give each worker
+// its own.
+type WordArena struct {
+	width int
+	free  [][]uint64
+}
+
+// NewWordArena returns an arena of bitmaps sized for a universe of n
+// elements.
+func NewWordArena(n int) *WordArena { return &WordArena{width: Words(n)} }
+
+// Width returns the word length of the arena's bitmaps.
+func (a *WordArena) Width() int { return a.width }
+
+// Get returns an all-zero bitmap of Width() words.
+func (a *WordArena) Get() []uint64 {
+	if n := len(a.free); n > 0 {
+		ws := a.free[n-1]
+		a.free = a.free[:n-1]
+		return ws
+	}
+	return make([]uint64, a.width)
+}
+
+// Put recycles ws after clearing the bits listed in ids. ids must be
+// exactly the ids whose bits are set in ws (the slice passed to SetWords);
+// anything else corrupts later Gets.
+func (a *WordArena) Put(ws []uint64, ids []uint32) {
+	ClearWords(ws, ids)
+	a.free = append(a.free, ws)
 }
 
 // denseShift sets the adaptive density cut-off: a tid-set covering at
@@ -319,6 +410,17 @@ func (r *Rep) Intersect(a []uint32) []uint32 {
 		n = len(r.Ids)
 	}
 	return r.IntersectInto(make([]uint32, 0, n), a)
+}
+
+// Words is the zero-build fast path into word-parallel counting: it
+// returns the Rep's backing bitmap when the Rep is dense (treat as
+// read-only), or nil when only the sorted slice exists and callers must
+// pack a scratch bitmap (e.g. via a WordArena) themselves.
+func (r *Rep) Words() []uint64 {
+	if r.bits == nil {
+		return nil
+	}
+	return r.bits.words
 }
 
 // ContainsAll reports whether a ⊆ r.

@@ -1,0 +1,67 @@
+package mining
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/intset"
+	"repro/internal/synth"
+)
+
+func TestStoredIdsAndNodeReps(t *testing.T) {
+	p := synth.PaperDefaults()
+	p.N = 300
+	p.Attrs = 8
+	p.Seed = 5
+	res, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := dataset.Encode(res.Data)
+	tree, err := MineClosed(enc, Options{MinSup: 20, StoreDiffsets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sawDiff := false
+	for _, nd := range tree.Nodes {
+		stored := nd.StoredIds()
+		if nd.HasDiff() {
+			sawDiff = true
+			if &stored[0] != &nd.Diff[0] {
+				t.Fatal("StoredIds of a Diffset node is not its Diff")
+			}
+		} else if len(nd.Tids) > 0 && &stored[0] != &nd.Tids[0] {
+			t.Fatal("StoredIds of a tid-list node is not its Tids")
+		}
+	}
+	if !sawDiff {
+		t.Fatal("test tree has no Diffset nodes; raise N or lower MinSup")
+	}
+
+	for _, workers := range []int{1, 4} {
+		reps := NodeReps(tree, workers)
+		if len(reps) != len(tree.Nodes) {
+			t.Fatalf("workers=%d: %d reps for %d nodes", workers, len(reps), len(tree.Nodes))
+		}
+		for i, r := range reps {
+			stored := tree.Nodes[i].StoredIds()
+			if r.Len() != len(stored) {
+				t.Fatalf("workers=%d node %d: rep len %d, stored len %d", workers, i, r.Len(), len(stored))
+			}
+			if ws := r.Words(); ws != nil {
+				// The word view must agree with the slice it wraps.
+				self := make([]uint64, intset.Words(enc.NumRecords))
+				intset.SetWords(self, stored)
+				if got := intset.IntersectCountWords(ws, self); got != len(stored) {
+					t.Fatalf("node %d: word view popcount %d, want %d", i, got, len(stored))
+				}
+			}
+		}
+	}
+
+	// The root is fully dense and must take the shared-word fast path.
+	if NodeReps(tree, 1)[tree.Root.Index].Words() == nil {
+		t.Error("root Rep has no word view despite full density")
+	}
+}

@@ -13,6 +13,16 @@
 //   - p-value buffering (§4.2.3): per-coverage buffers of all attainable
 //     Fisher p-values, served from a byte-budgeted static buffer plus a
 //     one-slot dynamic buffer, shared across rules and permutations.
+//
+// On top of the paper's ladder the engine counts word-parallel (DESIGN.md
+// §3): permuted class labels are packed into per-permutation []uint64
+// bitmaps, so a rule's class count under a permutation is
+// popcount(tidWords & labelWords) — 64 records per AND+popcount — instead
+// of an element-by-element label walk. Dense nodes reuse shared word views
+// (mining.NodeReps); sparse ones pack a pooled scratch bitmap or fall back
+// to the element walk when the list is too short to pay for it. The word
+// and element paths produce identical integer counts, so results stay
+// byte-identical at every optimisation level and worker count.
 package permute
 
 import (
@@ -21,9 +31,11 @@ import (
 	"math/rand/v2"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/intset"
 	"repro/internal/mining"
 	"repro/internal/stats"
 )
@@ -68,6 +80,40 @@ func (o OptLevel) String() string {
 // mined with Diffset storage.
 func (o OptLevel) WantDiffsets() bool { return o >= OptDiffsets }
 
+// Name returns the level's short machine-readable name, the form ParseOpt
+// accepts and BENCH_<rev>.json records.
+func (o OptLevel) Name() string {
+	switch o {
+	case OptNone:
+		return "none"
+	case OptDynamicBuffer:
+		return "dynamic"
+	case OptDiffsets:
+		return "diffsets"
+	case OptStaticBuffer:
+		return "static"
+	default:
+		return fmt.Sprintf("OptLevel(%d)", int(o))
+	}
+}
+
+// ParseOpt maps a case-insensitive short level name — none | dynamic |
+// diffsets | static — to its OptLevel. Surrounding whitespace is ignored.
+func ParseOpt(s string) (OptLevel, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "none":
+		return OptNone, nil
+	case "dynamic":
+		return OptDynamicBuffer, nil
+	case "diffsets":
+		return OptDiffsets, nil
+	case "static":
+		return OptStaticBuffer, nil
+	default:
+		return 0, fmt.Errorf("permute: unknown optimisation level %q (want none|dynamic|diffsets|static)", s)
+	}
+}
+
 // Config configures a permutation run.
 type Config struct {
 	// NumPerms is N, the number of label permutations (the paper uses
@@ -97,6 +143,13 @@ type Config struct {
 	// ignores Opt's buffering; TestMidP recomputes per evaluation
 	// (expensive, extension only).
 	Test mining.TestKind
+	// DisableWordCounting forces every per-permutation class count back to
+	// the element-by-element label walk, disabling the packed-bitmap
+	// AND+popcount path. An ablation/debugging knob in the spirit of the
+	// Fig 4 ladder — results are byte-identical either way; only the cost
+	// changes. armine bench measures both sides to report the word-path
+	// speedup.
+	DisableWordCounting bool
 }
 
 func (c Config) withDefaults() Config {
@@ -119,7 +172,23 @@ type Engine struct {
 	numClasses int
 	// permLabels is the transposed permutation label matrix:
 	// permLabels[r*NumPerms + j] is record r's class under permutation j.
+	// It serves the element-walk path (sparse nodes read one byte per
+	// (record, permutation)).
 	permLabels []int8
+	// labelWords is the packed permutation label matrix serving the
+	// word-parallel path: for permutation j and class c in [1, numClasses),
+	// the W = words uint64s starting at ((j*(numClasses-1))+(c-1))*words
+	// form a bitmap over records with bit r set iff record r has class c
+	// under permutation j. Class 0 is derived (counts sum to the tid-list
+	// length), which keeps the matrix one class slimmer. nil when word
+	// counting is disabled or there are fewer than two classes.
+	labelWords []uint64
+	// words is the bitmap width in uint64s: ceil(n / 64).
+	words int
+	// nodeReps[i] is the adaptive set representation of node i's stored
+	// list; dense nodes carry shared word views the walkers use without
+	// packing scratch bitmaps. nil when word counting is disabled.
+	nodeReps []*intset.Rep
 	// rulesByNode[i] lists the indices (into rules) of the rules whose LHS
 	// is tree node i.
 	rulesByNode [][]int32
@@ -169,6 +238,7 @@ func NewEngine(tree *mining.Tree, rules []mining.Rule, cfg Config) (*Engine, err
 		cfg:        cfg,
 		n:          enc.NumRecords,
 		numClasses: enc.NumClasses,
+		words:      intset.Words(enc.NumRecords),
 		hypergeoms: mining.NewHypergeoms(enc),
 	}
 
@@ -176,7 +246,13 @@ func NewEngine(tree *mining.Tree, rules []mining.Rule, cfg Config) (*Engine, err
 	// iterating a tid-list across a block of permutations. Workers fill
 	// disjoint permutation (column) ranges concurrently; per-permutation
 	// RNG derivation makes the matrix independent of the worker count.
+	// The packed labelWords matrix for word-parallel counting is filled in
+	// the same pass — each permutation's bitmaps are again a disjoint
+	// range, so no synchronisation is needed.
 	e.permLabels = make([]int8, e.n*cfg.NumPerms)
+	if !cfg.DisableWordCounting && e.numClasses >= 2 {
+		e.labelWords = make([]uint64, cfg.NumPerms*(e.numClasses-1)*e.words)
+	}
 	genWorkers := cfg.Workers
 	if genWorkers > cfg.NumPerms {
 		genWorkers = cfg.NumPerms
@@ -197,6 +273,15 @@ func NewEngine(tree *mining.Tree, rules []mining.Rule, cfg Config) (*Engine, err
 				for r := 0; r < e.n; r++ {
 					e.permLabels[r*cfg.NumPerms+j] = int8(shuffled[r])
 				}
+				if e.labelWords != nil {
+					base := j * (e.numClasses - 1) * e.words
+					for r := 0; r < e.n; r++ {
+						if c := shuffled[r]; c > 0 {
+							idx := base + (int(c)-1)*e.words + r>>6
+							e.labelWords[idx] |= 1 << (uint(r) & 63)
+						}
+					}
+				}
 			}
 		}(lo, hi)
 	}
@@ -205,6 +290,11 @@ func NewEngine(tree *mining.Tree, rules []mining.Rule, cfg Config) (*Engine, err
 		if err := cfg.Ctx.Err(); err != nil {
 			return nil, err
 		}
+	}
+	if e.labelWords != nil {
+		// Shared word views for dense stored lists; sparse nodes pack
+		// per-worker scratch bitmaps (or walk elements) instead.
+		e.nodeReps = mining.NodeReps(tree, cfg.Workers)
 	}
 
 	e.rulesByNode = make([][]int32, len(tree.Nodes))
@@ -309,6 +399,7 @@ func (e *Engine) runBlock(perm0, perm1 int, v visitor) {
 		blockLen: blockLen,
 		v:        v,
 		ps:       make([]float64, blockLen),
+		arena:    intset.NewWordArena(e.n),
 	}
 	if e.cfg.Test == mining.TestFisher {
 		switch e.cfg.Opt {
@@ -322,7 +413,7 @@ func (e *Engine) runBlock(perm0, perm1 int, v visitor) {
 	}
 
 	root := e.tree.Root
-	counts := w.countsFromTids(root.Tids)
+	counts := w.countsFromNode(root)
 	w.node(root, counts)
 	w.release(counts)
 }
@@ -350,6 +441,7 @@ type walker struct {
 	pools    []*stats.BufferPool // nil under OptNone
 	ps       []float64           // scratch: one p per permutation in block
 	free     [][]int32           // recycled count buffers
+	arena    *intset.WordArena   // scratch bitmaps for the word path
 }
 
 // alloc returns a zeroed counts buffer of numClasses × blockLen.
@@ -367,19 +459,99 @@ func (w *walker) alloc() []int32 {
 
 func (w *walker) release(buf []int32) { w.free = append(w.free, buf) }
 
-// countsFromTids counts, for every class c and permutation j in the block,
-// how many records of tids carry class c under permutation j.
-func (w *walker) countsFromTids(tids []uint32) []int32 {
+// countsFromNode returns the node's class-count matrix for the block: for
+// every class c and permutation j, how many of the node's records carry
+// class c under permutation j. Only called for nodes that store full
+// tid-lists (the root always does); Diffset children derive their counts
+// from the parent's in node.
+func (w *walker) countsFromNode(nd *mining.Node) []int32 {
 	counts := w.alloc()
-	N := w.e.cfg.NumPerms
-	bl := w.blockLen
-	for _, r := range tids {
-		row := w.e.permLabels[int(r)*N+w.perm0 : int(r)*N+w.perm0+bl]
-		for j, c := range row {
-			counts[int(c)*bl+j]++
-		}
-	}
+	w.accumulate(counts, nd.Tids, w.sharedWords(nd), +1)
 	return counts
+}
+
+// sharedWords returns the node's shared word view (the Rep fast path), or
+// nil when the node's stored list is sparse or word counting is off.
+func (w *walker) sharedWords(nd *mining.Node) []uint64 {
+	if w.e.nodeReps == nil {
+		return nil
+	}
+	return w.e.nodeReps[nd.Index].Words()
+}
+
+// useWords decides the counting path for one stored list by comparing the
+// two costs directly: the word path touches (numClasses-1)·words bitmap
+// words per permutation in the block (plus a one-off 2·len(ids) scratch
+// pack/unpack when no shared view exists), the element path reads
+// len(ids) labels per permutation. Both paths produce identical integer
+// counts, so the choice — which varies with the block length and hence
+// the worker count — never changes results.
+func (w *walker) useWords(nIds int, haveShared bool) bool {
+	e := w.e
+	if e.labelWords == nil {
+		return false
+	}
+	wordCost := (e.numClasses - 1) * e.words * w.blockLen
+	if !haveShared {
+		wordCost += 2 * nIds
+	}
+	return wordCost < nIds*w.blockLen
+}
+
+// accumulate adds (sign = +1) or subtracts (sign = -1) the per-class,
+// per-permutation counts of ids into counts. shared, when non-nil, is
+// ids packed as a word bitmap (a node's dense Rep view).
+//
+// The word path computes each class count as popcount(ids & labels) over
+// the packed label matrix — 64 records per AND+popcount — and derives
+// class 0 from the remainder (the counts of one list across classes sum
+// to its length). This is the §4.2 permutation loop made word-parallel,
+// including the Diffsets case: a child's counts are the parent's minus
+// the popcounts of its difference list.
+func (w *walker) accumulate(counts []int32, ids []uint32, shared []uint64, sign int32) {
+	e := w.e
+	bl := w.blockLen
+	if !w.useWords(len(ids), shared != nil) {
+		N := e.cfg.NumPerms
+		if sign >= 0 {
+			for _, r := range ids {
+				row := e.permLabels[int(r)*N+w.perm0 : int(r)*N+w.perm0+bl]
+				for j, c := range row {
+					counts[int(c)*bl+j]++
+				}
+			}
+		} else {
+			for _, r := range ids {
+				row := e.permLabels[int(r)*N+w.perm0 : int(r)*N+w.perm0+bl]
+				for j, c := range row {
+					counts[int(c)*bl+j]--
+				}
+			}
+		}
+		return
+	}
+
+	words := shared
+	if words == nil {
+		words = w.arena.Get()
+		intset.SetWords(words, ids)
+	}
+	C := e.numClasses
+	W := e.words
+	base := (w.perm0) * (C - 1) * W
+	for j := 0; j < bl; j++ {
+		rest := int32(len(ids))
+		for c := 1; c < C; c++ {
+			k := int32(intset.IntersectCountWords(words, e.labelWords[base:base+W]))
+			counts[c*bl+j] += sign * k
+			rest -= k
+			base += W
+		}
+		counts[j] += sign * rest // class 0 by remainder
+	}
+	if shared == nil {
+		w.arena.Put(words, ids)
+	}
 }
 
 // node emits the p-values of every rule anchored at nd and recurses into
@@ -397,10 +569,7 @@ func (w *walker) node(nd *mining.Node, counts []int32) {
 		ks := counts[class*bl : (class+1)*bl]
 		switch {
 		case w.pools != nil:
-			buf := w.pools[class].Buffer(cvg)
-			for j, k := range ks {
-				w.ps[j] = buf.PValue(int(k))
-			}
+			w.pools[class].Buffer(cvg).PValuesInto(w.ps[:bl], ks)
 		case w.e.cfg.Test == mining.TestChiSquare:
 			h := w.e.hypergeoms[class]
 			for j, k := range ks {
@@ -425,18 +594,14 @@ func (w *walker) node(nd *mining.Node, counts []int32) {
 		var childCounts []int32
 		if child.HasDiff() {
 			// counts(child) = counts(parent) - counts(diff), per class and
-			// permutation (§4.2.2 applied to the permutation matrix).
+			// permutation (§4.2.2 applied to the permutation matrix) — on
+			// the word path the subtraction is the difference list's
+			// popcount against the packed labels.
 			childCounts = w.alloc()
 			copy(childCounts, counts)
-			N := w.e.cfg.NumPerms
-			for _, r := range child.Diff {
-				row := w.e.permLabels[int(r)*N+w.perm0 : int(r)*N+w.perm0+bl]
-				for j, c := range row {
-					childCounts[int(c)*bl+j]--
-				}
-			}
+			w.accumulate(childCounts, child.Diff, w.sharedWords(child), -1)
 		} else {
-			childCounts = w.countsFromTids(child.Tids)
+			childCounts = w.countsFromNode(child)
 		}
 		w.node(child, childCounts)
 		w.release(childCounts)

@@ -1,0 +1,79 @@
+package permute
+
+import (
+	"testing"
+)
+
+// TestEngineWordVsScalarByteIdentical pins the tentpole guarantee: the
+// word-parallel counting path and the element-walk path produce exactly
+// the same results — not approximately — at every optimisation level and
+// worker count, for both the FWER (MinP) and FDR (CountLE) outputs.
+func TestEngineWordVsScalarByteIdentical(t *testing.T) {
+	for _, opt := range []OptLevel{OptNone, OptDynamicBuffer, OptDiffsets, OptStaticBuffer} {
+		// 300 records: a universe that is not a multiple of 64.
+		tree, rules := buildCase(t, 5, 300, 8, 20, opt.WantDiffsets())
+		for _, workers := range []int{1, 3} {
+			mk := func(disable bool) *Engine {
+				e, err := NewEngine(tree, rules, Config{
+					NumPerms: 40, Seed: 11, Opt: opt, Workers: workers,
+					DisableWordCounting: disable,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return e
+			}
+			word, scalar := mk(false), mk(true)
+			if word.labelWords == nil {
+				t.Fatalf("opt=%v: word engine has no packed label matrix", opt)
+			}
+			if scalar.labelWords != nil || scalar.nodeReps != nil {
+				t.Fatalf("opt=%v: scalar engine still carries word state", opt)
+			}
+			wp, sp := word.MinP(), scalar.MinP()
+			for j := range wp {
+				if wp[j] != sp[j] {
+					t.Fatalf("opt=%v workers=%d perm %d: word MinP %g != scalar %g",
+						opt, workers, j, wp[j], sp[j])
+				}
+			}
+			wc, sc := mk(false).CountLE(), mk(true).CountLE()
+			for i := range wc {
+				if wc[i] != sc[i] {
+					t.Fatalf("opt=%v workers=%d rule %d: word CountLE %d != scalar %d",
+						opt, workers, i, wc[i], sc[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEngineWordPathSmallBlocks drives block lengths down to one
+// permutation per worker, where the cost model should often prefer the
+// element walk — the outputs must not care.
+func TestEngineWordPathSmallBlocks(t *testing.T) {
+	tree, rules := buildCase(t, 21, 400, 10, 25, true)
+	var ref []float64
+	for _, workers := range []int{1, 7} {
+		for _, disable := range []bool{false, true} {
+			e, err := NewEngine(tree, rules, Config{
+				NumPerms: 7, Seed: 2, Opt: OptDiffsets, Workers: workers,
+				DisableWordCounting: disable,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := e.MinP()
+			if ref == nil {
+				ref = got
+				continue
+			}
+			for j := range ref {
+				if got[j] != ref[j] {
+					t.Fatalf("workers=%d disable=%v: MinP[%d] = %g, want %g",
+						workers, disable, j, got[j], ref[j])
+				}
+			}
+		}
+	}
+}

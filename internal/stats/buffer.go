@@ -38,6 +38,21 @@ func (b *PBuffer) PValue(k int) float64 {
 // Size returns the number of attainable support values (U - L + 1).
 func (b *PBuffer) Size() int { return len(b.p) }
 
+// PValuesInto fills dst[i] with PValue(ks[i]) for every support in ks —
+// the batch form the permutation engine uses after counting one rule's
+// supports across a whole block of permutations. dst and ks must have
+// equal length.
+func (b *PBuffer) PValuesInto(dst []float64, ks []int32) {
+	lo, hi := int32(b.Lo), int32(b.Hi)
+	for i, k := range ks {
+		if k < lo || k > hi {
+			dst[i] = 0
+			continue
+		}
+		dst[i] = b.p[k-lo]
+	}
+}
+
 // BuildPBuffer computes the p-value buffer for coverage sx.
 //
 // Ties are handled in groups: supports whose hypergeometric terms are equal

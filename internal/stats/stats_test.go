@@ -137,6 +137,25 @@ func TestBufferMatchesDirectFisher(t *testing.T) {
 	}
 }
 
+func TestPBufferPValuesInto(t *testing.T) {
+	h := NewHypergeom(200, 70, nil)
+	b := h.BuildPBuffer(45)
+	// Sweep every attainable support plus out-of-range values on both
+	// sides; the batch form must agree with element-wise PValue.
+	ks := []int32{int32(b.Lo) - 2, int32(b.Lo) - 1}
+	for k := b.Lo; k <= b.Hi; k++ {
+		ks = append(ks, int32(k))
+	}
+	ks = append(ks, int32(b.Hi)+1, int32(b.Hi)+5)
+	dst := make([]float64, len(ks))
+	b.PValuesInto(dst, ks)
+	for i, k := range ks {
+		if want := b.PValue(int(k)); dst[i] != want {
+			t.Errorf("k=%d: PValuesInto %g, PValue %g", k, dst[i], want)
+		}
+	}
+}
+
 func TestFisherSymmetricTies(t *testing.T) {
 	// With nc = n/2 the distribution is symmetric: H(k) == H(sx-k), so the
 	// two-tailed p-value of k must include the mirrored support as a tie.

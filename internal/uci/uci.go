@@ -17,6 +17,7 @@
 // driven by exactly these distributional properties, not by the datasets'
 // semantics — that is the substitution rationale: shape-matched stand-ins
 // preserve the comparisons even though the records themselves differ.
+// See DESIGN.md §5 for the full substitution rationale.
 package uci
 
 import (
