@@ -135,6 +135,17 @@ type Method = core.Method
 // OptLevel selects which permutation-cost optimisations are active.
 type OptLevel = permute.OptLevel
 
+// Adaptive configures sequential early-stopping permutation testing
+// (Config.Adaptive): a positive MaxPerms enables rounds with early rule
+// retirement; Exceedances < 0 disables retirement, making the run
+// byte-identical to a fixed run of MaxPerms permutations.
+type Adaptive = permute.Adaptive
+
+// PermStats reports an adaptive permutation run's telemetry
+// (Result.Perm): rounds executed, permutations run, rules retired, and
+// the rule-permutation evaluations saved versus a fixed run.
+type PermStats = core.PermStats
+
 // TestKind selects the significance test scoring each rule.
 type TestKind = mining.TestKind
 

@@ -24,6 +24,8 @@ type benchFlags struct {
 	warmup, repeat       *int
 	seed                 *uint64
 	quick, scalar        *bool
+	adaptive             *bool
+	alpha                *float64
 	rev, out, baseline   *string
 	tolerance            *float64
 }
@@ -45,6 +47,8 @@ func newBenchFlags(stderr io.Writer) *benchFlags {
 		seed:      fs.Uint64("seed", 3, "random seed for the permutation shuffles"),
 		quick:     fs.Bool("quick", false, "small matrix for CI smoke runs (perms 25, warmup 0, repeat 1 unless set explicitly)"),
 		scalar:    fs.Bool("scalar", true, "also time each cell with word-parallel counting disabled (records the word-path speedup)"),
+		adaptive:  fs.Bool("adaptive", true, "also time each cell as an adaptive early-stopping FWER run of the same budget (records the adaptive speedup; budgets too small to retire anything are skipped)"),
+		alpha:     fs.Float64("alpha", 0.05, "error level the adaptive cells stop against"),
 		rev:       fs.String("rev", "dev", "revision label recorded in the report and default output name"),
 		out:       fs.String("out", "", "output path (default BENCH_<rev>.json)"),
 		baseline:  fs.String("baseline", "", "BENCH json to compare against; >tolerance relative regressions fail the run"),
@@ -112,15 +116,17 @@ func runBench(args []string, stdout, stderr io.Writer) error {
 	}
 
 	rep, err := benchio.Run(context.Background(), benchio.Spec{
-		Datasets:      []benchio.Dataset{{Name: name, Data: data, MinSup: *f.minSup}},
-		Opts:          opts,
-		Workers:       workers,
-		Perms:         perms,
-		Warmup:        *f.warmup,
-		Repeat:        *f.repeat,
-		Seed:          *f.seed,
-		MeasureScalar: *f.scalar,
-		MaxLen:        *f.maxLen,
+		Datasets:        []benchio.Dataset{{Name: name, Data: data, MinSup: *f.minSup}},
+		Opts:            opts,
+		Workers:         workers,
+		Perms:           perms,
+		Warmup:          *f.warmup,
+		Repeat:          *f.repeat,
+		Seed:            *f.seed,
+		MeasureScalar:   *f.scalar,
+		MeasureAdaptive: *f.adaptive,
+		Alpha:           *f.alpha,
+		MaxLen:          *f.maxLen,
 	}, *f.rev)
 	if err != nil {
 		return err
@@ -192,15 +198,19 @@ func benchDataset(in, uciName string, seed uint64) (string, *repro.Dataset, erro
 // ablation.
 func printBenchTable(w io.Writer, rep *benchio.Report) {
 	fmt.Fprintf(w, "# %s %s/%s %d CPUs rev=%s\n", rep.GoVersion, rep.GOOS, rep.GOARCH, rep.CPUs, rep.Rev)
-	fmt.Fprintf(w, "%-20s %-10s %7s %6s %12s %10s %8s %6s\n",
-		"dataset", "opt", "workers", "perms", "ms/op", "allocs/op", "vs-none", "word")
+	fmt.Fprintf(w, "%-20s %-10s %7s %6s %12s %10s %8s %6s %7s\n",
+		"dataset", "opt", "workers", "perms", "ms/op", "allocs/op", "vs-none", "word", "adapt")
 	for _, e := range rep.Entries {
 		word := "-"
 		if e.WordSpeedup > 0 {
 			word = fmt.Sprintf("%.2fx", e.WordSpeedup)
 		}
-		fmt.Fprintf(w, "%-20s %-10s %7d %6d %12.3f %10d %7.2fx %6s\n",
+		adapt := "-"
+		if e.AdaptiveSpeedup > 0 {
+			adapt = fmt.Sprintf("%.2fx", e.AdaptiveSpeedup)
+		}
+		fmt.Fprintf(w, "%-20s %-10s %7d %6d %12.3f %10d %7.2fx %6s %7s\n",
 			e.Dataset, e.Opt, e.Workers, e.Perms,
-			float64(e.NsPerOp)/1e6, e.AllocsPerOp, e.SpeedupVsNone, word)
+			float64(e.NsPerOp)/1e6, e.AllocsPerOp, e.SpeedupVsNone, word, adapt)
 	}
 }

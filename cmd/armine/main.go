@@ -13,7 +13,14 @@
 //
 //	armine mine -in data.csv -minsup-frac 0.05 -control fdr -method direct
 //	armine mine -in data.csv -minsup 60 -method permutation -perms 1000
+//	armine mine -uci german -minsup 60 -method permutation -perms 10000 -adaptive
 //	armine -uci german -minsup 60 -method holdout -control fwer
+//
+// -adaptive switches permutation runs into sequential early stopping:
+// -perms becomes the permutation budget, and rules whose correction fate
+// is already decided retire from further counting after each round
+// (-adaptive-min sets the first round size, -adaptive-exceed how many
+// exceedances a rule needs before it may retire early; see DESIGN.md §7).
 //
 // A comma-separated -methods list reports several corrections from a
 // single mine: the dataset is encoded, mined and scored once and only the
@@ -136,6 +143,8 @@ type mineFlags struct {
 	minSupFrac, minConf, alpha *float64
 	control, method, methods   *string
 	perms, workers, maxLen     *int
+	adaptive                   *bool
+	adaptMin, adaptExceed      *int
 	seed                       *uint64
 	limit                      *int
 	jsonOut, quiet             *bool
@@ -157,14 +166,18 @@ func newMineFlags(stderr io.Writer) *mineFlags {
 		method:     fs.String("method", "direct", "correction: none | direct | permutation | holdout | layered"),
 		methods:    fs.String("methods", "", "comma-separated corrections sharing a single mine (overrides -method; holdout mines its exploratory half separately), e.g. none,direct,permutation"),
 		perms:      fs.Int("perms", 1000, "permutations for permutation runs"),
-		seed:       fs.Uint64("seed", 1, "random seed (permutations, holdout split, stand-ins)"),
-		workers:    fs.Int("workers", 0, "worker goroutines for mining and permutations (0 = all CPUs)"),
-		maxLen:     fs.Int("maxlen", 0, "maximum rule LHS length (0 = unlimited)"),
-		limit:      fs.Int("limit", 50, "print at most this many rules per run (0 = all)"),
-		jsonOut:    fs.Bool("json", false, "emit a JSON array (one entry per method run) instead of text"),
-		cpuProf:    fs.String("cpuprofile", "", "write a pprof CPU profile of the mining to this file"),
-		memProf:    fs.String("memprofile", "", "write a pprof heap profile after mining to this file"),
-		quiet:      fs.Bool("q", false, "print rules only, no summaries"),
+		adaptive:   fs.Bool("adaptive", false, "sequential early-stopping permutation testing: -perms becomes the budget and decided rules retire from counting early (DESIGN.md 7)"),
+		adaptMin:   fs.Int("adaptive-min", 0, "first adaptive round size (0 = default 100)"),
+		adaptExceed: fs.Int("adaptive-exceed", 0,
+			"exceedances a rule needs before early retirement (0 = default 20, negative = never retire)"),
+		seed:    fs.Uint64("seed", 1, "random seed (permutations, holdout split, stand-ins)"),
+		workers: fs.Int("workers", 0, "worker goroutines for mining and permutations (0 = all CPUs)"),
+		maxLen:  fs.Int("maxlen", 0, "maximum rule LHS length (0 = unlimited)"),
+		limit:   fs.Int("limit", 50, "print at most this many rules per run (0 = all)"),
+		jsonOut: fs.Bool("json", false, "emit a JSON array (one entry per method run) instead of text"),
+		cpuProf: fs.String("cpuprofile", "", "write a pprof CPU profile of the mining to this file"),
+		memProf: fs.String("memprofile", "", "write a pprof heap profile after mining to this file"),
+		quiet:   fs.Bool("q", false, "print rules only, no summaries"),
 	}
 }
 
@@ -188,6 +201,13 @@ func runMine(args []string, stdout, stderr io.Writer) error {
 		Seed:         *f.seed,
 		Workers:      *f.workers,
 		MaxLen:       *f.maxLen,
+	}
+	if *f.adaptive {
+		base.Adaptive = repro.Adaptive{
+			MinPerms:    *f.adaptMin,
+			MaxPerms:    *f.perms,
+			Exceedances: *f.adaptExceed,
+		}
 	}
 	var err error
 	if base.Control, err = repro.ParseControl(*f.control); err != nil {
@@ -378,6 +398,11 @@ func printText(w io.Writer, d *repro.Dataset, results []*repro.Result, limit int
 				res.NumRecords, res.NumTested, res.MinSup, res.Method, res.Control, res.Alpha)
 			fmt.Fprintf(w, "# %d significant rules, cutoff p <= %.4g, mine %v + correct %v\n",
 				len(res.Significant), res.Cutoff, res.MineTime.Round(1e6), res.CorrectTime.Round(1e6))
+			if res.Perm != nil {
+				fmt.Fprintf(w, "# adaptive: %d round(s), %d/%d perms run, %d/%d rules retired, %d rule-perm evals saved\n",
+					res.Perm.Rounds, res.Perm.PermsRun, res.Perm.MaxPerms,
+					res.Perm.RulesRetired, res.NumTested, res.Perm.PermsSaved)
+			}
 		}
 		n := len(res.Significant)
 		if limit > 0 && n > limit {

@@ -59,6 +59,14 @@ type Spec struct {
 	// MeasureScalar additionally times each cell with word-parallel
 	// counting disabled and records the ratio as the word-path speedup.
 	MeasureScalar bool
+	// MeasureAdaptive additionally times each cell as an adaptive
+	// (sequential early-stopping) Westfall–Young run with the same
+	// permutation budget and records fixed/adaptive as the adaptive
+	// speedup.
+	MeasureAdaptive bool
+	// Alpha is the error level the adaptive cells stop against (default
+	// 0.05 when zero).
+	Alpha float64
 	// MaxLen caps mined pattern length (0 = unlimited).
 	MaxLen int
 }
@@ -90,6 +98,15 @@ type Entry struct {
 	// Zero when the ablation was not measured.
 	ScalarNsPerOp int64   `json:"scalar_ns_per_op,omitempty"`
 	WordSpeedup   float64 `json:"word_speedup,omitempty"`
+
+	// The adaptive cell: the same budget run as an adaptive Westfall–Young
+	// pass (engine build + RunAdaptive), fixed/adaptive ns ratio, and the
+	// retirement telemetry of the fastest adaptive run. Zero when adaptive
+	// measurement was off.
+	AdaptiveNsPerOp      int64   `json:"adaptive_ns_per_op,omitempty"`
+	AdaptiveSpeedup      float64 `json:"adaptive_speedup,omitempty"`
+	AdaptivePermsRun     int     `json:"adaptive_perms_run,omitempty"`
+	AdaptiveRulesRetired int     `json:"adaptive_rules_retired,omitempty"`
 }
 
 // Report is the persisted form of one bench run (one BENCH_<rev>.json).
@@ -165,8 +182,9 @@ func Run(ctx context.Context, spec Spec, rev string) (*Report, error) {
 					}
 					e.NsPerOp, e.AllocsPerOp, e.BytesPerOp = m.ns, m.allocs, m.bytes
 					if spec.MeasureScalar {
-						cell.DisableWordCounting = true
-						sm, err := measure(ctx, tree, rules, cell, spec.Warmup, spec.Repeat)
+						scell := cell
+						scell.DisableWordCounting = true
+						sm, err := measure(ctx, tree, rules, scell, spec.Warmup, spec.Repeat)
 						if err != nil {
 							return nil, err
 						}
@@ -174,6 +192,31 @@ func Run(ctx context.Context, spec Spec, rev string) (*Report, error) {
 						if e.NsPerOp > 0 {
 							e.WordSpeedup = float64(sm.ns) / float64(e.NsPerOp)
 						}
+					}
+					// Adaptive cells are only meaningful when the budget
+					// allows at least one retirement round: with
+					// MaxPerms <= the normalized MinPerms the whole run is
+					// a single round and cannot retire anything, so the
+					// ratio would be fixed-vs-fixed timing noise — and
+					// noise must not enter the regression gate.
+					ad := permute.Adaptive{MaxPerms: perms}.Normalized()
+					if spec.MeasureAdaptive && perms > ad.MinPerms {
+						acell := cell
+						acell.Adaptive = ad
+						alpha := spec.Alpha
+						if alpha == 0 {
+							alpha = 0.05
+						}
+						am, info, err := measureAdaptive(ctx, tree, rules, acell, alpha, spec.Warmup, spec.Repeat)
+						if err != nil {
+							return nil, err
+						}
+						e.AdaptiveNsPerOp = am.ns
+						if am.ns > 0 {
+							e.AdaptiveSpeedup = float64(e.NsPerOp) / float64(am.ns)
+						}
+						e.AdaptivePermsRun = info.PermsRun
+						e.AdaptiveRulesRetired = info.RulesRetired
 					}
 					rep.Entries = append(rep.Entries, e)
 				}
@@ -190,22 +233,20 @@ type measurement struct {
 	bytes  uint64
 }
 
-// measure times engine construction + one MinP pass, warmup times
-// untimed, then repeat times keeping the fastest. Allocation counters
-// come from the fastest run's Mallocs/TotalAlloc deltas — monotonic, so
-// unaffected by garbage collections during the run.
-func measure(ctx context.Context, tree *mining.Tree, rules []mining.Rule, cfg permute.Config, warmup, repeat int) (measurement, error) {
-	run := func() (measurement, error) {
+// measureRuns is the shared measurement discipline: run fn warmup times
+// discarded, then repeat times keeping the run with the smallest
+// wall-clock, returning its measurement and payload. Allocation counters
+// come from Mallocs/TotalAlloc deltas — monotonic, so unaffected by
+// garbage collections during the run. ctx aborts between runs.
+func measureRuns[T any](ctx context.Context, warmup, repeat int, fn func() (T, error)) (measurement, T, error) {
+	var zero T
+	run := func() (measurement, T, error) {
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
 		start := time.Now()
-		e, err := permute.NewEngine(tree, rules, cfg)
+		payload, err := fn()
 		if err != nil {
-			return measurement{}, fmt.Errorf("benchio: engine: %w", err)
-		}
-		e.MinP()
-		if err := e.Err(); err != nil {
-			return measurement{}, err
+			return measurement{}, zero, err
 		}
 		ns := time.Since(start).Nanoseconds()
 		runtime.ReadMemStats(&after)
@@ -213,30 +254,61 @@ func measure(ctx context.Context, tree *mining.Tree, rules []mining.Rule, cfg pe
 			ns:     ns,
 			allocs: after.Mallocs - before.Mallocs,
 			bytes:  after.TotalAlloc - before.TotalAlloc,
-		}, nil
+		}, payload, nil
+	}
+	if repeat < 1 {
+		repeat = 1
 	}
 	for i := 0; i < warmup; i++ {
 		if err := ctx.Err(); err != nil {
-			return measurement{}, err
+			return measurement{}, zero, err
 		}
-		if _, err := run(); err != nil {
-			return measurement{}, err
+		if _, _, err := run(); err != nil {
+			return measurement{}, zero, err
 		}
 	}
 	var best measurement
+	var bestPayload T
 	for i := 0; i < repeat; i++ {
 		if err := ctx.Err(); err != nil {
-			return measurement{}, err
+			return measurement{}, zero, err
 		}
-		m, err := run()
+		m, payload, err := run()
 		if err != nil {
-			return measurement{}, err
+			return measurement{}, zero, err
 		}
 		if i == 0 || m.ns < best.ns {
-			best = m
+			best, bestPayload = m, payload
 		}
 	}
-	return best, nil
+	return best, bestPayload, nil
+}
+
+// measure times engine construction + one MinP pass under the shared
+// warmup/repeat discipline.
+func measure(ctx context.Context, tree *mining.Tree, rules []mining.Rule, cfg permute.Config, warmup, repeat int) (measurement, error) {
+	m, _, err := measureRuns(ctx, warmup, repeat, func() (struct{}, error) {
+		e, err := permute.NewEngine(tree, rules, cfg)
+		if err != nil {
+			return struct{}{}, fmt.Errorf("benchio: engine: %w", err)
+		}
+		e.MinP()
+		return struct{}{}, e.Err()
+	})
+	return m, err
+}
+
+// measureAdaptive times engine construction + one adaptive Westfall–Young
+// pass under the same discipline, returning the fastest run's measurement
+// and its adaptive telemetry.
+func measureAdaptive(ctx context.Context, tree *mining.Tree, rules []mining.Rule, cfg permute.Config, alpha float64, warmup, repeat int) (measurement, *permute.AdaptiveResult, error) {
+	return measureRuns(ctx, warmup, repeat, func() (*permute.AdaptiveResult, error) {
+		e, err := permute.NewEngine(tree, rules, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("benchio: engine: %w", err)
+		}
+		return e.RunAdaptive(permute.AdaptFWER, alpha)
+	})
 }
 
 // cellKey identifies a matrix cell across reports and levels.
@@ -296,7 +368,7 @@ type Regression struct {
 	Opt     string
 	Workers int
 	Perms   int
-	Metric  string // "speedup_vs_none" or "word_speedup"
+	Metric  string // "speedup_vs_none", "word_speedup" or "adaptive_speedup"
 	Base    float64
 	Now     float64
 }
@@ -308,9 +380,10 @@ func (r Regression) String() string {
 
 // Compare checks cur against base cell by cell and returns the cells that
 // regressed by more than tolerance (e.g. 0.20 = 20%). Only the relative
-// metrics are gated — speedup_vs_none and word_speedup — because raw
-// ns/op is not comparable across machines; cells present in only one
-// report are ignored (the matrix may legitimately grow or shrink).
+// metrics are gated — speedup_vs_none, word_speedup and adaptive_speedup
+// — because raw ns/op is not comparable across machines; cells present
+// in only one report are ignored (the matrix may legitimately grow or
+// shrink).
 func Compare(base, cur *Report, tolerance float64) []Regression {
 	baseBy := make(map[cellKey]Entry, len(base.Entries))
 	for _, e := range base.Entries {
@@ -332,6 +405,7 @@ func Compare(base, cur *Report, tolerance float64) []Regression {
 		}
 		check("speedup_vs_none", b.SpeedupVsNone, e.SpeedupVsNone)
 		check("word_speedup", b.WordSpeedup, e.WordSpeedup)
+		check("adaptive_speedup", b.AdaptiveSpeedup, e.AdaptiveSpeedup)
 	}
 	return regs
 }

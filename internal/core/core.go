@@ -148,8 +148,18 @@ type Config struct {
 	// Method selects the correction approach.
 	Method Method
 	// Permutations is N for MethodPermutation (default 1000, the paper's
-	// setting).
+	// setting). Ignored when Adaptive mode is on — Adaptive.MaxPerms is
+	// the budget then.
 	Permutations int
+	// Adaptive, when Adaptive.MaxPerms > 0, runs MethodPermutation with
+	// sequential early stopping (DESIGN.md §7): permutations execute in
+	// growing rounds and rules whose correction fate is decided retire
+	// from further counting. Off by default. With Adaptive.Exceedances < 0
+	// (retirement disabled) the results are byte-identical to a fixed run
+	// of MaxPerms permutations; with retirement on, the significant set
+	// matches the fixed run's up to the conservative stopping rule (see
+	// the design doc for the exactness argument).
+	Adaptive permute.Adaptive
 	// Seed drives permutation shuffles and holdout splits. Seeding is
 	// fully explicit — nothing in the pipeline reads global or time-based
 	// randomness — so equal (Seed, Config) pairs reproduce byte-identical
@@ -219,6 +229,7 @@ func (c Config) withDefaults(n int) (Config, error) {
 	if c.Permutations == 0 {
 		c.Permutations = 1000
 	}
+	c.Adaptive = c.Adaptive.Normalized()
 	if !c.OptSet {
 		c.Opt = permute.OptStaticBuffer
 	}
@@ -275,9 +286,29 @@ type Result struct {
 	Outcome *correction.Outcome
 	// Holdout carries the two-phase detail when Method == MethodHoldout.
 	Holdout *correction.HoldoutResult
+	// Perm carries the adaptive permutation engine's telemetry; nil for
+	// every non-adaptive run.
+	Perm *PermStats
 	// MineTime and CorrectTime split the wall-clock cost.
 	MineTime    time.Duration
 	CorrectTime time.Duration
+}
+
+// PermStats reports an adaptive permutation run (Config.Adaptive): how
+// far the round schedule ran and how much counting the retirement rule
+// avoided.
+type PermStats struct {
+	// Rounds is the number of rounds executed; PermsRun the permutations
+	// actually evaluated (MaxPerms unless every rule retired first).
+	Rounds   int
+	PermsRun int
+	// MaxPerms echoes the configured budget.
+	MaxPerms int
+	// RulesRetired counts rules retired before the budget was exhausted.
+	RulesRetired int
+	// PermsSaved is the number of (rule, permutation) evaluations avoided
+	// relative to a fixed run of MaxPerms.
+	PermsSaved int64
 }
 
 // Run executes the configured pipeline on d.
@@ -299,41 +330,38 @@ func RunContext(ctx context.Context, d *dataset.Dataset, cfg Config) (*Result, e
 
 // runCorrection applies the configured multiple-testing correction to the
 // scored rule set. It never mutates tree or rules, which may be shared
-// across concurrent runs of one Session.
-func runCorrection(ctx context.Context, cfg Config, tree *mining.Tree, rules []mining.Rule) (*correction.Outcome, error) {
+// across concurrent runs of one Session. The second result carries the
+// adaptive engine's telemetry and is nil for every non-adaptive method.
+func runCorrection(ctx context.Context, cfg Config, tree *mining.Tree, rules []mining.Rule) (*correction.Outcome, *PermStats, error) {
 	ps := make([]float64, len(rules))
 	for i := range rules {
 		ps[i] = rules[i].P
 	}
 	switch cfg.Method {
 	case MethodNone:
-		return correction.None(ps, cfg.Alpha), nil
+		return correction.None(ps, cfg.Alpha), nil, nil
 	case MethodLayered:
 		if cfg.Control != ControlFWER {
-			return nil, fmt.Errorf("core: layered critical values control FWER only")
+			return nil, nil, fmt.Errorf("core: layered critical values control FWER only")
 		}
 		lengths := make([]int, len(rules))
 		for i := range rules {
 			lengths[i] = rules[i].Length()
 		}
-		return correction.LayeredCriticalValues(ps, lengths, 0, cfg.Alpha)
+		outcome, err := correction.LayeredCriticalValues(ps, lengths, 0, cfg.Alpha)
+		return outcome, nil, err
 	case MethodDirect:
 		if cfg.Control == ControlFWER {
-			return correction.Bonferroni(ps, len(ps), cfg.Alpha), nil
+			return correction.Bonferroni(ps, len(ps), cfg.Alpha), nil, nil
 		}
-		return correction.BenjaminiHochberg(ps, len(ps), cfg.Alpha), nil
+		return correction.BenjaminiHochberg(ps, len(ps), cfg.Alpha), nil, nil
 	case MethodPermutation:
-		engine, err := permute.NewEngine(tree, rules, permute.Config{
-			NumPerms:     cfg.Permutations,
-			Seed:         cfg.Seed,
-			Opt:          cfg.Opt,
-			StaticBudget: cfg.StaticBudget,
-			Workers:      cfg.Workers,
-			Test:         cfg.Test,
-			Ctx:          ctx,
-		})
+		engine, err := permute.NewEngine(tree, rules, cfg.permConfig(ctx))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+		if cfg.Adaptive.Enabled() {
+			return runAdaptiveCorrection(engine, cfg, rules)
 		}
 		var outcome *correction.Outcome
 		if cfg.Control == ControlFWER {
@@ -342,11 +370,71 @@ func runCorrection(ctx context.Context, cfg Config, tree *mining.Tree, rules []m
 			outcome = correction.PermFDR(engine, rules, cfg.Alpha)
 		}
 		if err := engine.Err(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return outcome, nil
+		return outcome, nil, nil
 	default:
-		return nil, fmt.Errorf("core: unknown method %d", cfg.Method)
+		return nil, nil, fmt.Errorf("core: unknown method %d", cfg.Method)
+	}
+}
+
+// permConfig derives the permutation engine configuration of a normalized
+// Config.
+func (c Config) permConfig(ctx context.Context) permute.Config {
+	return permute.Config{
+		NumPerms:     c.Permutations,
+		Seed:         c.Seed,
+		Opt:          c.Opt,
+		StaticBudget: c.StaticBudget,
+		Workers:      c.Workers,
+		Test:         c.Test,
+		Adaptive:     c.Adaptive,
+		Ctx:          ctx,
+	}
+}
+
+// adaptiveMode maps the configured control to the engine's retirement
+// statistic.
+func (c Config) adaptiveMode() permute.AdaptiveMode {
+	if c.Control == ControlFDR {
+		return permute.AdaptFDR
+	}
+	return permute.AdaptFWER
+}
+
+// runAdaptiveCorrection executes the adaptive permutation schedule on an
+// already-built engine and derives the configured outcome.
+func runAdaptiveCorrection(engine *permute.Engine, cfg Config, rules []mining.Rule) (*correction.Outcome, *PermStats, error) {
+	res, err := engine.RunAdaptive(cfg.adaptiveMode(), cfg.Alpha)
+	if err != nil {
+		return nil, nil, err
+	}
+	outcome, pstats := adaptiveOutcome(cfg, res, rules)
+	return outcome, pstats, nil
+}
+
+// adaptiveOutcome derives one config's correction outcome and telemetry
+// from an adaptive engine result — shared by single runs and batch
+// groups so the two paths cannot diverge.
+func adaptiveOutcome(cfg Config, res *permute.AdaptiveResult, rules []mining.Rule) (*correction.Outcome, *PermStats) {
+	var outcome *correction.Outcome
+	if cfg.Control == ControlFWER {
+		outcome = correction.AdaptivePermFWER(res, rules, cfg.Alpha)
+	} else {
+		outcome = correction.AdaptivePermFDR(res, rules, cfg.Alpha)
+	}
+	return outcome, permStatsOf(cfg, res)
+}
+
+// permStatsOf converts the engine's adaptive result into the user-facing
+// telemetry.
+func permStatsOf(cfg Config, res *permute.AdaptiveResult) *PermStats {
+	return &PermStats{
+		Rounds:       res.Rounds,
+		PermsRun:     res.PermsRun,
+		MaxPerms:     cfg.Adaptive.MaxPerms,
+		RulesRetired: res.RulesRetired,
+		PermsSaved:   res.PermsSaved,
 	}
 }
 

@@ -44,24 +44,39 @@ type ruleKey struct {
 // equal permKeys (differing only in Control/Alpha) share one engine. The
 // significance test is keyed via ruleKey; Workers is absent because
 // engine output is byte-identical for every worker count.
+//
+// Adaptive runs are keyed more finely: the retirement rule consumes the
+// error level and the control (they decide which rules stop being
+// counted), so alpha and control join the key — and perms leaves it,
+// because Adaptive.MaxPerms replaces Permutations as the budget.
 type permKey struct {
-	rule   ruleKey
-	perms  int
-	seed   uint64
-	opt    permute.OptLevel
-	budget int
+	rule     ruleKey
+	perms    int
+	seed     uint64
+	opt      permute.OptLevel
+	budget   int
+	adaptive permute.Adaptive
+	alpha    float64 // zero unless adaptive
+	control  Control // ControlFWER unless adaptive
 }
 
 // permKey derives the engine-sharing key of a normalized permutation
 // config.
 func (c Config) permKey() permKey {
-	return permKey{
+	k := permKey{
 		rule:   c.ruleKey(),
 		perms:  c.Permutations,
 		seed:   c.Seed,
 		opt:    c.Opt,
 		budget: c.StaticBudget,
 	}
+	if c.Adaptive.Enabled() {
+		k.perms = 0
+		k.adaptive = c.Adaptive
+		k.alpha = c.Alpha
+		k.control = c.Control
+	}
+	return k
 }
 
 // storeDiffsets reports whether the mined tree needs Diffset storage under
@@ -232,6 +247,11 @@ type SessionStats struct {
 	// run; corrections are never cached because Method/Control/Alpha/Seed
 	// vary freely across runs).
 	Corrections int64
+	// AdaptiveRuns counts adaptive permutation engine executions, and
+	// PermsSaved accumulates the (rule, permutation) evaluations their
+	// retirement avoided relative to fixed runs of the same budgets.
+	AdaptiveRuns int64
+	PermsSaved   int64
 	// Holdouts counts holdout runs, which bypass the shared stages (they
 	// mine the exploratory half, not the whole dataset).
 	Holdouts int64
@@ -301,9 +321,10 @@ type Session struct {
 	trees *stageCache[treeKey, treeStage]
 	rules *stageCache[ruleKey, ruleStage]
 
-	encodes, mines, scores atomic.Int64
-	treeHits, scoreHits    atomic.Int64
-	corrections, holdouts  atomic.Int64
+	encodes, mines, scores   atomic.Int64
+	treeHits, scoreHits      atomic.Int64
+	corrections, holdouts    atomic.Int64
+	adaptiveRuns, permsSaved atomic.Int64
 }
 
 // NewSession prepares d for repeated mining with the default CacheLimits.
@@ -334,6 +355,8 @@ func (s *Session) Stats() SessionStats {
 		TreeHits:      s.treeHits.Load(),
 		ScoreHits:     s.scoreHits.Load(),
 		Corrections:   s.corrections.Load(),
+		AdaptiveRuns:  s.adaptiveRuns.Load(),
+		PermsSaved:    s.permsSaved.Load(),
 		Holdouts:      s.holdouts.Load(),
 		TreeEvictions: s.trees.idx.Evictions(),
 		RuleEvictions: s.rules.idx.Evictions(),
@@ -455,18 +478,22 @@ func (s *Session) correctWith(ctx context.Context, cfg Config, rs ruleStage) (*R
 		return nil, err
 	}
 	start := time.Now()
-	outcome, err := runCorrection(ctx, cfg, rs.tree.tree, rs.rules)
+	outcome, pstats, err := runCorrection(ctx, cfg, rs.tree.tree, rs.rules)
 	if err != nil {
 		return nil, err
 	}
 	s.corrections.Add(1)
-	return s.assemble(cfg, rs, outcome, time.Since(start)), nil
+	if pstats != nil {
+		s.adaptiveRuns.Add(1)
+		s.permsSaved.Add(pstats.PermsSaved)
+	}
+	return s.assemble(cfg, rs, outcome, pstats, time.Since(start)), nil
 }
 
 // assemble builds the user-facing Result of one corrected run. MineTime
 // reports the cost of the (possibly shared) mine + score stages behind
 // the result; CorrectTime is this run's own correction cost.
-func (s *Session) assemble(cfg Config, rs ruleStage, outcome *correction.Outcome, correctTime time.Duration) *Result {
+func (s *Session) assemble(cfg Config, rs ruleStage, outcome *correction.Outcome, pstats *PermStats, correctTime time.Duration) *Result {
 	res := &Result{
 		Method:      cfg.Method,
 		Control:     cfg.Control,
@@ -478,6 +505,7 @@ func (s *Session) assemble(cfg Config, rs ruleStage, outcome *correction.Outcome
 		Cutoff:      outcome.Cutoff,
 		Tested:      rs.rules,
 		Outcome:     outcome,
+		Perm:        pstats,
 		MineTime:    rs.tree.dur + rs.dur,
 		CorrectTime: correctTime,
 	}
@@ -597,7 +625,10 @@ func (s *Session) RunBatch(ctx context.Context, cfgs []Config) ([]*Result, error
 // sharing saves the label-matrix fill and index construction. Results are
 // byte-identical to per-config engines because the engine is fully
 // determined by (tree, rules, NumPerms, Seed, Opt, StaticBudget, Test)
-// and its walks are deterministic for every worker count.
+// and its walks are deterministic for every worker count. Adaptive groups
+// additionally share one RunAdaptive execution — their permKey pins
+// control and alpha, so every config in the group wants the same
+// schedule.
 func (s *Session) runPermGroup(ctx context.Context, norm []Config, idxs []int, rs ruleStage, results []*Result, errs []error) {
 	fail := func(err error) {
 		for _, i := range idxs {
@@ -610,17 +641,27 @@ func (s *Session) runPermGroup(ctx context.Context, norm []Config, idxs []int, r
 	}
 	cfg0 := norm[idxs[0]]
 	start := time.Now()
-	engine, err := permute.NewEngine(rs.tree.tree, rs.rules, permute.Config{
-		NumPerms:     cfg0.Permutations,
-		Seed:         cfg0.Seed,
-		Opt:          cfg0.Opt,
-		StaticBudget: cfg0.StaticBudget,
-		Workers:      cfg0.Workers,
-		Test:         cfg0.Test,
-		Ctx:          ctx,
-	})
+	engine, err := permute.NewEngine(rs.tree.tree, rs.rules, cfg0.permConfig(ctx))
 	if err != nil {
 		fail(err)
+		return
+	}
+	if cfg0.Adaptive.Enabled() {
+		res, err := engine.RunAdaptive(cfg0.adaptiveMode(), cfg0.Alpha)
+		if err != nil {
+			fail(err)
+			return
+		}
+		engineDur := time.Since(start)
+		s.adaptiveRuns.Add(1)
+		s.permsSaved.Add(res.PermsSaved)
+		for _, i := range idxs {
+			cfg := norm[i]
+			correct := time.Now()
+			outcome, pstats := adaptiveOutcome(cfg, res, rs.rules)
+			s.corrections.Add(1)
+			results[i] = s.assemble(cfg, rs, outcome, pstats, engineDur+time.Since(correct))
+		}
 		return
 	}
 	engineDur := time.Since(start)
@@ -638,6 +679,6 @@ func (s *Session) runPermGroup(ctx context.Context, norm []Config, idxs []int, r
 			continue
 		}
 		s.corrections.Add(1)
-		results[i] = s.assemble(cfg, rs, outcome, engineDur+time.Since(correct))
+		results[i] = s.assemble(cfg, rs, outcome, nil, engineDur+time.Since(correct))
 	}
 }

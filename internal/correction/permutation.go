@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/mining"
 	"repro/internal/permute"
+	"repro/internal/stats"
 )
 
 // PermFWERCutoff derives the FWER-controlling cut-off from the per-
@@ -64,4 +65,88 @@ func PermFDR(engine *permute.Engine, rules []mining.Rule, alpha float64) *Outcom
 	o.Method = "Perm_FDR"
 	o.NumTests = len(rules)
 	return o
+}
+
+// AdaptivePermFWER derives the Westfall–Young FWER outcome of an adaptive
+// permutation run (DESIGN.md §7): the cut-off comes from the executed
+// permutations' live-set min-p distribution via the same order statistic
+// PermFWER uses. When the run retired nothing, the outcome is
+// byte-identical to PermFWER over a fixed run of the same budget.
+func AdaptivePermFWER(res *permute.AdaptiveResult, rules []mining.Rule, alpha float64) *Outcome {
+	cutoff := PermFWERCutoff(res.MinP, alpha)
+	o := &Outcome{Method: "Perm_FWER", Alpha: alpha, NumTests: len(rules), Cutoff: cutoff}
+	if cutoff < 0 {
+		return o
+	}
+	for i := range rules {
+		if rules[i].P <= cutoff {
+			o.Significant = append(o.Significant, i)
+		}
+	}
+	return o
+}
+
+// AdaptivePermFDR derives the pooled empirical FDR outcome of an adaptive
+// run: each rule's adjusted p-value is its pooled exceedance count divided
+// by the pool's actual size (the sum of per-rule sample counts — equal to
+// N·Nt when nothing retired, making the outcome byte-identical to
+// PermFDR), then Benjamini–Hochberg runs on the adjusted values. The run
+// must have executed in AdaptFDR mode — only FDR runs accumulate the
+// pool, and deriving an FDR outcome from an all-zero pool would silently
+// declare everything significant.
+func AdaptivePermFDR(res *permute.AdaptiveResult, rules []mining.Rule, alpha float64) *Outcome {
+	if res.Mode != permute.AdaptFDR {
+		panic("correction: AdaptivePermFDR needs a RunAdaptive(AdaptFDR, ...) result")
+	}
+	den := float64(res.TotalSamples)
+	adj := make([]float64, len(res.PoolLE))
+	for i, c := range res.PoolLE {
+		adj[i] = float64(c) / den
+	}
+	o := BenjaminiHochberg(adj, len(rules), alpha)
+	o.Method = "Perm_FDR"
+	o.NumTests = len(rules)
+	return o
+}
+
+// EmpiricalP returns per-rule empirical p-values from exceedance counts
+// with per-rule sample counts: p̂_i = counts[i]/samples[i]. Rules an
+// adaptive run retired early carry fewer samples than survivors; a zero
+// sample count yields 1 (no evidence either way — the conservative
+// reading). Panics if the slices differ in length.
+func EmpiricalP(counts, samples []int64) []float64 {
+	if len(counts) != len(samples) {
+		panic("correction: EmpiricalP counts/samples length mismatch")
+	}
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		if samples[i] <= 0 {
+			out[i] = 1
+			continue
+		}
+		out[i] = float64(c) / float64(samples[i])
+	}
+	return out
+}
+
+// EmpiricalPUpper returns conservative upper confidence bounds on the
+// per-rule empirical p-values: the Wilson score upper bound at z standard
+// normal units (z = 1.96 for a one-sided 97.5% bound). Use it when acting
+// on a retired rule's coarsely sampled empirical p-value — the bound
+// accounts for how few permutations the estimate rests on. A zero sample
+// count yields 1.
+func EmpiricalPUpper(counts, samples []int64, z float64) []float64 {
+	if len(counts) != len(samples) {
+		panic("correction: EmpiricalPUpper counts/samples length mismatch")
+	}
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		if samples[i] <= 0 {
+			out[i] = 1
+			continue
+		}
+		_, hi := stats.WilsonBounds(c, samples[i], z)
+		out[i] = hi
+	}
+	return out
 }

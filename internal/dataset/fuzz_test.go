@@ -53,3 +53,50 @@ func FuzzCSVRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReadTable targets the CSV reader itself with adversarial inputs —
+// BOMs, quoting, ragged rows, CRLF, embedded newlines — and checks its
+// contract: never panic, and every accepted table is rectangular (any
+// ragged row slipping through would crash NumericColumn and the encoder
+// downstream).
+func FuzzReadTable(f *testing.F) {
+	f.Add("a,b,cls\n1,2,yes\n3,4,no\n")
+	f.Add("\xEF\xBB\xBFa,b,cls\n1,2,yes\n")          // Excel UTF-8 BOM
+	f.Add("a,b,cls\n\"x,y\",2,yes\n")                // quoted comma
+	f.Add("a,b,cls\r\n1,2,yes\r\n3,4,no\r\n")        // CRLF line endings
+	f.Add("a,b,cls\n1,2\n")                          // ragged: too few fields
+	f.Add("a,b,cls\n1,2,yes,extra\n")                // ragged: too many fields
+	f.Add("a,b,cls\n\"unterminated,2,yes\n")         // broken quoting
+	f.Add("")                                        // empty stream
+	f.Add("\xEF\xBB\xBF")                            // BOM only
+	f.Add("\xEF\xBB")                                // truncated BOM
+	f.Add("a,a,a\n?,,?\n")                           // duplicate headers, missing cells
+	f.Add("a,b,cls\n  1,2,yes\n")                    // leading spaces (trimmed)
+	f.Add(strings.Repeat(",", 40) + "\n1,2\n")       // empty header names
+	f.Add("a,b,cls\n1,2,\"multi\nline\"\n3,4,yes\n") // embedded newline
+
+	f.Fuzz(func(t *testing.T, input string) {
+		tab, err := ReadTable(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if tab.Header == nil {
+			t.Fatal("accepted table has nil header")
+		}
+		for i, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Fatalf("accepted row %d has %d fields, header %d", i, len(row), len(tab.Header))
+			}
+		}
+		for c := range tab.Header {
+			tab.NumericColumn(c)
+		}
+		if len(tab.Header) > 0 {
+			if d, err := tab.ToDataset(len(tab.Header) - 1); err == nil {
+				if d.NumRecords() != len(tab.Rows) {
+					t.Fatalf("ToDataset kept %d of %d rows", d.NumRecords(), len(tab.Rows))
+				}
+			}
+		}
+	})
+}

@@ -150,6 +150,13 @@ type Config struct {
 	// changes. armine bench measures both sides to report the word-path
 	// speedup.
 	DisableWordCounting bool
+	// Adaptive, when Adaptive.MaxPerms > 0, switches the engine into
+	// sequential early-stopping mode (DESIGN.md §7): permutations run in
+	// rounds via RunAdaptive, and NumPerms is ignored in favour of
+	// Adaptive.MaxPerms. The fixed-mode methods (MinP, CountLE, PerRuleLE)
+	// still work on an adaptive engine, evaluating the full MaxPerms
+	// matrix.
+	Adaptive Adaptive
 }
 
 func (c Config) withDefaults() Config {
@@ -162,6 +169,29 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// labelBlock holds the materialised label shuffles of the permutation
+// range [lo, hi). Fixed-mode engines build one block covering every
+// permutation; adaptive rounds build one block per round, so memory is
+// bounded by the round length rather than the whole budget. Permutation
+// j's shuffle always derives from (Seed, j) regardless of which block
+// carries it, so block boundaries never change results.
+type labelBlock struct {
+	lo, hi int
+	// permLabels is the transposed label matrix of the block:
+	// permLabels[r*(hi-lo) + (j-lo)] is record r's class under
+	// permutation j. It serves the element-walk path (sparse nodes read
+	// one byte per (record, permutation)).
+	permLabels []int8
+	// labelWords is the packed label matrix serving the word-parallel
+	// path: for permutation j and class c in [1, numClasses), the W =
+	// words uint64s starting at (((j-lo)*(numClasses-1))+(c-1))*words
+	// form a bitmap over records with bit r set iff record r has class c
+	// under permutation j. Class 0 is derived (counts sum to the tid-list
+	// length), which keeps the matrix one class slimmer. nil when word
+	// counting is disabled or there are fewer than two classes.
+	labelWords []uint64
+}
+
 // Engine evaluates rule p-values across permutations of the class labels.
 type Engine struct {
 	tree  *mining.Tree
@@ -170,19 +200,11 @@ type Engine struct {
 
 	n          int
 	numClasses int
-	// permLabels is the transposed permutation label matrix:
-	// permLabels[r*NumPerms + j] is record r's class under permutation j.
-	// It serves the element-walk path (sparse nodes read one byte per
-	// (record, permutation)).
-	permLabels []int8
-	// labelWords is the packed permutation label matrix serving the
-	// word-parallel path: for permutation j and class c in [1, numClasses),
-	// the W = words uint64s starting at ((j*(numClasses-1))+(c-1))*words
-	// form a bitmap over records with bit r set iff record r has class c
-	// under permutation j. Class 0 is derived (counts sum to the tid-list
-	// length), which keeps the matrix one class slimmer. nil when word
-	// counting is disabled or there are fewer than two classes.
-	labelWords []uint64
+	// lab is the fixed-mode label block covering [0, NumPerms); nil until
+	// built (adaptive engines build per-round blocks instead and only
+	// materialise the full block if a fixed-mode method is called).
+	lab     *labelBlock
+	labOnce sync.Once
 	// words is the bitmap width in uint64s: ceil(n / 64).
 	words int
 	// nodeReps[i] is the adaptive set representation of node i's stored
@@ -221,10 +243,16 @@ func shufflePerm(dst, labels []int32, seed uint64, j int) {
 }
 
 // NewEngine prepares a permutation run over the given mined tree and rule
-// set. The rules must have been generated from the same tree. The label
-// permutation matrix (NumRecords × NumPerms bytes) is materialised here.
+// set. The rules must have been generated from the same tree. In fixed
+// mode the label permutation matrix (NumRecords × NumPerms bytes) is
+// materialised here; an adaptive engine (Config.Adaptive.MaxPerms > 0)
+// defers it to the per-round blocks of RunAdaptive.
 func NewEngine(tree *mining.Tree, rules []mining.Rule, cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Adaptive.Enabled() {
+		cfg.Adaptive = cfg.Adaptive.Normalized()
+		cfg.NumPerms = cfg.Adaptive.MaxPerms
+	}
 	if cfg.NumPerms < 1 {
 		return nil, fmt.Errorf("permute: NumPerms must be >= 1, got %d", cfg.NumPerms)
 	}
@@ -242,56 +270,15 @@ func NewEngine(tree *mining.Tree, rules []mining.Rule, cfg Config) (*Engine, err
 		hypergeoms: mining.NewHypergeoms(enc),
 	}
 
-	// Permutation label matrix, transposed for cache-friendly access when
-	// iterating a tid-list across a block of permutations. Workers fill
-	// disjoint permutation (column) ranges concurrently; per-permutation
-	// RNG derivation makes the matrix independent of the worker count.
-	// The packed labelWords matrix for word-parallel counting is filled in
-	// the same pass — each permutation's bitmaps are again a disjoint
-	// range, so no synchronisation is needed.
-	e.permLabels = make([]int8, e.n*cfg.NumPerms)
-	if !cfg.DisableWordCounting && e.numClasses >= 2 {
-		e.labelWords = make([]uint64, cfg.NumPerms*(e.numClasses-1)*e.words)
+	if !cfg.Adaptive.Enabled() {
+		e.lab = e.buildLabels(0, cfg.NumPerms)
 	}
-	genWorkers := cfg.Workers
-	if genWorkers > cfg.NumPerms {
-		genWorkers = cfg.NumPerms
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < genWorkers; w++ {
-		lo := w * cfg.NumPerms / genWorkers
-		hi := (w + 1) * cfg.NumPerms / genWorkers
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			shuffled := make([]int32, e.n)
-			for j := lo; j < hi; j++ {
-				if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
-					return
-				}
-				shufflePerm(shuffled, enc.Labels, cfg.Seed, j)
-				for r := 0; r < e.n; r++ {
-					e.permLabels[r*cfg.NumPerms+j] = int8(shuffled[r])
-				}
-				if e.labelWords != nil {
-					base := j * (e.numClasses - 1) * e.words
-					for r := 0; r < e.n; r++ {
-						if c := shuffled[r]; c > 0 {
-							idx := base + (int(c)-1)*e.words + r>>6
-							e.labelWords[idx] |= 1 << (uint(r) & 63)
-						}
-					}
-				}
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
 	if cfg.Ctx != nil {
 		if err := cfg.Ctx.Err(); err != nil {
 			return nil, err
 		}
 	}
-	if e.labelWords != nil {
+	if e.wordPath() {
 		// Shared word views for dense stored lists; sparse nodes pack
 		// per-worker scratch bitmaps (or walk elements) instead.
 		e.nodeReps = mining.NodeReps(tree, cfg.Workers)
@@ -311,7 +298,89 @@ func NewEngine(tree *mining.Tree, rules []mining.Rule, cfg Config) (*Engine, err
 	return e, nil
 }
 
-// NumPerms returns the configured permutation count.
+// wordPath reports whether the word-parallel counting path is available.
+func (e *Engine) wordPath() bool {
+	return !e.cfg.DisableWordCounting && e.numClasses >= 2
+}
+
+// buildLabels materialises the label block of permutations [lo, hi),
+// transposed for cache-friendly access when iterating a tid-list across a
+// block of permutations. Workers fill disjoint permutation (column)
+// ranges concurrently; per-permutation RNG derivation from (Seed, j) with
+// the ABSOLUTE permutation index j makes the block independent of both
+// the worker count and the block boundaries. The packed labelWords matrix
+// for word-parallel counting is filled in the same pass — each
+// permutation's bitmaps are again a disjoint range, so no synchronisation
+// is needed. A cancelled Ctx aborts the fill; callers must check the
+// context before consuming the (then partial) block.
+func (e *Engine) buildLabels(lo, hi int) *labelBlock {
+	cfg := e.cfg
+	count := hi - lo
+	lab := &labelBlock{lo: lo, hi: hi, permLabels: make([]int8, e.n*count)}
+	if e.wordPath() {
+		lab.labelWords = make([]uint64, count*(e.numClasses-1)*e.words)
+	}
+	genWorkers := cfg.Workers
+	if genWorkers > count {
+		genWorkers = count
+	}
+	labels := e.tree.Enc.Labels
+	var wg sync.WaitGroup
+	for w := 0; w < genWorkers; w++ {
+		wlo := lo + w*count/genWorkers
+		whi := lo + (w+1)*count/genWorkers
+		wg.Add(1)
+		go func(wlo, whi int) {
+			defer wg.Done()
+			shuffled := make([]int32, e.n)
+			for j := wlo; j < whi; j++ {
+				if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+					return
+				}
+				shufflePerm(shuffled, labels, cfg.Seed, j)
+				rel := j - lo
+				for r := 0; r < e.n; r++ {
+					lab.permLabels[r*count+rel] = int8(shuffled[r])
+				}
+				if lab.labelWords != nil {
+					base := rel * (e.numClasses - 1) * e.words
+					for r := 0; r < e.n; r++ {
+						if c := shuffled[r]; c > 0 {
+							idx := base + (int(c)-1)*e.words + r>>6
+							lab.labelWords[idx] |= 1 << (uint(r) & 63)
+						}
+					}
+				}
+			}
+		}(wlo, whi)
+	}
+	wg.Wait()
+	return lab
+}
+
+// fixedLab returns the full-range label block, building it on first use.
+// Fixed-mode engines built it at construction; on an adaptive engine this
+// materialises the whole MaxPerms matrix so the fixed-mode methods stay
+// usable.
+func (e *Engine) fixedLab() *labelBlock {
+	e.labOnce.Do(func() {
+		if e.lab == nil {
+			e.lab = e.buildLabels(0, e.cfg.NumPerms)
+		}
+	})
+	return e.lab
+}
+
+// ctxErr reports the configured context's error, if any.
+func (e *Engine) ctxErr() error {
+	if e.cfg.Ctx != nil {
+		return e.cfg.Ctx.Err()
+	}
+	return nil
+}
+
+// NumPerms returns the configured permutation count (Adaptive.MaxPerms in
+// adaptive mode).
 func (e *Engine) NumPerms() int { return e.cfg.NumPerms }
 
 // Err reports the first cancellation error observed by any run; results
@@ -332,21 +401,30 @@ type visitor interface {
 	visit(ruleIdx int, perm0 int, ps []float64)
 }
 
-// run walks the tree once per worker block, computing per-permutation
-// class counts bottom-up and handing per-rule p-value slices to v's
-// instances. mkVisitor is called once per worker; merge is called with
-// each worker's visitor after all blocks finish.
+// run walks the full fixed-mode permutation range (building the label
+// block on first use).
 func (e *Engine) run(mkVisitor func() visitor, merge func(visitor)) {
-	// Split permutations into one contiguous block per worker.
+	e.runSpan(e.fixedLab(), e.rulesByNode, e.children, mkVisitor, merge)
+}
+
+// runSpan walks the tree once per worker block over the permutations of
+// lab, computing per-permutation class counts bottom-up and handing
+// per-rule p-value slices to v's instances. rulesByNode and children
+// select the (possibly retirement-compacted) rule set and subtree walk.
+// mkVisitor is called once per worker; merge is called with each worker's
+// visitor after all blocks finish, in worker order.
+func (e *Engine) runSpan(lab *labelBlock, rulesByNode, children [][]int32, mkVisitor func() visitor, merge func(visitor)) {
+	// Split the span's permutations into one contiguous block per worker.
+	total := lab.hi - lab.lo
 	workers := e.cfg.Workers
-	if workers > e.cfg.NumPerms {
-		workers = e.cfg.NumPerms
+	if workers > total {
+		workers = total
 	}
 	type block struct{ lo, hi int }
 	blocks := make([]block, 0, workers)
-	per := e.cfg.NumPerms / workers
-	extra := e.cfg.NumPerms % workers
-	lo := 0
+	per := total / workers
+	extra := total % workers
+	lo := lab.lo
 	for w := 0; w < workers; w++ {
 		hi := lo + per
 		if w < extra {
@@ -378,7 +456,7 @@ func (e *Engine) run(mkVisitor func() visitor, merge func(visitor)) {
 		go func(w int) {
 			defer wg.Done()
 			visitors[w] = mkVisitor()
-			e.runBlock(blocks[w].lo, blocks[w].hi, visitors[w])
+			e.runBlock(lab, rulesByNode, children, blocks[w].lo, blocks[w].hi, visitors[w])
 		}(w)
 	}
 	wg.Wait()
@@ -391,15 +469,18 @@ func (e *Engine) run(mkVisitor func() visitor, merge func(visitor)) {
 }
 
 // runBlock processes permutations [perm0, perm1) in one goroutine.
-func (e *Engine) runBlock(perm0, perm1 int, v visitor) {
+func (e *Engine) runBlock(lab *labelBlock, rulesByNode, children [][]int32, perm0, perm1 int, v visitor) {
 	blockLen := perm1 - perm0
 	w := &walker{
-		e:        e,
-		perm0:    perm0,
-		blockLen: blockLen,
-		v:        v,
-		ps:       make([]float64, blockLen),
-		arena:    intset.NewWordArena(e.n),
+		e:           e,
+		lab:         lab,
+		rulesByNode: rulesByNode,
+		children:    children,
+		perm0:       perm0,
+		blockLen:    blockLen,
+		v:           v,
+		ps:          make([]float64, blockLen),
+		arena:       intset.NewWordArena(e.n),
 	}
 	if e.cfg.Test == mining.TestFisher {
 		switch e.cfg.Opt {
@@ -434,14 +515,17 @@ func (e *Engine) newPools(budget int) []*stats.BufferPool {
 
 // walker carries per-worker DFS state.
 type walker struct {
-	e        *Engine
-	perm0    int
-	blockLen int
-	v        visitor
-	pools    []*stats.BufferPool // nil under OptNone
-	ps       []float64           // scratch: one p per permutation in block
-	free     [][]int32           // recycled count buffers
-	arena    *intset.WordArena   // scratch bitmaps for the word path
+	e           *Engine
+	lab         *labelBlock // label block covering [perm0, perm0+blockLen)
+	rulesByNode [][]int32   // rule indices per node (live subset in adaptive rounds)
+	children    [][]int32   // subtree walk (compacted in adaptive rounds)
+	perm0       int
+	blockLen    int
+	v           visitor
+	pools       []*stats.BufferPool // nil under OptNone
+	ps          []float64           // scratch: one p per permutation in block
+	free        [][]int32           // recycled count buffers
+	arena       *intset.WordArena   // scratch bitmaps for the word path
 }
 
 // alloc returns a zeroed counts buffer of numClasses × blockLen.
@@ -488,7 +572,7 @@ func (w *walker) sharedWords(nd *mining.Node) []uint64 {
 // the worker count — never changes results.
 func (w *walker) useWords(nIds int, haveShared bool) bool {
 	e := w.e
-	if e.labelWords == nil {
+	if w.lab.labelWords == nil {
 		return false
 	}
 	wordCost := (e.numClasses - 1) * e.words * w.blockLen
@@ -511,18 +595,20 @@ func (w *walker) useWords(nIds int, haveShared bool) bool {
 func (w *walker) accumulate(counts []int32, ids []uint32, shared []uint64, sign int32) {
 	e := w.e
 	bl := w.blockLen
+	lab := w.lab
 	if !w.useWords(len(ids), shared != nil) {
-		N := e.cfg.NumPerms
+		stride := lab.hi - lab.lo
+		rel := w.perm0 - lab.lo
 		if sign >= 0 {
 			for _, r := range ids {
-				row := e.permLabels[int(r)*N+w.perm0 : int(r)*N+w.perm0+bl]
+				row := lab.permLabels[int(r)*stride+rel : int(r)*stride+rel+bl]
 				for j, c := range row {
 					counts[int(c)*bl+j]++
 				}
 			}
 		} else {
 			for _, r := range ids {
-				row := e.permLabels[int(r)*N+w.perm0 : int(r)*N+w.perm0+bl]
+				row := lab.permLabels[int(r)*stride+rel : int(r)*stride+rel+bl]
 				for j, c := range row {
 					counts[int(c)*bl+j]--
 				}
@@ -538,11 +624,11 @@ func (w *walker) accumulate(counts []int32, ids []uint32, shared []uint64, sign 
 	}
 	C := e.numClasses
 	W := e.words
-	base := (w.perm0) * (C - 1) * W
+	base := (w.perm0 - lab.lo) * (C - 1) * W
 	for j := 0; j < bl; j++ {
 		rest := int32(len(ids))
 		for c := 1; c < C; c++ {
-			k := int32(intset.IntersectCountWords(words, e.labelWords[base:base+W]))
+			k := int32(intset.IntersectCountWords(words, lab.labelWords[base:base+W]))
 			counts[c*bl+j] += sign * k
 			rest -= k
 			base += W
@@ -562,7 +648,7 @@ func (w *walker) node(nd *mining.Node, counts []int32) {
 		return
 	}
 	bl := w.blockLen
-	for _, ri := range w.e.rulesByNode[nd.Index] {
+	for _, ri := range w.rulesByNode[nd.Index] {
 		rule := &w.e.rules[ri]
 		class := int(rule.Class)
 		cvg := rule.Coverage
@@ -589,7 +675,7 @@ func (w *walker) node(nd *mining.Node, counts []int32) {
 		w.v.visit(int(ri), w.perm0, w.ps[:bl])
 	}
 
-	for _, ci := range w.e.children[nd.Index] {
+	for _, ci := range w.children[nd.Index] {
 		child := w.e.tree.Nodes[ci]
 		var childCounts []int32
 		if child.HasDiff() {

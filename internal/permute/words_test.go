@@ -24,10 +24,10 @@ func TestEngineWordVsScalarByteIdentical(t *testing.T) {
 				return e
 			}
 			word, scalar := mk(false), mk(true)
-			if word.labelWords == nil {
+			if word.lab.labelWords == nil {
 				t.Fatalf("opt=%v: word engine has no packed label matrix", opt)
 			}
-			if scalar.labelWords != nil || scalar.nodeReps != nil {
+			if scalar.lab.labelWords != nil || scalar.nodeReps != nil {
 				t.Fatalf("opt=%v: scalar engine still carries word state", opt)
 			}
 			wp, sp := word.MinP(), scalar.MinP()

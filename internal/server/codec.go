@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/permute"
 )
 
 // ConfigJSON is the wire form of a core.Config: enum-valued fields travel
@@ -26,6 +27,17 @@ type ConfigJSON struct {
 	Test              string  `json:"test,omitempty"`
 	RedundancyEpsilon float64 `json:"redundancy_epsilon,omitempty"`
 	HoldoutRandom     bool    `json:"holdout_random,omitempty"`
+	// Adaptive switches permutation runs into sequential early-stopping
+	// mode; max_perms is the permutation budget and must be positive when
+	// the object is present.
+	Adaptive *AdaptiveJSON `json:"adaptive,omitempty"`
+}
+
+// AdaptiveJSON is the wire form of permute.Adaptive.
+type AdaptiveJSON struct {
+	MinPerms    int `json:"min_perms,omitempty"`
+	MaxPerms    int `json:"max_perms"`
+	Exceedances int `json:"exceedances,omitempty"`
 }
 
 // ToConfig decodes the wire form into a core.Config. The method defaults
@@ -58,6 +70,16 @@ func (c ConfigJSON) ToConfig() (core.Config, error) {
 	if cfg.Test, err = core.ParseTest(c.Test); err != nil {
 		return cfg, err
 	}
+	if c.Adaptive != nil {
+		if c.Adaptive.MaxPerms <= 0 {
+			return cfg, fmt.Errorf("adaptive.max_perms must be > 0, got %d", c.Adaptive.MaxPerms)
+		}
+		cfg.Adaptive = permute.Adaptive{
+			MinPerms:    c.Adaptive.MinPerms,
+			MaxPerms:    c.Adaptive.MaxPerms,
+			Exceedances: c.Adaptive.Exceedances,
+		}
+	}
 	return cfg, nil
 }
 
@@ -73,18 +95,30 @@ type RuleJSON struct {
 
 // RunJSON is the wire form of one mining run's result.
 type RunJSON struct {
-	Method         string     `json:"method"`
-	Control        string     `json:"control"`
-	Alpha          float64    `json:"alpha"`
-	MinSup         int        `json:"min_sup"`
-	NumRecords     int        `json:"num_records"`
-	NumPatterns    int        `json:"num_patterns"`
-	NumTested      int        `json:"num_tested"`
-	NumSignificant int        `json:"num_significant"`
-	Cutoff         float64    `json:"cutoff"`
-	MineMillis     float64    `json:"mine_ms"`
-	CorrectMillis  float64    `json:"correct_ms"`
-	Rules          []RuleJSON `json:"rules"`
+	Method         string  `json:"method"`
+	Control        string  `json:"control"`
+	Alpha          float64 `json:"alpha"`
+	MinSup         int     `json:"min_sup"`
+	NumRecords     int     `json:"num_records"`
+	NumPatterns    int     `json:"num_patterns"`
+	NumTested      int     `json:"num_tested"`
+	NumSignificant int     `json:"num_significant"`
+	Cutoff         float64 `json:"cutoff"`
+	MineMillis     float64 `json:"mine_ms"`
+	CorrectMillis  float64 `json:"correct_ms"`
+	// Perm carries the adaptive engine's telemetry; absent for
+	// non-adaptive runs.
+	Perm  *PermStatsJSON `json:"perm,omitempty"`
+	Rules []RuleJSON     `json:"rules"`
+}
+
+// PermStatsJSON is the wire form of core.PermStats.
+type PermStatsJSON struct {
+	Rounds       int   `json:"rounds"`
+	PermsRun     int   `json:"perms_run"`
+	MaxPerms     int   `json:"max_perms"`
+	RulesRetired int   `json:"rules_retired"`
+	PermsSaved   int64 `json:"perms_saved"`
 }
 
 // EncodeRun converts a pipeline result into wire form, truncating the rule
@@ -103,6 +137,15 @@ func EncodeRun(res *core.Result, limit int) RunJSON {
 		MineMillis:     float64(res.MineTime.Microseconds()) / 1e3,
 		CorrectMillis:  float64(res.CorrectTime.Microseconds()) / 1e3,
 		Rules:          []RuleJSON{},
+	}
+	if res.Perm != nil {
+		run.Perm = &PermStatsJSON{
+			Rounds:       res.Perm.Rounds,
+			PermsRun:     res.Perm.PermsRun,
+			MaxPerms:     res.Perm.MaxPerms,
+			RulesRetired: res.Perm.RulesRetired,
+			PermsSaved:   res.Perm.PermsSaved,
+		}
 	}
 	n := len(res.Significant)
 	if limit > 0 && n > limit {
@@ -131,6 +174,8 @@ type StatsJSON struct {
 	TreeHits      int64 `json:"tree_hits"`
 	ScoreHits     int64 `json:"score_hits"`
 	Corrections   int64 `json:"corrections"`
+	AdaptiveRuns  int64 `json:"adaptive_runs"`
+	PermsSaved    int64 `json:"perms_saved"`
 	Holdouts      int64 `json:"holdouts"`
 	TreeEvictions int64 `json:"tree_evictions"`
 	RuleEvictions int64 `json:"rule_evictions"`
@@ -147,6 +192,8 @@ func EncodeStats(st core.SessionStats) StatsJSON {
 		TreeHits:      st.TreeHits,
 		ScoreHits:     st.ScoreHits,
 		Corrections:   st.Corrections,
+		AdaptiveRuns:  st.AdaptiveRuns,
+		PermsSaved:    st.PermsSaved,
 		Holdouts:      st.Holdouts,
 		TreeEvictions: st.TreeEvictions,
 		RuleEvictions: st.RuleEvictions,

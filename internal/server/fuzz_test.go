@@ -1,0 +1,49 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzConfigJSON drives the server wire codec with arbitrary request
+// bodies: decoding plus ToConfig must never panic, and any config the
+// codec accepts must round-trip through the normalization the mining
+// session applies (enum strings parse back, adaptive budgets positive).
+func FuzzConfigJSON(f *testing.F) {
+	f.Add(`{}`)
+	f.Add(`{"min_sup": 30, "method": "direct", "control": "fdr"}`)
+	f.Add(`{"min_sup_frac": 0.05, "method": "permutation", "permutations": 100, "seed": 7}`)
+	f.Add(`{"method": "permutation", "adaptive": {"max_perms": 1000}}`)
+	f.Add(`{"method": "permutation", "adaptive": {"min_perms": 50, "max_perms": 200, "exceedances": -1}}`)
+	f.Add(`{"adaptive": {"max_perms": 0}}`)
+	f.Add(`{"adaptive": {"max_perms": -3}}`)
+	f.Add(`{"method": "holdout", "holdout_random": true}`)
+	f.Add(`{"method": "bogus"}`)
+	f.Add(`{"control": "neither"}`)
+	f.Add(`{"test": "chi2", "redundancy_epsilon": 0.1}`)
+	f.Add(`{"alpha": 1e308, "workers": -5, "max_len": 9999999}`)
+	f.Add(`{"min_sup": -1, "permutations": -100}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`"just a string"`)
+	f.Add(`{"adaptive": null}`)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		var cj ConfigJSON
+		if err := json.Unmarshal([]byte(body), &cj); err != nil {
+			return
+		}
+		cfg, err := cj.ToConfig()
+		if err != nil {
+			return
+		}
+		// Accepted configs must satisfy the invariants ToConfig promises.
+		if cj.Adaptive != nil && !cfg.Adaptive.Enabled() {
+			t.Fatalf("adaptive request body accepted but config disabled: %+v", cj.Adaptive)
+		}
+		if _, err := core.ParseMethod(cfg.Method.String()); err != nil {
+			t.Fatalf("accepted method %v does not round-trip: %v", cfg.Method, err)
+		}
+	})
+}

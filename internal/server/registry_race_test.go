@@ -1,0 +1,107 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/permute"
+	"repro/internal/synth"
+)
+
+// TestRegistryConcurrentPreloadEvictMine hammers one capacity-2 registry
+// with concurrent preloads (Register), evictions (Register past capacity
+// plus explicit Remove) and adaptive mining runs resolved through Get —
+// the serving daemon's steady state. Run under -race (CI always does):
+// the assertions are that nothing panics, in-flight sessions survive
+// their own eviction, and every successful mine returns a well-formed
+// result.
+func TestRegistryConcurrentPreloadEvictMine(t *testing.T) {
+	const names = 5
+	datasets := make([]*synth.Result, names)
+	for i := range datasets {
+		p := synth.PaperDefaults()
+		p.N = 120
+		p.Attrs = 5
+		p.Seed = uint64(100 + i)
+		res, err := synth.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		datasets[i] = res
+	}
+	name := func(i int) string { return fmt.Sprintf("d%d", i%names) }
+
+	reg := NewRegistry(2, core.CacheLimits{})
+	cfg := core.Config{
+		MinSup: 12,
+		Method: core.MethodPermutation,
+		Seed:   7,
+		Adaptive: permute.Adaptive{
+			MinPerms: 8,
+			MaxPerms: 32,
+		},
+	}
+
+	var wg sync.WaitGroup
+	const iters = 30
+
+	// Preloaders: keep re-registering datasets, forcing LRU evictions.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				idx := (w + i) % names
+				if _, err := reg.Register(name(idx), datasets[idx].Data); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Evictors: remove names outright.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			reg.Remove(name(i))
+			reg.Names()
+			reg.Len()
+		}
+	}()
+	// Miners: resolve a session and run an adaptive config; a session may
+	// be evicted mid-run and must still complete.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters/3; i++ {
+				sess, ok := reg.Get(name(w + i))
+				if !ok {
+					continue
+				}
+				res, err := sess.RunContext(context.Background(), cfg)
+				if err != nil {
+					t.Errorf("miner %d: %v", w, err)
+					return
+				}
+				if res.Perm == nil || res.Perm.MaxPerms != 32 {
+					t.Errorf("miner %d: missing adaptive telemetry: %+v", w, res.Perm)
+					return
+				}
+				if res.NumTested < 0 || res.Outcome == nil {
+					t.Errorf("miner %d: malformed result", w)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if reg.Len() > reg.Capacity() {
+		t.Errorf("registry holds %d sessions, capacity %d", reg.Len(), reg.Capacity())
+	}
+}

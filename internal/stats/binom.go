@@ -1,0 +1,30 @@
+package stats
+
+import "math"
+
+// WilsonBounds returns the Wilson score confidence interval [lo, hi] for a
+// binomial proportion with count successes in n trials, at z standard
+// normal units (z = 1.96 for a 95% two-sided interval; larger z widens
+// the interval). Unlike the Wald interval, the Wilson interval stays
+// informative at count 0 and count n, which is exactly where sequential
+// permutation testing consults it. n <= 0 returns the vacuous [0, 1].
+func WilsonBounds(count, n int64, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	p := float64(count) / float64(n)
+	nf := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := (p + z2/(2*nf)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = center - half
+	if lo < 0 {
+		lo = 0
+	}
+	hi = center + half
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
