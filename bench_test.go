@@ -10,8 +10,13 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
+	"repro/internal/benchio"
+	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/mining"
+	"repro/internal/permute"
 )
 
 // benchOptions returns deterministic, benchmark-sized experiment options.
@@ -355,6 +360,100 @@ func BenchmarkSessionBatch(b *testing.B) {
 			sink = res
 		}
 	})
+}
+
+// TestWordPathNotSlowerAtOptNone guards the one cell where the PR 4 word
+// path used to lose to the element walk (word_speedup ≈ 1.0 at opt=none):
+// the blocked kernel must serve opt=none at least as fast as the scalar
+// ablation. Timing assertions are inherently noisy, so both sides keep
+// the minimum of several runs and the word path gets a 15% grace margin —
+// a real regression to the old behaviour shows up as a ratio near or
+// above 1, far outside it.
+func TestWordPathNotSlowerAtOptNone(t *testing.T) {
+	p := SyntheticDefaults()
+	p.N = 1000
+	p.Attrs = 15
+	p.Seed = 5
+	res, err := Synthetic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := dataset.Encode(res.Data)
+	tree, err := mining.MineClosed(enc, mining.Options{MinSup: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := mining.GenerateRules(tree, mining.RuleOptions{Policy: mining.PaperPolicy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time1 := func(disableWords bool) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 5; i++ {
+			e, err := permute.NewEngine(tree, rules, permute.Config{
+				NumPerms: 30, Seed: 3, Opt: permute.OptNone, Workers: 1,
+				DisableWordCounting: disableWords,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			start := time.Now()
+			sink = e.MinP()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	time1(false) // warm caches before either timed side
+	word, scalar := time1(false), time1(true)
+	if float64(word) > float64(scalar)*1.15 {
+		t.Fatalf("opt=none word path %v slower than scalar %v (ratio %.2f, want <= 1.15)",
+			word, scalar, float64(word)/float64(scalar))
+	}
+	t.Logf("opt=none: word %v, scalar %v (ratio %.2f)", word, scalar, float64(word)/float64(scalar))
+}
+
+// TestBenchPr6Baseline keeps the committed benchmark trajectory honest:
+// BENCH_pr6.json must pass the regression gate against BENCH_pr5.json,
+// and the headline claims of the blocked-kernel PR — ≥3x ns/op and ≥10x
+// fewer allocations at the buffered 10k-permutation cell — must hold
+// between the two committed files. Both were recorded on the same
+// machine (same-file comparison is skipped otherwise, mirroring armine
+// bench's environment check).
+func TestBenchPr6Baseline(t *testing.T) {
+	pr5, err := benchio.ReadFile("BENCH_pr5.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr6, err := benchio.ReadFile("BENCH_pr6.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := benchio.Compare(pr5, pr6, 0.20); len(regs) != 0 {
+		t.Fatalf("BENCH_pr6.json regresses vs BENCH_pr5.json: %v", regs)
+	}
+	if pr5.GOOS != pr6.GOOS || pr5.GOARCH != pr6.GOARCH || pr5.CPUs != pr6.CPUs {
+		t.Skip("baselines recorded on different environments; ratio claims not comparable")
+	}
+	find := func(rep *benchio.Report) *benchio.Entry {
+		for i := range rep.Entries {
+			e := &rep.Entries[i]
+			if e.Opt == "static" && e.Workers == 1 && e.Perms == 10000 {
+				return e
+			}
+		}
+		t.Fatal("static/1/10000 cell missing")
+		return nil
+	}
+	was, now := find(pr5), find(pr6)
+	if speedup := float64(was.NsPerOp) / float64(now.NsPerOp); speedup < 3 {
+		t.Errorf("static/10k ns/op speedup vs pr5 = %.2fx, want >= 3x", speedup)
+	}
+	if was.AllocsPerOp < 10*now.AllocsPerOp {
+		t.Errorf("static/10k allocs/op %d -> %d, want >= 10x reduction",
+			was.AllocsPerOp, now.AllocsPerOp)
+	}
 }
 
 // Extension ablations (beyond the paper's figures).

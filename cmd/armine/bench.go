@@ -51,8 +51,8 @@ func newBenchFlags(stderr io.Writer) *benchFlags {
 		alpha:     fs.Float64("alpha", 0.05, "error level the adaptive cells stop against"),
 		rev:       fs.String("rev", "dev", "revision label recorded in the report and default output name"),
 		out:       fs.String("out", "", "output path (default BENCH_<rev>.json)"),
-		baseline:  fs.String("baseline", "", "BENCH json to compare against; >tolerance relative regressions fail the run"),
-		tolerance: fs.Float64("tolerance", 0.20, "allowed relative-speedup drop vs -baseline"),
+		baseline:  fs.String("baseline", "", "BENCH json to compare against; >tolerance speedup drops or allocs/op growth fail the run"),
+		tolerance: fs.Float64("tolerance", 0.20, "allowed relative-speedup drop and relative allocs/op growth vs -baseline"),
 	}
 }
 

@@ -12,7 +12,8 @@
 // ablation. Absolute ns/op is machine-dependent; the regression gate
 // (Compare) therefore checks the machine-independent ratios — speedup
 // versus the "none" level and the word-path speedup — rather than raw
-// times.
+// times, plus the allocation count per op, which is deterministic on a
+// given build and so gated directly (relative growth, like the ratios).
 package benchio
 
 import (
@@ -368,7 +369,7 @@ type Regression struct {
 	Opt     string
 	Workers int
 	Perms   int
-	Metric  string // "speedup_vs_none", "word_speedup" or "adaptive_speedup"
+	Metric  string // "speedup_vs_none", "word_speedup", "adaptive_vs_none" or "allocs_per_op"
 	Base    float64
 	Now     float64
 }
@@ -378,12 +379,25 @@ func (r Regression) String() string {
 		r.Dataset, r.Opt, r.Workers, r.Perms, r.Metric, r.Base, r.Now)
 }
 
+// allocsSlack is the absolute headroom the allocs_per_op gate grants on
+// top of the relative tolerance: tiny baselines (a few dozen allocations)
+// would otherwise flag single-object noise as a regression.
+const allocsSlack = 64
+
 // Compare checks cur against base cell by cell and returns the cells that
-// regressed by more than tolerance (e.g. 0.20 = 20%). Only the relative
-// metrics are gated — speedup_vs_none, word_speedup and adaptive_speedup
-// — because raw ns/op is not comparable across machines; cells present
-// in only one report are ignored (the matrix may legitimately grow or
-// shrink).
+// regressed by more than tolerance (e.g. 0.20 = 20%). Relative metrics
+// are gated because raw ns/op is not comparable across machines:
+// speedup_vs_none, word_speedup, and the adaptive path as
+// adaptive_vs_none — the adaptive run's speedup over the same run's
+// "none" cell (speedup_vs_none × adaptive_speedup). The raw
+// adaptive_speedup ratio is deliberately not gated: its denominator is
+// the same cell's fixed pass, so any improvement to fixed counting
+// shrinks the ratio even when the adaptive run itself got faster.
+// allocs_per_op is gated on growth (it is a property of the build, not
+// the machine): a cell regresses when its allocation count exceeds the
+// baseline's by more than the tolerance fraction plus a small absolute
+// slack. Cells present in only one report are ignored (the matrix may
+// legitimately grow or shrink).
 func Compare(base, cur *Report, tolerance float64) []Regression {
 	baseBy := make(map[cellKey]Entry, len(base.Entries))
 	for _, e := range base.Entries {
@@ -395,17 +409,24 @@ func Compare(base, cur *Report, tolerance float64) []Regression {
 		if !ok {
 			continue
 		}
+		reg := func(metric string, was, now float64) {
+			regs = append(regs, Regression{
+				Dataset: e.Dataset, Opt: e.Opt, Workers: e.Workers, Perms: e.Perms,
+				Metric: metric, Base: was, Now: now,
+			})
+		}
 		check := func(metric string, was, now float64) {
 			if was > 0 && now > 0 && now < was*(1-tolerance) {
-				regs = append(regs, Regression{
-					Dataset: e.Dataset, Opt: e.Opt, Workers: e.Workers, Perms: e.Perms,
-					Metric: metric, Base: was, Now: now,
-				})
+				reg(metric, was, now)
 			}
 		}
 		check("speedup_vs_none", b.SpeedupVsNone, e.SpeedupVsNone)
 		check("word_speedup", b.WordSpeedup, e.WordSpeedup)
-		check("adaptive_speedup", b.AdaptiveSpeedup, e.AdaptiveSpeedup)
+		check("adaptive_vs_none", b.SpeedupVsNone*b.AdaptiveSpeedup, e.SpeedupVsNone*e.AdaptiveSpeedup)
+		if b.AllocsPerOp > 0 &&
+			float64(e.AllocsPerOp) > float64(b.AllocsPerOp)*(1+tolerance)+allocsSlack {
+			reg("allocs_per_op", float64(b.AllocsPerOp), float64(e.AllocsPerOp))
+		}
 	}
 	return regs
 }

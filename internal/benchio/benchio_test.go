@@ -117,3 +117,62 @@ func TestCompareFlagsRelativeRegressions(t *testing.T) {
 		t.Fatalf("unmatched cell flagged: %v", regs)
 	}
 }
+
+func TestCompareGatesAdaptiveVsNone(t *testing.T) {
+	mk := func(speedup, adaptive float64) *Report {
+		return &Report{
+			SchemaVersion: SchemaVersion,
+			Entries: []Entry{
+				{Dataset: "d", Opt: "static", Workers: 1, Perms: 10000,
+					NsPerOp: 100, SpeedupVsNone: speedup, AdaptiveSpeedup: adaptive},
+			},
+		}
+	}
+	// The PR 6 shape: the fixed pass gets 3x faster, so the raw
+	// adaptive_speedup ratio halves — but the adaptive run's own speedup
+	// over "none" grew (10×4=40 -> 30×2=60). Not a regression.
+	base := mk(10, 4)
+	if regs := Compare(base, mk(30, 2), 0.20); len(regs) != 0 {
+		t.Fatalf("faster fixed pass flagged as adaptive regression: %v", regs)
+	}
+	// A genuinely slower adaptive path (same fixed ladder, ratio halved)
+	// is flagged, as adaptive_vs_none.
+	regs := Compare(base, mk(10, 2), 0.20)
+	if len(regs) != 1 || regs[0].Metric != "adaptive_vs_none" {
+		t.Fatalf("halved adaptive path not flagged correctly: %v", regs)
+	}
+}
+
+func TestCompareFlagsAllocGrowth(t *testing.T) {
+	mk := func(allocs uint64) *Report {
+		return &Report{
+			SchemaVersion: SchemaVersion,
+			Entries: []Entry{
+				{Dataset: "d", Opt: "static", Workers: 1, Perms: 100,
+					NsPerOp: 100, AllocsPerOp: allocs, SpeedupVsNone: 10},
+			},
+		}
+	}
+	base := mk(1000)
+
+	// Growth within tolerance + slack passes; beyond it regresses.
+	if regs := Compare(base, mk(1100), 0.20); len(regs) != 0 {
+		t.Fatalf("within-tolerance alloc growth flagged: %v", regs)
+	}
+	regs := Compare(base, mk(2000), 0.20)
+	if len(regs) != 1 || regs[0].Metric != "allocs_per_op" {
+		t.Fatalf("doubled allocs not flagged correctly: %v", regs)
+	}
+	// Shrinking is never a regression (it is the point of this PR), and
+	// tiny baselines get absolute slack so single-object noise passes.
+	if regs := Compare(base, mk(100), 0.20); len(regs) != 0 {
+		t.Fatalf("alloc reduction flagged: %v", regs)
+	}
+	small := mk(10)
+	if regs := Compare(small, mk(70), 0.20); len(regs) != 0 {
+		t.Fatalf("slack-covered growth on a tiny baseline flagged: %v", regs)
+	}
+	if regs := Compare(small, mk(100), 0.20); len(regs) != 1 {
+		t.Fatalf("beyond-slack growth on a tiny baseline not flagged: %v", regs)
+	}
+}

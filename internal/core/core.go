@@ -169,9 +169,18 @@ type Config struct {
 	Seed uint64
 	// Opt is the permutation optimisation level (default OptStaticBuffer,
 	// i.e. everything on). Orthogonally to the level, the engine counts
-	// class supports word-parallel (packed label bitmaps + popcount;
-	// DESIGN.md §3) — an exact acceleration active at every level.
+	// class supports with the blocked word-parallel kernel (striped label
+	// bitmaps + popcount; DESIGN.md §8) — an exact acceleration active at
+	// every level.
 	Opt permute.OptLevel
+	// DisableWordCounting and DisableBlockedCounting are ablation knobs
+	// forwarded to the permutation engine (permute.Config): the first
+	// falls back to element-by-element label counting, the second drops
+	// the blocked kernel's stripe width to one permutation per pass.
+	// Results are byte-identical either way — only the cost changes.
+	// armine bench flips them to report the word and blocking speedups.
+	DisableWordCounting    bool
+	DisableBlockedCounting bool
 	// OptSet marks Opt as explicitly set (lets callers request OptNone,
 	// which is otherwise indistinguishable from "unset").
 	OptSet bool
@@ -382,14 +391,16 @@ func runCorrection(ctx context.Context, cfg Config, tree *mining.Tree, rules []m
 // Config.
 func (c Config) permConfig(ctx context.Context) permute.Config {
 	return permute.Config{
-		NumPerms:     c.Permutations,
-		Seed:         c.Seed,
-		Opt:          c.Opt,
-		StaticBudget: c.StaticBudget,
-		Workers:      c.Workers,
-		Test:         c.Test,
-		Adaptive:     c.Adaptive,
-		Ctx:          ctx,
+		NumPerms:               c.Permutations,
+		Seed:                   c.Seed,
+		Opt:                    c.Opt,
+		StaticBudget:           c.StaticBudget,
+		Workers:                c.Workers,
+		Test:                   c.Test,
+		DisableWordCounting:    c.DisableWordCounting,
+		DisableBlockedCounting: c.DisableBlockedCounting,
+		Adaptive:               c.Adaptive,
+		Ctx:                    ctx,
 	}
 }
 

@@ -58,17 +58,24 @@ type permKey struct {
 	adaptive permute.Adaptive
 	alpha    float64 // zero unless adaptive
 	control  Control // ControlFWER unless adaptive
+	// The counting ablation knobs never change results, but they select
+	// different engine internals (striped vs element label matrices), so
+	// configs that flip them must not share an engine — a shared engine
+	// would silently ignore one config's requested counting path.
+	noWords, noBlocks bool
 }
 
 // permKey derives the engine-sharing key of a normalized permutation
 // config.
 func (c Config) permKey() permKey {
 	k := permKey{
-		rule:   c.ruleKey(),
-		perms:  c.Permutations,
-		seed:   c.Seed,
-		opt:    c.Opt,
-		budget: c.StaticBudget,
+		rule:     c.ruleKey(),
+		perms:    c.Permutations,
+		seed:     c.Seed,
+		opt:      c.Opt,
+		budget:   c.StaticBudget,
+		noWords:  c.DisableWordCounting,
+		noBlocks: c.DisableBlockedCounting,
 	}
 	if c.Adaptive.Enabled() {
 		k.perms = 0

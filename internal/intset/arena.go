@@ -1,0 +1,115 @@
+package intset
+
+import "fmt"
+
+// Arena is a typed bump allocator with LIFO checkpoint/rewind semantics,
+// built for recursive walks that need per-level scratch: take a Checkpoint
+// before descending, Alloc freely inside the subtree, Rewind on the way
+// back up, and the same chunked backing memory serves every level — the
+// steady state allocates nothing. The permutation engine's walkers own one
+// arena each for count tiles and child-count buffers (DESIGN.md §8).
+//
+// Checkpoints are strictly LIFO. Rewind validates the discipline and
+// panics on misuse (a double rewind, a rewind that skips an inner
+// checkpoint, or a mark from a different arena) rather than silently
+// handing out memory that is still live.
+//
+// An Arena is not synchronized; give each goroutine its own.
+type Arena[T any] struct {
+	chunks   [][]T
+	ci       int // index of the chunk currently allocated from (-1 = none)
+	off      int // allocation offset within chunks[ci]
+	depth    int // number of outstanding checkpoints
+	chunkLen int
+}
+
+// Mark is an arena position returned by Checkpoint and consumed by Rewind.
+type Mark struct {
+	ci, off, depth int
+}
+
+// NewArena returns an empty arena whose backing chunks hold at least
+// chunkLen elements each (larger single allocations get their own chunk).
+func NewArena[T any](chunkLen int) *Arena[T] {
+	if chunkLen < 1 {
+		chunkLen = 1024
+	}
+	return &Arena[T]{ci: -1, chunkLen: chunkLen}
+}
+
+// Alloc returns a slice of n elements carved from the arena. The contents
+// are unspecified (previously rewound memory is reused as-is); use
+// AllocZero when the caller needs zeroed memory. The slice is valid until
+// the enclosing checkpoint is rewound or Reset is called.
+func (a *Arena[T]) Alloc(n int) []T {
+	if n < 0 {
+		panic(fmt.Sprintf("intset: Arena.Alloc: negative length %d", n))
+	}
+	if n == 0 {
+		return nil
+	}
+	if a.ci < 0 || n > len(a.chunks[a.ci])-a.off {
+		a.advance(n)
+	}
+	s := a.chunks[a.ci][a.off : a.off+n : a.off+n]
+	a.off += n
+	return s
+}
+
+// AllocZero is Alloc with the returned slice cleared.
+func (a *Arena[T]) AllocZero(n int) []T {
+	s := a.Alloc(n)
+	clear(s)
+	return s
+}
+
+// advance moves allocation to the next chunk, growing the chunk list (or
+// widening an existing too-small chunk) so that n elements fit.
+func (a *Arena[T]) advance(n int) {
+	a.ci++
+	a.off = 0
+	want := a.chunkLen
+	if n > want {
+		want = n
+	}
+	if a.ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]T, want))
+	} else if len(a.chunks[a.ci]) < n {
+		a.chunks[a.ci] = make([]T, want)
+	}
+}
+
+// Checkpoint records the current allocation point. Every Checkpoint must
+// be matched by exactly one Rewind, in LIFO order.
+func (a *Arena[T]) Checkpoint() Mark {
+	a.depth++
+	return Mark{ci: a.ci, off: a.off, depth: a.depth}
+}
+
+// Rewind releases every allocation made since the matching Checkpoint.
+// The mark must be the most recent outstanding checkpoint: rewinding one
+// mark twice, or an outer mark while an inner checkpoint is outstanding,
+// panics.
+func (a *Arena[T]) Rewind(m Mark) {
+	if m.depth != a.depth {
+		panic(fmt.Sprintf(
+			"intset: Arena.Rewind: mark depth %d does not match arena depth %d (double rewind, or rewind past an outstanding inner checkpoint)",
+			m.depth, a.depth))
+	}
+	if m.ci > a.ci || (m.ci == a.ci && m.off > a.off) {
+		panic("intset: Arena.Rewind: mark lies past the arena's current allocation point (mark from another arena?)")
+	}
+	a.ci, a.off = m.ci, m.off
+	a.depth--
+}
+
+// Reset releases every allocation and forgets all checkpoints; the backing
+// chunks are retained for reuse.
+func (a *Arena[T]) Reset() {
+	a.ci = -1
+	a.off = 0
+	a.depth = 0
+}
+
+// Depth returns the number of outstanding checkpoints.
+func (a *Arena[T]) Depth() int { return a.depth }

@@ -1,0 +1,145 @@
+package intset
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestArenaAllocAndRewind(t *testing.T) {
+	a := NewArena[int32](8) // tiny chunks force multi-chunk paths
+	outer := a.Checkpoint()
+	s1 := a.AllocZero(5)
+	for i := range s1 {
+		s1[i] = int32(i + 1)
+	}
+	inner := a.Checkpoint()
+	s2 := a.AllocZero(20) // larger than a chunk: gets its own
+	s2[19] = 7
+	a.Rewind(inner)
+	// s1 must be untouched by the inner allocation and rewind.
+	for i := range s1 {
+		if s1[i] != int32(i+1) {
+			t.Fatalf("s1[%d] = %d after inner rewind, want %d", i, s1[i], i+1)
+		}
+	}
+	// Memory handed out after a rewind reuses the rewound chunks.
+	s3 := a.Alloc(20)
+	if &s3[0] != &s2[0] {
+		t.Error("arena did not reuse rewound memory")
+	}
+	a.Rewind(outer)
+	if a.Depth() != 0 {
+		t.Fatalf("depth = %d after matching rewinds, want 0", a.Depth())
+	}
+}
+
+func TestArenaAllocZeroClearsReusedMemory(t *testing.T) {
+	a := NewArena[int32](64)
+	m := a.Checkpoint()
+	s := a.Alloc(10)
+	for i := range s {
+		s[i] = -1
+	}
+	a.Rewind(m)
+	m = a.Checkpoint()
+	for i, v := range a.AllocZero(10) {
+		if v != 0 {
+			t.Fatalf("AllocZero[%d] = %d on reused memory, want 0", i, v)
+		}
+	}
+	a.Rewind(m)
+}
+
+func TestArenaSteadyStateZeroAllocs(t *testing.T) {
+	a := NewArena[int32](1024)
+	// Warm the chunks once, then the checkpoint/alloc/rewind cycle must be
+	// allocation-free.
+	warm := func() {
+		m := a.Checkpoint()
+		a.AllocZero(100)
+		inner := a.Checkpoint()
+		a.Alloc(900)
+		a.Rewind(inner)
+		a.Alloc(200)
+		a.Rewind(m)
+	}
+	warm()
+	if allocs := testing.AllocsPerRun(50, warm); allocs != 0 {
+		t.Fatalf("steady-state arena cycle allocates %.1f times, want 0", allocs)
+	}
+}
+
+// mustPanic runs fn and returns the recovered panic message, failing the
+// test if fn does not panic.
+func mustPanic(t *testing.T, fn func()) string {
+	t.Helper()
+	defer func() { _ = recover() }()
+	msg := func() (m string) {
+		defer func() {
+			if r := recover(); r != nil {
+				m = r.(string)
+			}
+		}()
+		fn()
+		t.Fatal("expected panic, got none")
+		return ""
+	}()
+	return msg
+}
+
+// TestArenaRewindMisusePanics is the regression test for checkpoint/rewind
+// misuse: a double rewind and a rewind that skips an outstanding inner
+// checkpoint must both panic with a message naming the problem, and a
+// foreign mark past the allocation point must be rejected too.
+func TestArenaRewindMisusePanics(t *testing.T) {
+	t.Run("double-rewind", func(t *testing.T) {
+		a := NewArena[int32](64)
+		m := a.Checkpoint()
+		a.Alloc(10)
+		a.Rewind(m)
+		msg := mustPanic(t, func() { a.Rewind(m) })
+		if !strings.Contains(msg, "double rewind") {
+			t.Fatalf("double-rewind panic message %q does not name the misuse", msg)
+		}
+	})
+	t.Run("rewind-past-inner-checkpoint", func(t *testing.T) {
+		a := NewArena[int32](64)
+		outer := a.Checkpoint()
+		a.Alloc(5)
+		a.Checkpoint() // inner, deliberately left outstanding
+		msg := mustPanic(t, func() { a.Rewind(outer) })
+		if !strings.Contains(msg, "depth") {
+			t.Fatalf("out-of-order panic message %q does not mention depth", msg)
+		}
+	})
+	t.Run("mark-past-allocation-point", func(t *testing.T) {
+		a := NewArena[int32](64)
+		a.Checkpoint()
+		a.Alloc(50)
+		fwd := a.Checkpoint() // deeper mark...
+		a.Alloc(30)
+		a.Rewind(fwd)
+		a.Reset() // ...invalidated wholesale
+		a.Checkpoint()
+		forged := Mark{ci: 5, off: 0, depth: 1}
+		msg := mustPanic(t, func() { a.Rewind(forged) })
+		if !strings.Contains(msg, "past the arena") {
+			t.Fatalf("forged-mark panic message %q does not name the misuse", msg)
+		}
+	})
+}
+
+func TestArenaResetReusesChunks(t *testing.T) {
+	a := NewArena[uint64](32)
+	m := a.Checkpoint()
+	first := a.Alloc(16)
+	a.Rewind(m)
+	a.Reset()
+	again := a.Alloc(16)
+	if &again[0] != &first[0] {
+		t.Error("Reset did not retain backing chunks")
+	}
+	if a.Depth() != 0 {
+		t.Fatalf("Depth after Reset = %d, want 0", a.Depth())
+	}
+}

@@ -8,12 +8,13 @@
 // membership probes instead of merge loops.
 //
 // The word-level layer (Words, SetWords/ClearWords, IntersectCountWords,
-// WordArena) underpins the permutation engine's word-parallel counting: a
-// tid-list packed into a []uint64 bitmap intersect-counts against another
-// bitmap at 64 elements per AND+popcount instead of one element per merge
-// step. WordArena recycles fixed-width scratch bitmaps so the packing
-// itself stays allocation-free on hot paths, and dense Reps expose their
-// existing bitset words directly (the zero-build fast path).
+// and the striped NonzeroWords/IntersectCountStripes family) underpins the
+// permutation engine's word-parallel counting: a tid-list packed into a
+// []uint64 bitmap intersect-counts against another bitmap at 64 elements
+// per AND+popcount instead of one element per merge step, and the striped
+// forms count a whole block of permutations per pass over the tid words.
+// Arena is a generic bump allocator with checkpoint/rewind, so recursive
+// walks reuse scratch instead of reallocating it.
 //
 // All slice-based functions require their inputs to be strictly increasing;
 // they never modify their inputs and allocate only when documented.
@@ -318,42 +319,6 @@ func IntersectCountWords(a, b []uint64) int {
 	return n
 }
 
-// WordArena recycles fixed-width []uint64 scratch bitmaps over one
-// universe. Get hands out an all-zero bitmap; Put takes it back together
-// with the ids that were set in it, clearing exactly those bits — so a
-// Get/SetWords/.../Put cycle costs O(len(ids)), never O(universe), after
-// the first allocation. A WordArena is not synchronized; give each worker
-// its own.
-type WordArena struct {
-	width int
-	free  [][]uint64
-}
-
-// NewWordArena returns an arena of bitmaps sized for a universe of n
-// elements.
-func NewWordArena(n int) *WordArena { return &WordArena{width: Words(n)} }
-
-// Width returns the word length of the arena's bitmaps.
-func (a *WordArena) Width() int { return a.width }
-
-// Get returns an all-zero bitmap of Width() words.
-func (a *WordArena) Get() []uint64 {
-	if n := len(a.free); n > 0 {
-		ws := a.free[n-1]
-		a.free = a.free[:n-1]
-		return ws
-	}
-	return make([]uint64, a.width)
-}
-
-// Put recycles ws after clearing the bits listed in ids. ids must be
-// exactly the ids whose bits are set in ws (the slice passed to SetWords);
-// anything else corrupts later Gets.
-func (a *WordArena) Put(ws []uint64, ids []uint32) {
-	ClearWords(ws, ids)
-	a.free = append(a.free, ws)
-}
-
 // denseShift sets the adaptive density cut-off: a tid-set covering at
 // least universe>>denseShift records (≥ 1/8 of the universe) gets a bitset
 // alongside its sorted slice. Below that, the bitset's memory (universe/8
@@ -415,7 +380,7 @@ func (r *Rep) Intersect(a []uint32) []uint32 {
 // Words is the zero-build fast path into word-parallel counting: it
 // returns the Rep's backing bitmap when the Rep is dense (treat as
 // read-only), or nil when only the sorted slice exists and callers must
-// pack a scratch bitmap (e.g. via a WordArena) themselves.
+// pack a bitmap (e.g. via SetWords) themselves.
 func (r *Rep) Words() []uint64 {
 	if r.bits == nil {
 		return nil

@@ -1,0 +1,17 @@
+package intset
+
+// useAsmKernel gates the AVX-512 striped kernels in stripes_amd64.s. It is
+// a variable (not a const) so tests can force the pure-Go fallback on
+// machines that have the instructions.
+var useAsmKernel = hasAVX512Popcnt()
+
+// hasAVX512Popcnt reports whether the CPU and OS support the kernels'
+// instruction set: AVX2, AVX512F, AVX512VPOPCNTDQ, and zmm register state
+// enabled in XCR0.
+func hasAVX512Popcnt() bool
+
+//go:noescape
+func intersectCountStripes8Asm(k *[8]int32, idx *int32, n int, word *uint64, stripes *uint64)
+
+//go:noescape
+func countStripes2Asm(dst0, dst1, base0, base1 *int32, ln int32, idx *int32, nIdx int, word *uint64, stripes *uint64, ntiles, strideWords int)

@@ -1,0 +1,197 @@
+// AVX-512 forms of the striped counting primitives (DESIGN.md §8). A
+// stripe tile interleaves the same bitmap word of 8 consecutive
+// permutations, so one 512-bit lane holds exactly one tile row: VPANDQ +
+// VPOPCNTQ count all 8 lanes of a tid word in two instructions. Guarded
+// at runtime by hasAVX512Popcnt (AVX2 + AVX512F + AVX512VPOPCNTDQ + OS
+// zmm state); the pure-Go forms in stripes.go remain the fallback and
+// the oracle.
+
+#include "textflag.h"
+
+// func hasAVX512Popcnt() bool
+TEXT ·hasAVX512Popcnt(SB), NOSPLIT, $0-1
+	// Max basic CPUID leaf must reach 7.
+	MOVL $0, AX
+	CPUID
+	CMPL AX, $7
+	JL   no
+
+	// Leaf 1 ECX: OSXSAVE (bit 27) and AVX (bit 28).
+	MOVL  $1, AX
+	MOVL  $0, CX
+	CPUID
+	MOVL  CX, DI
+	ANDL  $0x18000000, DI
+	CMPL  DI, $0x18000000
+	JNE   no
+
+	// XCR0: SSE+AVX state (bits 1-2) and opmask+zmm state (bits 5-7).
+	MOVL   $0, CX
+	XGETBV
+	ANDL   $0xe6, AX
+	CMPL   AX, $0xe6
+	JNE    no
+
+	// Leaf 7 subleaf 0: EBX AVX2 (bit 5) + AVX512F (bit 16),
+	// ECX AVX512VPOPCNTDQ (bit 14).
+	MOVL  $7, AX
+	MOVL  $0, CX
+	CPUID
+	MOVL  BX, DI
+	ANDL  $0x10020, DI
+	CMPL  DI, $0x10020
+	JNE   no
+	TESTL $0x4000, CX
+	JZ    no
+
+	MOVB $1, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func intersectCountStripes8Asm(k *[8]int32, idx *int32, n int, word *uint64, stripes *uint64)
+//
+// Z0/Z5 accumulate the 8 lane counts as int64 (two chains to hide the
+// popcount latency); the epilogue narrows to int32 (counts are bounded by
+// the universe size) and adds into *k.
+TEXT ·intersectCountStripes8Asm(SB), NOSPLIT, $0-40
+	MOVQ   k+0(FP), DI
+	MOVQ   idx+8(FP), SI
+	MOVQ   n+16(FP), CX
+	MOVQ   word+24(FP), R8
+	MOVQ   stripes+32(FP), R9
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z5, Z5, Z5
+
+pair:
+	CMPQ         CX, $2
+	JL           tail
+	MOVLQSX      (SI), AX
+	MOVLQSX      4(SI), BX
+	SHLQ         $6, AX               // idx[t] * 8 lanes * 8 bytes
+	SHLQ         $6, BX
+	VPBROADCASTQ (R8), Z1
+	VPANDQ       (R9)(AX*1), Z1, Z1
+	VPOPCNTQ     Z1, Z1
+	VPADDQ       Z1, Z0, Z0
+	VPBROADCASTQ 8(R8), Z2
+	VPANDQ       (R9)(BX*1), Z2, Z2
+	VPOPCNTQ     Z2, Z2
+	VPADDQ       Z2, Z5, Z5
+	ADDQ         $8, SI
+	ADDQ         $16, R8
+	SUBQ         $2, CX
+	JMP          pair
+
+tail:
+	TESTQ        CX, CX
+	JZ           done
+	MOVLQSX      (SI), AX
+	SHLQ         $6, AX
+	VPBROADCASTQ (R8), Z1
+	VPANDQ       (R9)(AX*1), Z1, Z1
+	VPOPCNTQ     Z1, Z1
+	VPADDQ       Z1, Z0, Z0
+
+done:
+	VPADDQ     Z5, Z0, Z0
+	VPMOVQD    Z0, Y0
+	VMOVDQU    (DI), Y1
+	VPADDD     Y0, Y1, Y1
+	VMOVDQU    Y1, (DI)
+	VZEROUPPER
+	RET
+
+// func countStripes2Asm(dst0, dst1, base0, base1 *int32, ln int32, idx *int32, nIdx int, word *uint64, stripes *uint64, ntiles, strideWords int)
+//
+// Fused binary-class node kernel: for each of ntiles consecutive tiles,
+// intersect-count the sparse words against the tile's class-1 plane
+// (Z0/Z5 dual accumulator chains, two words per iteration) and write both
+// derived class rows (see CountStripesBinary). Y4 holds ln broadcast
+// across lanes.
+TEXT ·countStripes2Asm(SB), NOSPLIT, $0-88
+	MOVQ         dst0+0(FP), DI
+	MOVQ         dst1+8(FP), R10
+	MOVQ         base0+16(FP), R11
+	MOVQ         base1+24(FP), R12
+	MOVL         ln+32(FP), AX
+	MOVQ         AX, X4
+	VPBROADCASTD X4, Y4
+	MOVQ         stripes+64(FP), R9
+	MOVQ         ntiles+72(FP), R13
+	MOVQ         strideWords+80(FP), R14
+	SHLQ         $3, R14              // stride in bytes
+
+tile:
+	TESTQ  R13, R13
+	JZ     end
+	MOVQ   idx+40(FP), SI
+	MOVQ   word+56(FP), R8
+	MOVQ   nIdx+48(FP), CX
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z5, Z5, Z5
+
+words:
+	CMPQ         CX, $2
+	JL           wtail
+	MOVLQSX      (SI), AX
+	MOVLQSX      4(SI), BX
+	SHLQ         $6, AX
+	SHLQ         $6, BX
+	VPBROADCASTQ (R8), Z1
+	VPANDQ       (R9)(AX*1), Z1, Z1
+	VPOPCNTQ     Z1, Z1
+	VPADDQ       Z1, Z0, Z0
+	VPBROADCASTQ 8(R8), Z2
+	VPANDQ       (R9)(BX*1), Z2, Z2
+	VPOPCNTQ     Z2, Z2
+	VPADDQ       Z2, Z5, Z5
+	ADDQ         $8, SI
+	ADDQ         $16, R8
+	SUBQ         $2, CX
+	JMP          words
+
+wtail:
+	TESTQ        CX, CX
+	JZ           rows
+	MOVLQSX      (SI), AX
+	SHLQ         $6, AX
+	VPBROADCASTQ (R8), Z1
+	VPANDQ       (R9)(AX*1), Z1, Z1
+	VPOPCNTQ     Z1, Z1
+	VPADDQ       Z1, Z0, Z0
+
+rows:
+	VPADDQ  Z5, Z0, Z0
+	VPMOVQD Z0, Y0        // k_1, 8 x int32
+	VPSUBD  Y0, Y4, Y1    // k_0 = ln - k_1
+	TESTQ   R12, R12
+	JZ      fresh
+
+	// Diffset write-back: dst_c = base_c - k_c.
+	VMOVDQU (R12), Y2
+	VPSUBD  Y0, Y2, Y2
+	VMOVDQU Y2, (R10)
+	VMOVDQU (R11), Y3
+	VPSUBD  Y1, Y3, Y3
+	VMOVDQU Y3, (DI)
+	ADDQ    $32, R11
+	ADDQ    $32, R12
+	JMP     next
+
+fresh:
+	VMOVDQU Y0, (R10)
+	VMOVDQU Y1, (DI)
+
+next:
+	ADDQ $32, DI
+	ADDQ $32, R10
+	ADDQ R14, R9
+	DECQ R13
+	JMP  tile
+
+end:
+	VZEROUPPER
+	RET

@@ -1,0 +1,17 @@
+package intset
+
+import "testing"
+
+// TestStripedKernelGoFallback re-runs the striped-kernel oracle suites
+// with the AVX-512 kernel forced off, so amd64 runs also cover the
+// pure-Go forms every other architecture depends on. useAsmKernel is only
+// flipped here, serially, before any parallel subtests exist.
+func TestStripedKernelGoFallback(t *testing.T) {
+	if !useAsmKernel {
+		t.Skip("asm kernel unavailable; the Go path is already what every test runs")
+	}
+	useAsmKernel = false
+	defer func() { useAsmKernel = true }()
+	t.Run("stripes8", TestIntersectCountStripesOracle)
+	t.Run("binary", TestCountStripesBinaryOracle)
+}

@@ -1,0 +1,15 @@
+//go:build !amd64
+
+package intset
+
+// useAsmKernel is false off amd64: the pure-Go striped kernels are the
+// only implementation, and the stubs below are never reached.
+const useAsmKernel = false
+
+func intersectCountStripes8Asm(k *[8]int32, idx *int32, n int, word *uint64, stripes *uint64) {
+	panic("intset: no asm kernel on this architecture")
+}
+
+func countStripes2Asm(dst0, dst1, base0, base1 *int32, ln int32, idx *int32, nIdx int, word *uint64, stripes *uint64, ntiles, strideWords int) {
+	panic("intset: no asm kernel on this architecture")
+}

@@ -109,27 +109,6 @@ func TestSetClearWordsRoundTrip(t *testing.T) {
 	}
 }
 
-func TestWordArenaRecycles(t *testing.T) {
-	a := NewWordArena(100)
-	if a.Width() != Words(100) {
-		t.Fatalf("Width = %d, want %d", a.Width(), Words(100))
-	}
-	ws := a.Get()
-	ids := []uint32{0, 1, 63, 64, 99}
-	SetWords(ws, ids)
-	a.Put(ws, ids)
-	// The recycled buffer must come back zeroed.
-	ws2 := a.Get()
-	if &ws2[0] != &ws[0] {
-		t.Error("arena did not recycle the buffer")
-	}
-	for i, w := range ws2 {
-		if w != 0 {
-			t.Fatalf("recycled word %d = %#x, want 0", i, w)
-		}
-	}
-}
-
 func TestRepWordsFastPath(t *testing.T) {
 	n := 300
 	dense := fullIds(n)[:n/2]      // 150/300: dense, carries a bitset

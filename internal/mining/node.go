@@ -13,11 +13,7 @@
 package mining
 
 import (
-	"runtime"
-	"sync"
-
 	"repro/internal/dataset"
-	"repro/internal/intset"
 )
 
 // Node is one closed frequent pattern in the set-enumeration tree.
@@ -102,42 +98,6 @@ func (t *Tree) NumPatterns() int {
 		n--
 	}
 	return n
-}
-
-// NodeReps builds one adaptive set representation per tree node, indexed
-// by Node.Index, each wrapping the node's stored list (StoredIds). Dense
-// nodes additionally carry a bitset, giving the permutation engine a
-// shared, zero-build word view (intset.Rep.Words) for word-parallel
-// AND+popcount counting; sparse nodes wrap only the slice, so the memory
-// overhead is bounded by the dense nodes' bitmaps (at most ~1/4 of the
-// tid storage, by the density cut-off). The Reps are immutable and safe
-// to share across engine workers.
-//
-// Construction parallelises over nodes with at most workers goroutines
-// (<= 0 means GOMAXPROCS).
-func NodeReps(t *Tree, workers int) []*intset.Rep {
-	n := t.Enc.NumRecords
-	reps := make([]*intset.Rep, len(t.Nodes))
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(t.Nodes) {
-		workers = len(t.Nodes)
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * len(t.Nodes) / workers
-		hi := (w + 1) * len(t.Nodes) / workers
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				reps[i] = intset.NewRep(n, t.Nodes[i].StoredIds())
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	return reps
 }
 
 // CountClasses returns the per-class record counts of tids under labels.

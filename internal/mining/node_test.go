@@ -4,11 +4,10 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
-	"repro/internal/intset"
 	"repro/internal/synth"
 )
 
-func TestStoredIdsAndNodeReps(t *testing.T) {
+func TestStoredIds(t *testing.T) {
 	p := synth.PaperDefaults()
 	p.N = 300
 	p.Attrs = 8
@@ -37,31 +36,5 @@ func TestStoredIdsAndNodeReps(t *testing.T) {
 	}
 	if !sawDiff {
 		t.Fatal("test tree has no Diffset nodes; raise N or lower MinSup")
-	}
-
-	for _, workers := range []int{1, 4} {
-		reps := NodeReps(tree, workers)
-		if len(reps) != len(tree.Nodes) {
-			t.Fatalf("workers=%d: %d reps for %d nodes", workers, len(reps), len(tree.Nodes))
-		}
-		for i, r := range reps {
-			stored := tree.Nodes[i].StoredIds()
-			if r.Len() != len(stored) {
-				t.Fatalf("workers=%d node %d: rep len %d, stored len %d", workers, i, r.Len(), len(stored))
-			}
-			if ws := r.Words(); ws != nil {
-				// The word view must agree with the slice it wraps.
-				self := make([]uint64, intset.Words(enc.NumRecords))
-				intset.SetWords(self, stored)
-				if got := intset.IntersectCountWords(ws, self); got != len(stored) {
-					t.Fatalf("node %d: word view popcount %d, want %d", i, got, len(stored))
-				}
-			}
-		}
-	}
-
-	// The root is fully dense and must take the shared-word fast path.
-	if NodeReps(tree, 1)[tree.Root.Index].Words() == nil {
-		t.Error("root Rep has no word view despite full density")
 	}
 }

@@ -379,18 +379,21 @@ func (e *Engine) retireRules(mode AdaptiveMode, alpha float64, kmax int64, maxPe
 // the per-round DFS — and the packed tid-word views it consults — only
 // touches the live part of the tree. Nodes without live rules of their own
 // but with live descendants stay as Diffset bridges.
-func (e *Engine) compactLive(live []bool) (rulesByNode, children [][]int32) {
+func (e *Engine) compactLive(live []bool) (rulesByNode, children *adjacency) {
 	n := len(e.tree.Nodes)
-	rulesByNode = make([][]int32, n)
 	alive := make([]bool, n)
 	for ri := range e.rules {
-		if !live[ri] {
-			continue
+		if live[ri] {
+			alive[e.rules[ri].Node.Index] = true
 		}
-		idx := e.rules[ri].Node.Index
-		rulesByNode[idx] = append(rulesByNode[idx], int32(ri))
-		alive[idx] = true
 	}
+	rulesByNode = newAdjacency(n, func(add func(row int, val int32)) {
+		for ri := range e.rules {
+			if live[ri] {
+				add(e.rules[ri].Node.Index, int32(ri))
+			}
+		}
+	})
 	// Nodes are in DFS pre-order (children after parents), so a reverse
 	// sweep propagates liveness up to the root.
 	for i := n - 1; i >= 0; i-- {
@@ -398,12 +401,13 @@ func (e *Engine) compactLive(live []bool) (rulesByNode, children [][]int32) {
 			alive[e.tree.Nodes[i].Parent.Index] = true
 		}
 	}
-	children = make([][]int32, n)
-	for _, nd := range e.tree.Nodes {
-		if nd.Parent != nil && alive[nd.Index] {
-			children[nd.Parent.Index] = append(children[nd.Parent.Index], int32(nd.Index))
+	children = newAdjacency(n, func(add func(row int, val int32)) {
+		for _, nd := range e.tree.Nodes {
+			if nd.Parent != nil && alive[nd.Index] {
+				add(nd.Parent.Index, int32(nd.Index))
+			}
 		}
-	}
+	})
 	return rulesByNode, children
 }
 

@@ -14,15 +14,17 @@
 //     Fisher p-values, served from a byte-budgeted static buffer plus a
 //     one-slot dynamic buffer, shared across rules and permutations.
 //
-// On top of the paper's ladder the engine counts word-parallel (DESIGN.md
-// §3): permuted class labels are packed into per-permutation []uint64
-// bitmaps, so a rule's class count under a permutation is
-// popcount(tidWords & labelWords) — 64 records per AND+popcount — instead
-// of an element-by-element label walk. Dense nodes reuse shared word views
-// (mining.NodeReps); sparse ones pack a pooled scratch bitmap or fall back
-// to the element walk when the list is too short to pay for it. The word
-// and element paths produce identical integer counts, so results stay
-// byte-identical at every optimisation level and worker count.
+// On top of the paper's ladder the engine counts with a blocked,
+// allocation-free word-parallel kernel (DESIGN.md §8): permuted labels are
+// packed into a striped bitmap matrix that interleaves the same bitmap
+// word of eight consecutive permutations, and each node's stored tid-list
+// — materialised once, at engine construction, in sparse word form — is
+// AND+popcounted against eight permutations per pass over its words. All
+// per-node scratch (count tiles, child-count buffers) lives in per-worker
+// arenas with checkpoint/rewind, so the steady-state walk never touches
+// the allocator. The blocked, unblocked (stripe width 1) and element-walk
+// paths produce identical integer counts, so results stay byte-identical
+// at every optimisation level and worker count.
 package permute
 
 import (
@@ -150,6 +152,14 @@ type Config struct {
 	// changes. armine bench measures both sides to report the word-path
 	// speedup.
 	DisableWordCounting bool
+	// DisableBlockedCounting drops the blocked kernel's stripe width from
+	// stripeWidth to 1, so the label matrix degenerates to one bitmap per
+	// permutation (the PR 4 word layout) and each pass over a node's tid
+	// words counts a single permutation. A second ablation knob — it
+	// measures what the blocking itself buys on top of word counting.
+	// Results are byte-identical either way. Ignored when word counting
+	// is disabled.
+	DisableBlockedCounting bool
 	// Adaptive, when Adaptive.MaxPerms > 0, switches the engine into
 	// sequential early-stopping mode (DESIGN.md §7): permutations run in
 	// rounds via RunAdaptive, and NumPerms is ignored in favour of
@@ -169,6 +179,12 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// stripeWidth is the blocked kernel's stripe width: the number of
+// consecutive permutations whose label bitmaps interleave word by word,
+// and hence the number of permutations counted per pass over a node's tid
+// words. Eight int32 lane accumulators fit comfortably in registers.
+const stripeWidth = 8
+
 // labelBlock holds the materialised label shuffles of the permutation
 // range [lo, hi). Fixed-mode engines build one block covering every
 // permutation; adaptive rounds build one block per round, so memory is
@@ -177,19 +193,71 @@ func (c Config) withDefaults() Config {
 // carries it, so block boundaries never change results.
 type labelBlock struct {
 	lo, hi int
+	// stripeS is the stripe width of the packed matrix: stripeWidth, or 1
+	// under the DisableBlockedCounting ablation.
+	stripeS int
 	// permLabels is the transposed label matrix of the block:
 	// permLabels[r*(hi-lo) + (j-lo)] is record r's class under
-	// permutation j. It serves the element-walk path (sparse nodes read
-	// one byte per (record, permutation)).
+	// permutation j. It serves the element-walk path and is only built
+	// when word counting is off (the word path never reads labels
+	// element-wise).
 	permLabels []int8
-	// labelWords is the packed label matrix serving the word-parallel
-	// path: for permutation j and class c in [1, numClasses), the W =
-	// words uint64s starting at (((j-lo)*(numClasses-1))+(c-1))*words
-	// form a bitmap over records with bit r set iff record r has class c
-	// under permutation j. Class 0 is derived (counts sum to the tid-list
-	// length), which keeps the matrix one class slimmer. nil when word
-	// counting is disabled or there are fewer than two classes.
-	labelWords []uint64
+	// stripes is the striped packed label matrix serving the blocked
+	// word-parallel path. Permutations are grouped into tiles of stripeS
+	// consecutive indices; for tile t, class c in [1, numClasses) and
+	// bitmap word i in [0, words), the stripeS words starting at
+	//
+	//	((t*(numClasses-1) + (c-1))*words + i) * stripeS
+	//
+	// hold word i of the class-c bitmaps of the tile's permutations, one
+	// per stripe lane — so the kernel reads lane-adjacent words for eight
+	// permutations at once. Class 0 is derived (counts across classes sum
+	// to the tid-list length), keeping the matrix one class slimmer. nil
+	// when word counting is disabled or there are fewer than two classes.
+	stripes []uint64
+}
+
+// adjacency is a compact CSR mapping from tree-node index to an int32 list
+// (rule indices, or child node indices). Two flat slabs replace the
+// per-node slices the engine used to allocate.
+type adjacency struct {
+	off  []int32 // len(nodes)+1 prefix offsets into list
+	list []int32
+}
+
+// row returns node i's list.
+func (a *adjacency) row(i int) []int32 { return a.list[a.off[i]:a.off[i+1]] }
+
+// newAdjacency builds a CSR adjacency with n rows from the (row, value)
+// pairs produced by emit. emit is called twice — once to size the rows,
+// once to fill them — and must produce the same pairs, in the same order,
+// both times.
+func newAdjacency(n int, emit func(add func(row int, val int32))) *adjacency {
+	off := make([]int32, n+1)
+	emit(func(row int, _ int32) { off[row+1]++ })
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	list := make([]int32, off[n])
+	next := append([]int32(nil), off[:n]...)
+	emit(func(row int, val int32) {
+		list[next[row]] = val
+		next[row]++
+	})
+	return &adjacency{off: off, list: list}
+}
+
+// nodeWords is the engine-wide sparse word form of every node's stored
+// list, materialised once at construction (killing the per-visit tid-list
+// repacking of earlier revisions): node i's occupied bitmap words are
+// idx[off[i]:off[i+1]] with their 64-bit contents in the matching word
+// range. Memory is bounded by the total stored-id count (at most one
+// entry per id), and the flat slabs cost a constant number of
+// allocations. Immutable after construction, shared by all workers.
+type nodeWords struct {
+	off  []int32
+	idx  []int32
+	word []uint64
 }
 
 // Engine evaluates rule p-values across permutations of the class labels.
@@ -207,15 +275,24 @@ type Engine struct {
 	labOnce sync.Once
 	// words is the bitmap width in uint64s: ceil(n / 64).
 	words int
-	// nodeReps[i] is the adaptive set representation of node i's stored
-	// list; dense nodes carry shared word views the walkers use without
-	// packing scratch bitmaps. nil when word counting is disabled.
-	nodeReps []*intset.Rep
-	// rulesByNode[i] lists the indices (into rules) of the rules whose LHS
-	// is tree node i.
-	rulesByNode [][]int32
-	children    [][]int32
+	// stripeS is the engine's stripe width (stripeWidth, or 1 under the
+	// DisableBlockedCounting ablation); worker block boundaries align to
+	// it so no stripe tile straddles two workers.
+	stripeS int
+	// nw is the per-node sparse word view feeding the blocked kernel;
+	// nil when word counting is disabled.
+	nw *nodeWords
+	// rulesByNode maps tree node index -> indices (into rules) of the
+	// rules whose LHS is that node; children is the subtree adjacency.
+	rulesByNode *adjacency
+	children    *adjacency
 	hypergeoms  []*stats.Hypergeom
+
+	// stFree caches per-worker scratch states across runs and adaptive
+	// rounds, so repeated walks reuse arenas, buffer pools and batch
+	// slices instead of rebuilding them.
+	stMu   sync.Mutex
+	stFree []*workerState
 
 	stop   atomic.Bool           // set when cfg.Ctx is cancelled mid-run
 	runErr atomic.Pointer[error] // sticky: first cancellation error observed
@@ -237,16 +314,27 @@ const permStreamBase = 0x9e3779b97f4a7c15
 
 // shufflePerm fills dst with labels shuffled under permutation j's RNG.
 func shufflePerm(dst, labels []int32, seed uint64, j int) {
+	src := rand.NewPCG(0, 0)
+	shufflePermInto(dst, labels, src, rand.New(src), seed, j)
+}
+
+// shufflePermInto is shufflePerm with the RNG supplied by the caller so a
+// worker generating many permutations reuses one PCG and one Rand:
+// re-seeding the PCG to (seed, permStreamBase+j) reproduces the exact
+// stream a freshly constructed rand.New(rand.NewPCG(...)) would produce —
+// rand.Rand is a stateless wrapper around its source — so the shuffles
+// stay byte-identical to shufflePerm's.
+func shufflePermInto(dst, labels []int32, src *rand.PCG, rng *rand.Rand, seed uint64, j int) {
+	src.Seed(seed, permStreamBase+uint64(j))
 	copy(dst, labels)
-	rng := rand.New(rand.NewPCG(seed, permStreamBase+uint64(j)))
 	rng.Shuffle(len(dst), func(a, b int) { dst[a], dst[b] = dst[b], dst[a] })
 }
 
 // NewEngine prepares a permutation run over the given mined tree and rule
 // set. The rules must have been generated from the same tree. In fixed
-// mode the label permutation matrix (NumRecords × NumPerms bytes) is
-// materialised here; an adaptive engine (Config.Adaptive.MaxPerms > 0)
-// defers it to the per-round blocks of RunAdaptive.
+// mode the packed label permutation matrix is materialised here; an
+// adaptive engine (Config.Adaptive.MaxPerms > 0) defers it to the
+// per-round blocks of RunAdaptive.
 func NewEngine(tree *mining.Tree, rules []mining.Rule, cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Adaptive.Enabled() {
@@ -267,7 +355,11 @@ func NewEngine(tree *mining.Tree, rules []mining.Rule, cfg Config) (*Engine, err
 		n:          enc.NumRecords,
 		numClasses: enc.NumClasses,
 		words:      intset.Words(enc.NumRecords),
+		stripeS:    stripeWidth,
 		hypergeoms: mining.NewHypergeoms(enc),
+	}
+	if cfg.DisableBlockedCounting {
+		e.stripeS = 1
 	}
 
 	if !cfg.Adaptive.Enabled() {
@@ -279,22 +371,22 @@ func NewEngine(tree *mining.Tree, rules []mining.Rule, cfg Config) (*Engine, err
 		}
 	}
 	if e.wordPath() {
-		// Shared word views for dense stored lists; sparse nodes pack
-		// per-worker scratch bitmaps (or walk elements) instead.
-		e.nodeReps = mining.NodeReps(tree, cfg.Workers)
+		e.nw = buildNodeWords(tree, cfg.Workers)
 	}
 
-	e.rulesByNode = make([][]int32, len(tree.Nodes))
-	for ri := range rules {
-		idx := rules[ri].Node.Index
-		e.rulesByNode[idx] = append(e.rulesByNode[idx], int32(ri))
-	}
-	e.children = make([][]int32, len(tree.Nodes))
-	for _, node := range tree.Nodes {
-		if node.Parent != nil {
-			e.children[node.Parent.Index] = append(e.children[node.Parent.Index], int32(node.Index))
+	nNodes := len(tree.Nodes)
+	e.rulesByNode = newAdjacency(nNodes, func(add func(row int, val int32)) {
+		for ri := range rules {
+			add(rules[ri].Node.Index, int32(ri))
 		}
-	}
+	})
+	e.children = newAdjacency(nNodes, func(add func(row int, val int32)) {
+		for _, node := range tree.Nodes {
+			if node.Parent != nil {
+				add(node.Parent.Index, int32(node.Index))
+			}
+		}
+	})
 	return e, nil
 }
 
@@ -303,56 +395,140 @@ func (e *Engine) wordPath() bool {
 	return !e.cfg.DisableWordCounting && e.numClasses >= 2
 }
 
-// buildLabels materialises the label block of permutations [lo, hi),
-// transposed for cache-friendly access when iterating a tid-list across a
-// block of permutations. Workers fill disjoint permutation (column)
-// ranges concurrently; per-permutation RNG derivation from (Seed, j) with
-// the ABSOLUTE permutation index j makes the block independent of both
-// the worker count and the block boundaries. The packed labelWords matrix
-// for word-parallel counting is filled in the same pass — each
-// permutation's bitmaps are again a disjoint range, so no synchronisation
-// is needed. A cancelled Ctx aborts the fill; callers must check the
+// buildNodeWords materialises every node's stored list in sparse word
+// form, parallelising over node ranges with at most workers goroutines.
+func buildNodeWords(tree *mining.Tree, workers int) *nodeWords {
+	nodes := tree.Nodes
+	nw := &nodeWords{off: make([]int32, len(nodes)+1)}
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	forRanges := func(fn func(i int)) {
+		for w := 0; w < workers; w++ {
+			lo := w * len(nodes) / workers
+			hi := (w + 1) * len(nodes) / workers
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	forRanges(func(i int) {
+		nw.off[i+1] = int32(intset.NonzeroWords(nodes[i].StoredIds()))
+	})
+	for i := 0; i < len(nodes); i++ {
+		nw.off[i+1] += nw.off[i]
+	}
+	total := int(nw.off[len(nodes)])
+	nw.idx = make([]int32, total)
+	nw.word = make([]uint64, total)
+	forRanges(func(i int) {
+		o, p := nw.off[i], nw.off[i+1]
+		intset.FillNonzeroWords(nw.idx[o:p], nw.word[o:p], nodes[i].StoredIds())
+	})
+	return nw
+}
+
+// tileBlocks splits the permutations [lo, hi) into at most workers
+// contiguous blocks whose boundaries fall on stripe-tile multiples of S
+// (relative to lo), so no stripe tile straddles two workers — the label
+// generators would race on a shared tile's words, and the blocked kernel
+// assumes whole tiles. Only the final block may end mid-tile. The split
+// never affects results: every permutation derives from its absolute
+// index.
+func tileBlocks(lo, hi, workers, S int) [][2]int {
+	tiles := (hi - lo + S - 1) / S
+	if workers > tiles {
+		workers = tiles
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	blocks := make([][2]int, 0, workers)
+	per, extra := tiles/workers, tiles%workers
+	t0 := 0
+	for w := 0; w < workers; w++ {
+		t1 := t0 + per
+		if w < extra {
+			t1++
+		}
+		bhi := lo + t1*S
+		if bhi > hi {
+			bhi = hi
+		}
+		blocks = append(blocks, [2]int{lo + t0*S, bhi})
+		t0 = t1
+	}
+	return blocks
+}
+
+// buildLabels materialises the label block of permutations [lo, hi).
+// Workers fill disjoint tile-aligned permutation ranges concurrently;
+// per-permutation RNG derivation from (Seed, j) with the ABSOLUTE
+// permutation index j makes the block independent of both the worker
+// count and the block boundaries. On the word path only the striped
+// bitmap matrix is built (the blocked kernel never reads labels
+// element-wise); the scalar path builds the transposed element matrix
+// instead. A cancelled Ctx aborts the fill; callers must check the
 // context before consuming the (then partial) block.
 func (e *Engine) buildLabels(lo, hi int) *labelBlock {
 	cfg := e.cfg
 	count := hi - lo
-	lab := &labelBlock{lo: lo, hi: hi, permLabels: make([]int8, e.n*count)}
-	if e.wordPath() {
-		lab.labelWords = make([]uint64, count*(e.numClasses-1)*e.words)
-	}
-	genWorkers := cfg.Workers
-	if genWorkers > count {
-		genWorkers = count
+	S := e.stripeS
+	lab := &labelBlock{lo: lo, hi: hi, stripeS: S}
+	wordPath := e.wordPath()
+	if wordPath {
+		tiles := (count + S - 1) / S
+		lab.stripes = make([]uint64, tiles*(e.numClasses-1)*e.words*S)
+	} else {
+		lab.permLabels = make([]int8, e.n*count)
 	}
 	labels := e.tree.Enc.Labels
+	tileStride := (e.numClasses - 1) * e.words * S
 	var wg sync.WaitGroup
-	for w := 0; w < genWorkers; w++ {
-		wlo := lo + w*count/genWorkers
-		whi := lo + (w+1)*count/genWorkers
+	for _, b := range tileBlocks(lo, hi, cfg.Workers, S) {
 		wg.Add(1)
 		go func(wlo, whi int) {
 			defer wg.Done()
+			src := rand.NewPCG(0, 0)
+			rng := rand.New(src)
 			shuffled := make([]int32, e.n)
 			for j := wlo; j < whi; j++ {
 				if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
 					return
 				}
-				shufflePerm(shuffled, labels, cfg.Seed, j)
+				shufflePermInto(shuffled, labels, src, rng, cfg.Seed, j)
 				rel := j - lo
-				for r := 0; r < e.n; r++ {
-					lab.permLabels[r*count+rel] = int8(shuffled[r])
-				}
-				if lab.labelWords != nil {
-					base := rel * (e.numClasses - 1) * e.words
-					for r := 0; r < e.n; r++ {
-						if c := shuffled[r]; c > 0 {
-							idx := base + (int(c)-1)*e.words + r>>6
-							lab.labelWords[idx] |= 1 << (uint(r) & 63)
+				if wordPath {
+					base := (rel/S)*tileStride + rel%S
+					if e.numClasses == 2 {
+						// Binary labels scatter branchlessly: c is 0 or
+						// 1, and a zero label contributes no bit.
+						for r, c := range shuffled {
+							lab.stripes[base+(r>>6)*S] |= uint64(c) << (uint(r) & 63)
 						}
+					} else {
+						for r, c := range shuffled {
+							if c > 0 {
+								lab.stripes[base+((int(c)-1)*e.words+r>>6)*S] |= 1 << (uint(r) & 63)
+							}
+						}
+					}
+				} else {
+					for r := 0; r < e.n; r++ {
+						lab.permLabels[r*count+rel] = int8(shuffled[r])
 					}
 				}
 			}
-		}(wlo, whi)
+		}(b[0], b[1])
 	}
 	wg.Wait()
 	return lab
@@ -413,26 +589,10 @@ func (e *Engine) run(mkVisitor func() visitor, merge func(visitor)) {
 // select the (possibly retirement-compacted) rule set and subtree walk.
 // mkVisitor is called once per worker; merge is called with each worker's
 // visitor after all blocks finish, in worker order.
-func (e *Engine) runSpan(lab *labelBlock, rulesByNode, children [][]int32, mkVisitor func() visitor, merge func(visitor)) {
-	// Split the span's permutations into one contiguous block per worker.
-	total := lab.hi - lab.lo
-	workers := e.cfg.Workers
-	if workers > total {
-		workers = total
-	}
-	type block struct{ lo, hi int }
-	blocks := make([]block, 0, workers)
-	per := total / workers
-	extra := total % workers
-	lo := lab.lo
-	for w := 0; w < workers; w++ {
-		hi := lo + per
-		if w < extra {
-			hi++
-		}
-		blocks = append(blocks, block{lo, hi})
-		lo = hi
-	}
+func (e *Engine) runSpan(lab *labelBlock, rulesByNode, children *adjacency, mkVisitor func() visitor, merge func(visitor)) {
+	// Split the span's permutations into one tile-aligned contiguous block
+	// per worker.
+	blocks := tileBlocks(lab.lo, lab.hi, e.cfg.Workers, lab.stripeS)
 
 	// Translate context cancellation into the cheap stop flag the DFS
 	// polls at every node.
@@ -449,14 +609,14 @@ func (e *Engine) runSpan(lab *labelBlock, rulesByNode, children [][]int32, mkVis
 		}()
 	}
 
-	visitors := make([]visitor, workers)
+	visitors := make([]visitor, len(blocks))
 	var wg sync.WaitGroup
 	for w := range blocks {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			visitors[w] = mkVisitor()
-			e.runBlock(lab, rulesByNode, children, blocks[w].lo, blocks[w].hi, visitors[w])
+			e.runBlock(lab, rulesByNode, children, blocks[w][0], blocks[w][1], visitors[w])
 		}(w)
 	}
 	wg.Wait()
@@ -468,9 +628,56 @@ func (e *Engine) runSpan(lab *labelBlock, rulesByNode, children [][]int32, mkVis
 	}
 }
 
+// workerState is the per-worker scratch one walk needs: buffer pools, the
+// counts arena, the p-value batch and the OptNone Fisher ladder scratch.
+// States are cached on the engine (acquireState/releaseState) and reused
+// across runs and adaptive rounds, so steady-state walking allocates
+// nothing — pools keep their built buffers, arenas their chunks.
+type workerState struct {
+	pools  []*stats.BufferPool // nil unless Opt buffers Fisher p-values
+	arena  *intset.Arena[int32]
+	ps     []float64 // p-value batch: one entry per permutation in block
+	fisher stats.PScratch
+}
+
+// acquireState pops a cached worker state or builds a fresh one.
+func (e *Engine) acquireState() *workerState {
+	e.stMu.Lock()
+	if n := len(e.stFree); n > 0 {
+		st := e.stFree[n-1]
+		e.stFree = e.stFree[:n-1]
+		e.stMu.Unlock()
+		return st
+	}
+	e.stMu.Unlock()
+	st := &workerState{arena: intset.NewArena[int32](1 << 16)}
+	if e.cfg.Test == mining.TestFisher {
+		switch e.cfg.Opt {
+		case OptNone:
+			// Direct Fisher computation via the ladder scratch, no buffers.
+		case OptDynamicBuffer, OptDiffsets:
+			st.pools = e.newPools(0) // static disabled: dynamic slot only
+		case OptStaticBuffer:
+			st.pools = e.newPools(e.cfg.StaticBudget)
+		}
+	}
+	return st
+}
+
+func (e *Engine) releaseState(st *workerState) {
+	e.stMu.Lock()
+	e.stFree = append(e.stFree, st)
+	e.stMu.Unlock()
+}
+
 // runBlock processes permutations [perm0, perm1) in one goroutine.
-func (e *Engine) runBlock(lab *labelBlock, rulesByNode, children [][]int32, perm0, perm1 int, v visitor) {
+func (e *Engine) runBlock(lab *labelBlock, rulesByNode, children *adjacency, perm0, perm1 int, v visitor) {
+	st := e.acquireState()
+	defer e.releaseState(st)
 	blockLen := perm1 - perm0
+	if cap(st.ps) < blockLen {
+		st.ps = make([]float64, blockLen)
+	}
 	w := &walker{
 		e:           e,
 		lab:         lab,
@@ -478,25 +685,14 @@ func (e *Engine) runBlock(lab *labelBlock, rulesByNode, children [][]int32, perm
 		children:    children,
 		perm0:       perm0,
 		blockLen:    blockLen,
+		tile0:       (perm0 - lab.lo) / lab.stripeS,
 		v:           v,
-		ps:          make([]float64, blockLen),
-		arena:       intset.NewWordArena(e.n),
+		st:          st,
 	}
-	if e.cfg.Test == mining.TestFisher {
-		switch e.cfg.Opt {
-		case OptNone:
-			// Direct Fisher computation, no buffers.
-		case OptDynamicBuffer, OptDiffsets:
-			w.pools = e.newPools(0) // static disabled: dynamic slot only
-		case OptStaticBuffer:
-			w.pools = e.newPools(e.cfg.StaticBudget)
-		}
-	}
-
+	mark := st.arena.Checkpoint()
 	root := e.tree.Root
-	counts := w.countsFromNode(root)
-	w.node(root, counts)
-	w.release(counts)
+	w.node(root, w.countsFromNode(root))
+	st.arena.Rewind(mark)
 }
 
 // newPools builds one buffer pool per class; budget 0 disables the static
@@ -517,180 +713,220 @@ func (e *Engine) newPools(budget int) []*stats.BufferPool {
 type walker struct {
 	e           *Engine
 	lab         *labelBlock // label block covering [perm0, perm0+blockLen)
-	rulesByNode [][]int32   // rule indices per node (live subset in adaptive rounds)
-	children    [][]int32   // subtree walk (compacted in adaptive rounds)
+	rulesByNode *adjacency  // rule indices per node (live subset in adaptive rounds)
+	children    *adjacency  // subtree walk (compacted in adaptive rounds)
 	perm0       int
 	blockLen    int
+	tile0       int // stripe-tile index of perm0 within lab
 	v           visitor
-	pools       []*stats.BufferPool // nil under OptNone
-	ps          []float64           // scratch: one p per permutation in block
-	free        [][]int32           // recycled count buffers
-	arena       *intset.WordArena   // scratch bitmaps for the word path
+	st          *workerState
 }
-
-// alloc returns a zeroed counts buffer of numClasses × blockLen.
-func (w *walker) alloc() []int32 {
-	if n := len(w.free); n > 0 {
-		buf := w.free[n-1]
-		w.free = w.free[:n-1]
-		for i := range buf {
-			buf[i] = 0
-		}
-		return buf
-	}
-	return make([]int32, w.e.numClasses*w.blockLen)
-}
-
-func (w *walker) release(buf []int32) { w.free = append(w.free, buf) }
 
 // countsFromNode returns the node's class-count matrix for the block: for
 // every class c and permutation j, how many of the node's records carry
-// class c under permutation j. Only called for nodes that store full
-// tid-lists (the root always does); Diffset children derive their counts
-// from the parent's in node.
+// class c under permutation j, as counts[c*blockLen+j]. Only called for
+// nodes that store full tid-lists (the root always does); Diffset children
+// derive their counts from the parent's in node. The buffer comes from
+// the worker arena — the caller's checkpoint scopes its lifetime.
 func (w *walker) countsFromNode(nd *mining.Node) []int32 {
-	counts := w.alloc()
-	w.accumulate(counts, nd.Tids, w.sharedWords(nd), +1)
+	if w.lab.stripes != nil {
+		counts := w.st.arena.Alloc(w.e.numClasses * w.blockLen)
+		w.blockedCounts(counts, nil, nd)
+		return counts
+	}
+	counts := w.st.arena.AllocZero(w.e.numClasses * w.blockLen)
+	w.elementAccumulate(counts, nd.Tids, +1)
 	return counts
 }
 
-// sharedWords returns the node's shared word view (the Rep fast path), or
-// nil when the node's stored list is sparse or word counting is off.
-func (w *walker) sharedWords(nd *mining.Node) []uint64 {
-	if w.e.nodeReps == nil {
-		return nil
-	}
-	return w.e.nodeReps[nd.Index].Words()
-}
-
-// useWords decides the counting path for one stored list by comparing the
-// two costs directly: the word path touches (numClasses-1)·words bitmap
-// words per permutation in the block (plus a one-off 2·len(ids) scratch
-// pack/unpack when no shared view exists), the element path reads
-// len(ids) labels per permutation. Both paths produce identical integer
-// counts, so the choice — which varies with the block length and hence
-// the worker count — never changes results.
-func (w *walker) useWords(nIds int, haveShared bool) bool {
+// blockedCounts fills dst with nd's class-count matrix using the blocked
+// striped kernel: one pass per stripe tile over the node's sparse tid
+// words counts stripeS permutations for all classes, accumulating into a
+// register tile and writing each class row back in one go. With base nil
+// the node's stored list is counted directly (dst[c][j] = k_c); with base
+// non-nil the stored list is the node's Diffset and dst[c][j] =
+// base[c][j] - k_c — §4.2.2's subtraction fused into the write-back, so
+// no separate parent copy is needed. Class 0 is derived from the
+// remainder: the counts of one list across classes sum to its length.
+func (w *walker) blockedCounts(dst, base []int32, nd *mining.Node) {
 	e := w.e
-	if w.lab.labelWords == nil {
-		return false
-	}
-	wordCost := (e.numClasses - 1) * e.words * w.blockLen
-	if !haveShared {
-		wordCost += 2 * nIds
-	}
-	return wordCost < nIds*w.blockLen
-}
-
-// accumulate adds (sign = +1) or subtracts (sign = -1) the per-class,
-// per-permutation counts of ids into counts. shared, when non-nil, is
-// ids packed as a word bitmap (a node's dense Rep view).
-//
-// The word path computes each class count as popcount(ids & labels) over
-// the packed label matrix — 64 records per AND+popcount — and derives
-// class 0 from the remainder (the counts of one list across classes sum
-// to its length). This is the §4.2 permutation loop made word-parallel,
-// including the Diffsets case: a child's counts are the parent's minus
-// the popcounts of its difference list.
-func (w *walker) accumulate(counts []int32, ids []uint32, shared []uint64, sign int32) {
-	e := w.e
-	bl := w.blockLen
-	lab := w.lab
-	if !w.useWords(len(ids), shared != nil) {
-		stride := lab.hi - lab.lo
-		rel := w.perm0 - lab.lo
-		if sign >= 0 {
-			for _, r := range ids {
-				row := lab.permLabels[int(r)*stride+rel : int(r)*stride+rel+bl]
-				for j, c := range row {
-					counts[int(c)*bl+j]++
+	nw := e.nw
+	o, p := nw.off[nd.Index], nw.off[nd.Index+1]
+	idx, word := nw.idx[o:p], nw.word[o:p]
+	ln := int32(len(nd.StoredIds()))
+	C, W, bl := e.numClasses, e.words, w.blockLen
+	if w.lab.stripeS == 1 {
+		// DisableBlockedCounting ablation: perm-major layout, one
+		// permutation per pass.
+		tileStride := (C - 1) * W
+		for j := 0; j < bl; j++ {
+			tbase := (w.tile0 + j) * tileStride
+			rest := ln
+			for c := 1; c < C; c++ {
+				k := intset.IntersectCountStripes1(idx, word, w.lab.stripes[tbase+(c-1)*W:tbase+c*W])
+				if base != nil {
+					dst[c*bl+j] = base[c*bl+j] - k
+				} else {
+					dst[c*bl+j] = k
 				}
+				rest -= k
 			}
-		} else {
-			for _, r := range ids {
-				row := lab.permLabels[int(r)*stride+rel : int(r)*stride+rel+bl]
-				for j, c := range row {
-					counts[int(c)*bl+j]--
-				}
+			if base != nil {
+				dst[j] = base[j] - rest
+			} else {
+				dst[j] = rest
 			}
 		}
 		return
 	}
 
-	words := shared
-	if words == nil {
-		words = w.arena.Get()
-		intset.SetWords(words, ids)
-	}
-	C := e.numClasses
-	W := e.words
-	base := (w.perm0 - lab.lo) * (C - 1) * W
-	for j := 0; j < bl; j++ {
-		rest := int32(len(ids))
-		for c := 1; c < C; c++ {
-			k := int32(intset.IntersectCountWords(words, lab.labelWords[base:base+W]))
-			counts[c*bl+j] += sign * k
-			rest -= k
-			base += W
+	const S = stripeWidth
+	tileStride := (C - 1) * W * S
+	j0start := 0
+	if C == 2 {
+		// Binary classes — the paper's setting — run the fused kernel:
+		// count, Diffset subtraction, and both class rows in one pass
+		// over all full tiles. The generic loop below picks up a
+		// partial tail tile.
+		if fullTiles := bl / S; fullTiles > 0 {
+			sb := w.lab.stripes[w.tile0*tileStride:]
+			var base0, base1 []int32
+			if base != nil {
+				base0, base1 = base[:bl], base[bl:2*bl]
+			}
+			intset.CountStripesBinary(dst[:bl], dst[bl:2*bl], base0, base1,
+				ln, idx, word, sb, fullTiles, tileStride)
+			j0start = fullTiles * S
 		}
-		counts[j] += sign * rest // class 0 by remainder
 	}
-	if shared == nil {
-		w.arena.Put(words, ids)
+	for j0 := j0start; j0 < bl; j0 += S {
+		m := bl - j0
+		if m > S {
+			m = S
+		}
+		tbase := (w.tile0 + j0/S) * tileStride
+		var rest [S]int32
+		for s := 0; s < m; s++ {
+			rest[s] = ln
+		}
+		for c := 1; c < C; c++ {
+			var k [S]int32
+			intset.IntersectCountStripes8(&k, idx, word, w.lab.stripes[tbase+(c-1)*W*S:tbase+c*W*S])
+			row := dst[c*bl+j0 : c*bl+j0+m]
+			if base != nil {
+				brow := base[c*bl+j0 : c*bl+j0+m]
+				for s := 0; s < m; s++ {
+					row[s] = brow[s] - k[s]
+					rest[s] -= k[s]
+				}
+			} else {
+				for s := 0; s < m; s++ {
+					row[s] = k[s]
+					rest[s] -= k[s]
+				}
+			}
+		}
+		row := dst[j0 : j0+m]
+		if base != nil {
+			brow := base[j0 : j0+m]
+			for s := 0; s < m; s++ {
+				row[s] = brow[s] - rest[s]
+			}
+		} else {
+			for s := 0; s < m; s++ {
+				row[s] = rest[s]
+			}
+		}
+	}
+}
+
+// elementAccumulate adds (sign = +1) or subtracts (sign = -1) the
+// per-class, per-permutation counts of ids into counts by walking the
+// transposed element label matrix — the scalar ablation path
+// (DisableWordCounting), byte-identical in output to the blocked kernel.
+func (w *walker) elementAccumulate(counts []int32, ids []uint32, sign int32) {
+	bl := w.blockLen
+	lab := w.lab
+	stride := lab.hi - lab.lo
+	rel := w.perm0 - lab.lo
+	if sign >= 0 {
+		for _, r := range ids {
+			row := lab.permLabels[int(r)*stride+rel : int(r)*stride+rel+bl]
+			for j, c := range row {
+				counts[int(c)*bl+j]++
+			}
+		}
+	} else {
+		for _, r := range ids {
+			row := lab.permLabels[int(r)*stride+rel : int(r)*stride+rel+bl]
+			for j, c := range row {
+				counts[int(c)*bl+j]--
+			}
+		}
 	}
 }
 
 // node emits the p-values of every rule anchored at nd and recurses into
 // its children. counts is nd's class-count matrix for the block; ownership
-// stays with the caller.
+// stays with the caller (arena checkpoints scope each child's buffer to
+// its subtree walk).
 func (w *walker) node(nd *mining.Node, counts []int32) {
 	if w.e.stop.Load() {
 		return
 	}
 	bl := w.blockLen
-	for _, ri := range w.rulesByNode[nd.Index] {
+	ps := w.st.ps[:bl]
+	for _, ri := range w.rulesByNode.row(nd.Index) {
 		rule := &w.e.rules[ri]
 		class := int(rule.Class)
 		cvg := rule.Coverage
 		ks := counts[class*bl : (class+1)*bl]
 		switch {
-		case w.pools != nil:
-			w.pools[class].Buffer(cvg).PValuesInto(w.ps[:bl], ks)
+		case w.st.pools != nil:
+			w.st.pools[class].Buffer(cvg).PValuesInto(ps, ks)
 		case w.e.cfg.Test == mining.TestChiSquare:
 			h := w.e.hypergeoms[class]
 			for j, k := range ks {
-				w.ps[j] = stats.ChiSquarePValue(stats.ChiSquare2x2(int(k), cvg, h.N(), h.NC()), 1)
+				ps[j] = stats.ChiSquarePValue(stats.ChiSquare2x2(int(k), cvg, h.N(), h.NC()), 1)
 			}
 		case w.e.cfg.Test == mining.TestMidP:
 			h := w.e.hypergeoms[class]
 			for j, k := range ks {
-				w.ps[j] = h.FisherMidP(int(k), cvg)
+				ps[j] = h.FisherMidP(int(k), cvg)
 			}
 		default:
+			// OptNone: the paper's "no optimization" configuration rebuilds
+			// the Fisher ladder at every (rule, permutation) evaluation; the
+			// scratch form keeps that cost model while cutting the
+			// per-evaluation allocations to zero.
 			h := w.e.hypergeoms[class]
 			for j, k := range ks {
-				w.ps[j] = h.FisherTwoTailed(int(k), cvg)
+				ps[j] = h.FisherTwoTailedScratch(&w.st.fisher, int(k), cvg)
 			}
 		}
-		w.v.visit(int(ri), w.perm0, w.ps[:bl])
+		w.v.visit(int(ri), w.perm0, ps)
 	}
 
-	for _, ci := range w.children[nd.Index] {
+	for _, ci := range w.children.row(nd.Index) {
 		child := w.e.tree.Nodes[ci]
+		mark := w.st.arena.Checkpoint()
 		var childCounts []int32
-		if child.HasDiff() {
-			// counts(child) = counts(parent) - counts(diff), per class and
-			// permutation (§4.2.2 applied to the permutation matrix) — on
-			// the word path the subtraction is the difference list's
-			// popcount against the packed labels.
-			childCounts = w.alloc()
-			copy(childCounts, counts)
-			w.accumulate(childCounts, child.Diff, w.sharedWords(child), -1)
-		} else {
+		switch {
+		case !child.HasDiff():
 			childCounts = w.countsFromNode(child)
+		case w.lab.stripes != nil:
+			// counts(child) = counts(parent) - counts(diff), per class and
+			// permutation (§4.2.2 applied to the permutation matrix), fused
+			// into the blocked kernel's write-back.
+			childCounts = w.st.arena.Alloc(w.e.numClasses * bl)
+			w.blockedCounts(childCounts, counts, child)
+		default:
+			childCounts = w.st.arena.Alloc(w.e.numClasses * bl)
+			copy(childCounts, counts)
+			w.elementAccumulate(childCounts, child.Diff, -1)
 		}
 		w.node(child, childCounts)
-		w.release(childCounts)
+		w.st.arena.Rewind(mark)
 	}
 }
 

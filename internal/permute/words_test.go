@@ -4,44 +4,121 @@ import (
 	"testing"
 )
 
+// countVariants is the full ablation matrix of the counting paths: the
+// blocked striped kernel (the default), the unblocked word path (stripe
+// width 1) and the element walk. Every test asserting byte-identity
+// quantifies over all three.
+var countVariants = []struct {
+	name                  string
+	disableWord, disableB bool
+}{
+	{"blocked", false, false},
+	{"unblocked", false, true},
+	{"scalar", true, false},
+}
+
 // TestEngineWordVsScalarByteIdentical pins the tentpole guarantee: the
-// word-parallel counting path and the element-walk path produce exactly
-// the same results — not approximately — at every optimisation level and
-// worker count, for both the FWER (MinP) and FDR (CountLE) outputs.
+// blocked word-parallel kernel, the unblocked (stripe width 1) word path
+// and the element-walk path produce exactly the same results — not
+// approximately — at every optimisation level and worker count, for both
+// the FWER (MinP) and FDR (CountLE) outputs.
 func TestEngineWordVsScalarByteIdentical(t *testing.T) {
 	for _, opt := range []OptLevel{OptNone, OptDynamicBuffer, OptDiffsets, OptStaticBuffer} {
 		// 300 records: a universe that is not a multiple of 64.
 		tree, rules := buildCase(t, 5, 300, 8, 20, opt.WantDiffsets())
 		for _, workers := range []int{1, 3} {
-			mk := func(disable bool) *Engine {
+			var refP []float64
+			var refC []int64
+			for _, v := range countVariants {
 				e, err := NewEngine(tree, rules, Config{
 					NumPerms: 40, Seed: 11, Opt: opt, Workers: workers,
-					DisableWordCounting: disable,
+					DisableWordCounting:    v.disableWord,
+					DisableBlockedCounting: v.disableB,
 				})
 				if err != nil {
 					t.Fatal(err)
 				}
-				return e
-			}
-			word, scalar := mk(false), mk(true)
-			if word.lab.labelWords == nil {
-				t.Fatalf("opt=%v: word engine has no packed label matrix", opt)
-			}
-			if scalar.lab.labelWords != nil || scalar.nodeReps != nil {
-				t.Fatalf("opt=%v: scalar engine still carries word state", opt)
-			}
-			wp, sp := word.MinP(), scalar.MinP()
-			for j := range wp {
-				if wp[j] != sp[j] {
-					t.Fatalf("opt=%v workers=%d perm %d: word MinP %g != scalar %g",
-						opt, workers, j, wp[j], sp[j])
+				if v.disableWord {
+					if e.lab.stripes != nil || e.lab.permLabels == nil || e.nw != nil {
+						t.Fatalf("opt=%v: scalar engine still carries word state", opt)
+					}
+				} else {
+					if e.lab.stripes == nil || e.lab.permLabels != nil || e.nw == nil {
+						t.Fatalf("opt=%v %s: word engine lacks the striped matrix", opt, v.name)
+					}
+					wantS := stripeWidth
+					if v.disableB {
+						wantS = 1
+					}
+					if e.lab.stripeS != wantS {
+						t.Fatalf("opt=%v %s: stripe width %d, want %d", opt, v.name, e.lab.stripeS, wantS)
+					}
+				}
+				gotP, gotC := e.MinP(), e.CountLE()
+				if refP == nil {
+					refP, refC = gotP, gotC
+					continue
+				}
+				for j := range refP {
+					if gotP[j] != refP[j] {
+						t.Fatalf("opt=%v workers=%d %s perm %d: MinP %g != blocked %g",
+							opt, workers, v.name, j, gotP[j], refP[j])
+					}
+				}
+				for i := range refC {
+					if gotC[i] != refC[i] {
+						t.Fatalf("opt=%v workers=%d %s rule %d: CountLE %d != blocked %d",
+							opt, workers, v.name, i, gotC[i], refC[i])
+					}
 				}
 			}
-			wc, sc := mk(false).CountLE(), mk(true).CountLE()
-			for i := range wc {
-				if wc[i] != sc[i] {
-					t.Fatalf("opt=%v workers=%d rule %d: word CountLE %d != scalar %d",
-						opt, workers, i, wc[i], sc[i])
+		}
+	}
+}
+
+// TestEngineAdaptiveVariantsByteIdentical extends the byte-identity
+// guarantee to adaptive runs: all three counting paths must retire the
+// same rules on the same rounds and report identical statistics.
+func TestEngineAdaptiveVariantsByteIdentical(t *testing.T) {
+	for _, opt := range []OptLevel{OptNone, OptStaticBuffer} {
+		tree, rules := buildCase(t, 5, 300, 8, 20, opt.WantDiffsets())
+		for _, workers := range []int{1, 3} {
+			var ref *AdaptiveResult
+			for _, v := range countVariants {
+				e, err := NewEngine(tree, rules, Config{
+					Seed: 11, Opt: opt, Workers: workers,
+					DisableWordCounting:    v.disableWord,
+					DisableBlockedCounting: v.disableB,
+					Adaptive:               Adaptive{MinPerms: 16, MaxPerms: 96},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := e.RunAdaptive(AdaptFDR, 0.05)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ref == nil {
+					ref = got
+					continue
+				}
+				if got.PermsRun != ref.PermsRun || got.Rounds != ref.Rounds ||
+					got.RulesRetired != ref.RulesRetired || got.TotalSamples != ref.TotalSamples {
+					t.Fatalf("opt=%v workers=%d %s: run shape %+v != blocked %+v",
+						opt, workers, v.name, got, ref)
+				}
+				for j := range ref.MinP {
+					if got.MinP[j] != ref.MinP[j] {
+						t.Fatalf("opt=%v workers=%d %s perm %d: adaptive MinP %g != blocked %g",
+							opt, workers, v.name, j, got.MinP[j], ref.MinP[j])
+					}
+				}
+				for i := range ref.PoolLE {
+					if got.PoolLE[i] != ref.PoolLE[i] || got.OwnLE[i] != ref.OwnLE[i] ||
+						got.Samples[i] != ref.Samples[i] {
+						t.Fatalf("opt=%v workers=%d %s rule %d: adaptive counts diverge",
+							opt, workers, v.name, i)
+					}
 				}
 			}
 		}
@@ -49,16 +126,17 @@ func TestEngineWordVsScalarByteIdentical(t *testing.T) {
 }
 
 // TestEngineWordPathSmallBlocks drives block lengths down to one
-// permutation per worker, where the cost model should often prefer the
-// element walk — the outputs must not care.
+// permutation per worker — partial stripe tiles everywhere — where the
+// outputs must not care about the counting path.
 func TestEngineWordPathSmallBlocks(t *testing.T) {
 	tree, rules := buildCase(t, 21, 400, 10, 25, true)
 	var ref []float64
 	for _, workers := range []int{1, 7} {
-		for _, disable := range []bool{false, true} {
+		for _, v := range countVariants {
 			e, err := NewEngine(tree, rules, Config{
 				NumPerms: 7, Seed: 2, Opt: OptDiffsets, Workers: workers,
-				DisableWordCounting: disable,
+				DisableWordCounting:    v.disableWord,
+				DisableBlockedCounting: v.disableB,
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -70,8 +148,8 @@ func TestEngineWordPathSmallBlocks(t *testing.T) {
 			}
 			for j := range ref {
 				if got[j] != ref[j] {
-					t.Fatalf("workers=%d disable=%v: MinP[%d] = %g, want %g",
-						workers, disable, j, got[j], ref[j])
+					t.Fatalf("workers=%d %s: MinP[%d] = %g, want %g",
+						workers, v.name, j, got[j], ref[j])
 				}
 			}
 		}

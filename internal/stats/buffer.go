@@ -63,32 +63,40 @@ func (h *Hypergeom) BuildPBuffer(sx int) *PBuffer {
 	lo, hi := h.Bounds(sx)
 	m := hi - lo + 1
 	terms := make([]float64, m)
+	p := make([]float64, m)
+	h.fillPValues(terms, p, sx, lo, hi)
+	return &PBuffer{Lo: lo, Hi: hi, Cvg: sx, p: p}
+}
+
+// fillPValues computes the two-tailed p-value ladder of coverage sx into p,
+// using terms as scratch; both must have length hi-lo+1 for lo, hi =
+// Bounds(sx). It is the single ladder construction shared by BuildPBuffer,
+// the BufferPool's slab-backed builds and FisherTwoTailedScratch, so
+// buffered and direct p-values are BIT-IDENTICAL — one summation order,
+// no 1-ulp divergence to flip downstream tie decisions.
+//
+// Two pointers walk in from the ends; at each step consume the smaller end
+// term. Ties (within tieEps relative tolerance) are consumed as a group —
+// all end terms equal to the current minimum — before any p-value in the
+// group is finalised.
+func (h *Hypergeom) fillPValues(terms, p []float64, sx, lo, hi int) {
 	for k := lo; k <= hi; k++ {
 		terms[k-lo] = math.Exp(h.LogPMF(k, sx))
 	}
-	p := make([]float64, m)
-
-	// Two pointers walk in from the ends; at each step consume the smaller
-	// end term. Ties (within tieEps relative tolerance) are consumed as a
-	// group before any p-value in the group is finalised.
-	left, right := 0, m-1
+	left, right := 0, len(p)-1
 	sum := 0.0
 	for left <= right {
-		// Collect the next tie group: all end terms equal to the current
-		// minimum end term.
 		minTerm := terms[left]
 		if terms[right] < minTerm {
 			minTerm = terms[right]
 		}
 		hiBound := minTerm * (1 + tieEps)
-		group := make([]int, 0, 2)
+		l0, r0 := left, right
 		for left <= right && terms[left] <= hiBound {
-			group = append(group, left)
 			sum += terms[left]
 			left++
 		}
 		for right >= left && terms[right] <= hiBound {
-			group = append(group, right)
 			sum += terms[right]
 			right--
 		}
@@ -96,9 +104,12 @@ func (h *Hypergeom) BuildPBuffer(sx int) *PBuffer {
 		if v > 1 {
 			v = 1
 		}
-		for _, idx := range group {
-			p[idx] = v
+		// The group is the two consumed end runs: [l0, left) and (right, r0].
+		for i := l0; i < left; i++ {
+			p[i] = v
+		}
+		for i := right + 1; i <= r0; i++ {
+			p[i] = v
 		}
 	}
-	return &PBuffer{Lo: lo, Hi: hi, Cvg: sx, p: p}
 }

@@ -32,6 +32,36 @@ func (h *Hypergeom) FisherTwoTailed(k, sx int) float64 {
 	return h.BuildPBuffer(sx).PValue(k)
 }
 
+// PScratch is reusable scratch for FisherTwoTailedScratch: the ladder
+// terms and p-values of one coverage. The zero value is ready to use; the
+// backing slices grow to the largest coverage seen and are then reused, so
+// steady-state direct Fisher evaluation allocates nothing. Not safe for
+// concurrent use — give each worker its own.
+type PScratch struct {
+	terms, p []float64
+}
+
+// FisherTwoTailedScratch is FisherTwoTailed with the ladder built in s
+// instead of a freshly allocated PBuffer. It shares fillPValues with
+// BuildPBuffer, so the result is bit-identical to both FisherTwoTailed and
+// the buffered lookups — the "no optimization" configuration pays the
+// per-evaluation ladder rebuild the paper charges it, just not the
+// allocator.
+func (h *Hypergeom) FisherTwoTailedScratch(s *PScratch, k, sx int) float64 {
+	lo, hi := h.Bounds(sx)
+	if k < lo || k > hi {
+		return 0
+	}
+	m := hi - lo + 1
+	if cap(s.terms) < m {
+		s.terms = make([]float64, m)
+		s.p = make([]float64, m)
+	}
+	terms, p := s.terms[:m], s.p[:m]
+	h.fillPValues(terms, p, sx, lo, hi)
+	return p[k-lo]
+}
+
 // FisherOneTailed returns the one-tailed (enrichment) Fisher exact p-value
 // P[K >= k]. It is provided for callers that test directional hypotheses;
 // the paper itself uses the two-tailed form.

@@ -22,10 +22,26 @@ type BufferPool struct {
 	dyn    *PBuffer   // dynamic one-slot buffer
 	supd   int        // coverage currently held by dyn; 0 = none
 
+	// Lazily built static buffers carve their payload from chunked slabs
+	// and share one ladder-terms scratch, so a pool's allocation count is
+	// O(chunks), not O(coverages built) — the permutation engine keeps one
+	// pool per worker on its hot path. The dynamic slot rebuilds in place,
+	// reusing its capacity.
+	slab  []float64 // current payload chunk (len = used, cap = chunk size)
+	bufs  []PBuffer // current header chunk; static entries point into it
+	terms []float64 // ladder scratch, grown to the largest coverage seen
+
 	// Counters for instrumentation (Fig 4 analysis and tests).
 	StaticHits, StaticBuilds int
 	DynHits, DynBuilds       int
 }
+
+// poolChunk sizes the payload slab chunks (float64s, 256 KiB each) and
+// bufChunk the PBuffer header chunks.
+const (
+	poolChunk = 1 << 15
+	bufChunk  = 256
+)
 
 // NewBufferPool returns a pool for the dataset described by h, caching
 // coverages in [minSup, maxSup] statically. Use MaxSupForBudget to derive
@@ -82,7 +98,7 @@ func (p *BufferPool) Buffer(cvg int) *PBuffer {
 	if p.static != nil && cvg >= p.minSup && cvg <= p.maxSup {
 		b := p.static[cvg-p.minSup]
 		if b == nil {
-			b = p.H.BuildPBuffer(cvg)
+			b = p.buildStatic(cvg)
 			p.static[cvg-p.minSup] = b
 			p.StaticBuilds++
 		} else {
@@ -94,10 +110,58 @@ func (p *BufferPool) Buffer(cvg int) *PBuffer {
 		p.DynHits++
 		return p.dyn
 	}
-	p.dyn = p.H.BuildPBuffer(cvg)
+	p.buildDyn(cvg)
 	p.supd = cvg
 	p.DynBuilds++
 	return p.dyn
+}
+
+// growTerms returns the shared ladder scratch with room for m terms.
+func (p *BufferPool) growTerms(m int) []float64 {
+	if cap(p.terms) < m {
+		p.terms = make([]float64, m)
+	}
+	return p.terms[:m]
+}
+
+// buildStatic builds the buffer for coverage cvg with its payload carved
+// from the pool's chunked slab and its header appended to the current
+// header chunk; filled chunks are abandoned in place (their entries stay
+// live) and a fresh chunk starts.
+func (p *BufferPool) buildStatic(cvg int) *PBuffer {
+	lo, hi := p.H.Bounds(cvg)
+	m := hi - lo + 1
+	if cap(p.slab)-len(p.slab) < m {
+		c := poolChunk
+		if m > c {
+			c = m
+		}
+		p.slab = make([]float64, 0, c)
+	}
+	pv := p.slab[len(p.slab) : len(p.slab)+m : len(p.slab)+m]
+	p.slab = p.slab[:len(p.slab)+m]
+	p.H.fillPValues(p.growTerms(m), pv, cvg, lo, hi)
+	if len(p.bufs) == cap(p.bufs) {
+		p.bufs = make([]PBuffer, 0, bufChunk)
+	}
+	p.bufs = append(p.bufs, PBuffer{Lo: lo, Hi: hi, Cvg: cvg, p: pv})
+	return &p.bufs[len(p.bufs)-1]
+}
+
+// buildDyn rebuilds the dynamic slot in place for coverage cvg, reusing
+// the slot's payload capacity.
+func (p *BufferPool) buildDyn(cvg int) {
+	if p.dyn == nil {
+		p.dyn = &PBuffer{}
+	}
+	lo, hi := p.H.Bounds(cvg)
+	m := hi - lo + 1
+	if cap(p.dyn.p) < m {
+		p.dyn.p = make([]float64, m)
+	}
+	p.dyn.Lo, p.dyn.Hi, p.dyn.Cvg = lo, hi, cvg
+	p.dyn.p = p.dyn.p[:m]
+	p.H.fillPValues(p.growTerms(m), p.dyn.p, cvg, lo, hi)
 }
 
 // StaticBytes returns the memory currently held by built static buffers.

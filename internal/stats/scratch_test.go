@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFisherScratchBitIdentical pins the one-numeric-path contract across
+// all three Fisher evaluation routes: the scratch form, the direct form
+// and the buffered form must return the exact same float64 for every
+// attainable (k, coverage) — bit-identical, not approximately equal.
+func TestFisherScratchBitIdentical(t *testing.T) {
+	var s PScratch
+	for _, dims := range [][2]int{{100, 40}, {500, 250}, {301, 7}} {
+		h := NewHypergeom(dims[0], dims[1], nil)
+		for _, sx := range []int{1, 7, 40, dims[0] / 2, dims[0]} {
+			b := h.BuildPBuffer(sx)
+			lo, hi := h.Bounds(sx)
+			for k := lo; k <= hi; k++ {
+				direct := h.FisherTwoTailed(k, sx)
+				scratch := h.FisherTwoTailedScratch(&s, k, sx)
+				buffered := b.PValue(k)
+				if math.Float64bits(direct) != math.Float64bits(scratch) ||
+					math.Float64bits(direct) != math.Float64bits(buffered) {
+					t.Fatalf("n=%d nc=%d sx=%d k=%d: direct=%x scratch=%x buffered=%x",
+						dims[0], dims[1], sx, k,
+						math.Float64bits(direct), math.Float64bits(scratch), math.Float64bits(buffered))
+				}
+			}
+			// Out-of-range supports return 0 on every route.
+			if got := h.FisherTwoTailedScratch(&s, hi+1, sx); got != 0 {
+				t.Fatalf("sx=%d: scratch out-of-range = %g, want 0", sx, got)
+			}
+		}
+	}
+}
+
+// TestFisherScratchZeroAllocs pins the steady state of the scratch form —
+// the OptNone permutation inner loop — at zero heap allocations once the
+// scratch has grown to the largest coverage in play.
+func TestFisherScratchZeroAllocs(t *testing.T) {
+	h := NewHypergeom(1000, 400, nil)
+	var s PScratch
+	h.FisherTwoTailedScratch(&s, 100, 600) // warm to the largest ladder
+	allocs := testing.AllocsPerRun(100, func() {
+		h.FisherTwoTailedScratch(&s, 30, 50)
+		h.FisherTwoTailedScratch(&s, 100, 300)
+		h.FisherTwoTailedScratch(&s, 240, 600)
+	})
+	if allocs != 0 {
+		t.Fatalf("FisherTwoTailedScratch steady state allocates %.1f times, want 0", allocs)
+	}
+}
+
+// TestBufferPoolSteadyStateAllocs pins the pool's steady state: dynamic
+// rebuilds reuse the slot's capacity and static lookups are pure reads, so
+// a warmed pool serves both without touching the heap.
+func TestBufferPoolSteadyStateAllocs(t *testing.T) {
+	h := NewHypergeom(1000, 400, nil)
+	pool := NewBufferPool(h, 10, 50)
+	for s := 10; s <= 50; s++ {
+		pool.Buffer(s) // build out the static range
+	}
+	pool.Buffer(800) // grow the dynamic slot to the largest ladder
+	allocs := testing.AllocsPerRun(100, func() {
+		pool.Buffer(20)
+		pool.Buffer(100) // dynamic rebuild
+		pool.Buffer(200) // dynamic rebuild, different coverage
+		pool.Buffer(45)
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed BufferPool allocates %.1f times per lookup cycle, want 0", allocs)
+	}
+}
+
+// TestBufferPoolSlabValuesStable verifies that slab-carved static buffers
+// keep their values (and identities) as later builds fill further chunks —
+// chunk turnover must never move or clobber live entries.
+func TestBufferPoolSlabValuesStable(t *testing.T) {
+	h := NewHypergeom(2000, 900, nil)
+	pool := NewBufferPool(h, 2, 1500)
+	first := pool.Buffer(700)
+	want := make([]float64, first.Size())
+	for k := first.Lo; k <= first.Hi; k++ {
+		want[k-first.Lo] = first.PValue(k)
+	}
+	// Force many chunk boundaries.
+	for s := 2; s <= 1500; s++ {
+		pool.Buffer(s)
+	}
+	again := pool.Buffer(700)
+	if again != first {
+		t.Fatal("static entry identity changed after later builds")
+	}
+	ref := h.BuildPBuffer(700)
+	for k := first.Lo; k <= first.Hi; k++ {
+		if math.Float64bits(again.PValue(k)) != math.Float64bits(want[k-first.Lo]) ||
+			math.Float64bits(again.PValue(k)) != math.Float64bits(ref.PValue(k)) {
+			t.Fatalf("k=%d: slab value drifted: %g vs %g (ref %g)",
+				k, again.PValue(k), want[k-first.Lo], ref.PValue(k))
+		}
+	}
+}
