@@ -1,0 +1,11 @@
+// Command armine-vet is the repo's invariant checker: it drives the
+// internal/analysis suite (detlint, noalloc, arenalint, ctxlint) over Go
+// packages, either standalone (`armine-vet ./...`) or as a cmd/go vettool
+// (`go vet -vettool=$(which armine-vet) ./...`), and exits nonzero on any
+// diagnostic. The analyzers and the //armine: annotation grammar they
+// enforce are documented in DESIGN.md §9.
+package main
+
+import "repro/internal/analysis/driver"
+
+func main() { driver.Main() }

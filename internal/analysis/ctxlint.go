@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// CtxLint enforces context propagation through the long-running layers
+// (internal/core, internal/permute, internal/server, internal/mining):
+//
+//   - context.Background() and context.TODO() are reserved for the API
+//     layer; below it they sever cancellation. A single-statement wrapper
+//     that delegates to its own *Context variant (Run -> RunContext) is the
+//     one sanctioned use.
+//   - a context parameter comes first, per convention, and must actually be
+//     used — an ignored ctx is a silent cancellation leak;
+//   - exported long-running entry points (Run*, Mine*, Serve*) accept a
+//     context, delegate to a *Context variant, or carry an explicit
+//     //armine:ctxok waiver naming the channel the context arrives through.
+var CtxLint = &Analyzer{
+	Name: "ctxlint",
+	Doc: "require context acceptance and propagation in long-running packages; " +
+		"forbid context.Background below the API layer",
+}
+
+func init() { CtxLint.Run = runCtxLint } // assigned here to avoid an initialization cycle
+
+// ctxScope selects the packages whose entry points are long-running by
+// design. Fixtures reuse the same suffixes under their own module paths.
+var ctxScope = regexp.MustCompile(`(^|/)internal/(core|permute|server|mining)$`)
+
+// ctxEntryPoint matches the exported names that start potentially unbounded
+// work.
+var ctxEntryPoint = regexp.MustCompile(`^(Run|Mine|Serve)`)
+
+func runCtxLint(pass *Pass) error {
+	if !ctxScope.MatchString(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.ProdFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxCheckParams(pass, fd)
+			ctxCheckBackground(pass, fd)
+			ctxCheckEntryPoint(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isCtxType reports whether t is context.Context.
+func isCtxType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+// ctxParam returns fd's context.Context parameter and its position, or
+// (nil, -1).
+func ctxParam(pass *Pass, fd *ast.FuncDecl) (*ast.Ident, int) {
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		if isCtxType(pass.Info.TypeOf(field.Type)) {
+			if len(field.Names) > 0 {
+				return field.Names[0], idx
+			}
+			return nil, idx
+		}
+		if n := len(field.Names); n > 0 {
+			idx += n
+		} else {
+			idx++
+		}
+	}
+	return nil, -1
+}
+
+// ctxCheckParams: a context parameter must come first and must be used.
+func ctxCheckParams(pass *Pass, fd *ast.FuncDecl) {
+	name, idx := ctxParam(pass, fd)
+	if idx < 0 {
+		return
+	}
+	if idx > 0 {
+		pass.Reportf(CtxLint, DirCtxOK, fd.Type.Params.Pos(),
+			"context.Context must be the first parameter of %s", fd.Name.Name)
+	}
+	if name == nil || name.Name == "_" {
+		pass.Reportf(CtxLint, DirCtxOK, fd.Type.Params.Pos(),
+			"%s takes a context but discards it; an unnamed ctx severs cancellation", fd.Name.Name)
+		return
+	}
+	obj := pass.Info.Defs[name]
+	used := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			used = true
+			return false
+		}
+		return !used
+	})
+	if !used {
+		pass.Reportf(CtxLint, DirCtxOK, name.Pos(),
+			"%s accepts ctx but never uses it; propagate it or drop the parameter", fd.Name.Name)
+	}
+}
+
+// ctxCheckBackground forbids fresh root contexts below the API layer. The
+// one sanctioned shape is a delegate wrapper: a single return statement
+// calling the function's own *Context variant.
+func ctxCheckBackground(pass *Pass, fd *ast.FuncDecl) {
+	if isCtxDelegate(pass, fd) {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkg, name := calleePath(pass.Info, call); pkg == "context" && (name == "Background" || name == "TODO") {
+			pass.Reportf(CtxLint, DirCtxOK, call.Pos(),
+				"context.%s below the API layer severs cancellation; accept a ctx or delegate to a *Context variant", name)
+		}
+		return true
+	})
+}
+
+// isCtxDelegate reports whether fd is a sanctioned convenience wrapper: its
+// body is one return (or one expression statement for void functions) whose
+// call resolves to a function named <fd.Name>Context.
+func isCtxDelegate(pass *Pass, fd *ast.FuncDecl) bool {
+	if len(fd.Body.List) != 1 {
+		return false
+	}
+	var call *ast.CallExpr
+	switch st := fd.Body.List[0].(type) {
+	case *ast.ReturnStmt:
+		if len(st.Results) != 1 {
+			return false
+		}
+		call, _ = st.Results[0].(*ast.CallExpr)
+	case *ast.ExprStmt:
+		call, _ = st.X.(*ast.CallExpr)
+	}
+	if call == nil {
+		return false
+	}
+	fn := calleeFunc(pass.Info, call)
+	return fn != nil && fn.Name() == fd.Name.Name+"Context"
+}
+
+// ctxCheckEntryPoint: exported Run*/Mine*/Serve* functions must accept a
+// context, be a delegate wrapper onto one that does, or carry a waiver.
+func ctxCheckEntryPoint(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	if !fd.Name.IsExported() || !ctxEntryPoint.MatchString(name) {
+		return
+	}
+	if strings.HasSuffix(name, "Context") {
+		return // the *Context variant is checked via ctxCheckParams
+	}
+	if _, idx := ctxParam(pass, fd); idx >= 0 {
+		return
+	}
+	if isCtxDelegate(pass, fd) {
+		return
+	}
+	if pass.FuncMarked(fd, DirCtxOK) {
+		return
+	}
+	pass.Reportf(CtxLint, DirCtxOK, fd.Name.Pos(),
+		"exported entry point %s starts long-running work without accepting a context; add a ctx parameter or a %sContext variant", name, name)
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetLint enforces //armine:deterministic: inside a marked function (or
+// every function of a marked package) it flags the constructs whose
+// observable effect depends on scheduler or runtime ordering —
+//
+//   - ranging over a map (iteration order is randomised; collect the keys
+//     and sort, or keep a side slice in insertion order);
+//   - time.Now / time.Since / time.Until (wall-clock reads);
+//   - the global math/rand and math/rand/v2 generators (shared, seedless
+//     state; derive a seeded rand.New(rand.NewPCG(...)) instead);
+//   - select statements (arrival order is nondeterministic);
+//   - collecting goroutine results by appending inside a range over a
+//     channel (completion order leaks into the slice; merge by index).
+//
+// A reviewed site that is genuinely order-insensitive is waived with
+// //armine:orderok -- reason.
+var DetLint = &Analyzer{
+	Name: "detlint",
+	Doc: "flag nondeterministic constructs (map iteration, wall clock, global rand, " +
+		"select, unordered goroutine collection) in //armine:deterministic scope",
+}
+
+func init() { DetLint.Run = runDetLint } // assigned here to avoid an initialization cycle
+
+// randDetCtors are the math/rand(/v2) package-level functions that merely
+// construct explicitly seeded generators — the deterministic way in.
+var randDetCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+func runDetLint(pass *Pass) error {
+	pkgWide := pass.PackageMarked(DirDeterministic)
+	for _, f := range pass.ProdFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if pkgWide || pass.FuncMarked(fd, DirDeterministic) {
+				detCheckFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// detCheckFunc walks one deterministic function, including any function
+// literals it launches — a goroutine body spawned inside the scope inherits
+// its determinism obligation.
+func detCheckFunc(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			detCheckRange(pass, n)
+		case *ast.SelectStmt:
+			pass.Reportf(DetLint, DirOrderOK, n.Pos(),
+				"select in deterministic scope: case arrival order is nondeterministic")
+		case *ast.CallExpr:
+			detCheckCall(pass, n)
+		}
+		return true
+	})
+}
+
+// detCheckRange flags map ranges and unordered channel collection.
+func detCheckRange(pass *Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		pass.Reportf(DetLint, DirOrderOK, rng.Pos(),
+			"map iteration order is nondeterministic in deterministic scope; sort the keys or keep an insertion-order slice")
+	case *types.Chan:
+		// Appending whatever arrives, in arrival order, onto a slice that
+		// outlives the loop bakes scheduler order into the result. Merging
+		// into an indexed slot (results[i] = ...) is fine.
+		ast.Inspect(rng.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					pass.Reportf(DetLint, DirOrderOK, call.Pos(),
+						"appending inside a range over a channel collects goroutine results in completion order; merge deterministically (e.g. by index)")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// detCheckCall flags wall-clock reads and the global math/rand generators.
+func detCheckCall(pass *Pass, call *ast.CallExpr) {
+	pkg, name := calleePath(pass.Info, call)
+	switch pkg {
+	case "time":
+		switch name {
+		case "Now", "Since", "Until":
+			pass.Reportf(DetLint, DirOrderOK, call.Pos(),
+				"time.%s reads the wall clock in deterministic scope", name)
+		}
+	case "math/rand", "math/rand/v2":
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Signature().Recv() != nil {
+			return // method on an explicit *Rand: seeded by construction
+		}
+		if !randDetCtors[name] {
+			pass.Reportf(DetLint, DirOrderOK, call.Pos(),
+				"%s.%s uses the shared global generator in deterministic scope; derive a seeded rand.New(rand.NewPCG(...))", pkg, name)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// These drift tests keep DESIGN.md §9 and the README's "Static analysis"
+// section in lockstep with the code, the same way the CLI's README flag
+// test works: every directive the framework defines and every analyzer in
+// the suite must be documented by name, so renaming one without re-reading
+// the docs fails the build.
+
+func readDoc(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", name))
+	if err != nil {
+		t.Fatalf("reading %s: %v", name, err)
+	}
+	return string(data)
+}
+
+func TestDesignDocumentsAnnotationGrammar(t *testing.T) {
+	design := readDoc(t, "DESIGN.md")
+	if !strings.Contains(design, "## 9. Static Analysis") {
+		t.Fatalf("DESIGN.md lost its §9 static-analysis section")
+	}
+	sec := design[strings.Index(design, "## 9. Static Analysis"):]
+	for _, dir := range []string{DirDeterministic, DirNoAlloc, DirOrderOK, DirAllocOK, DirCtxOK} {
+		if !strings.Contains(sec, dir) {
+			t.Errorf("DESIGN.md §9 does not document the %s directive", dir)
+		}
+	}
+	for _, a := range Analyzers() {
+		if !strings.Contains(sec, a.Name) {
+			t.Errorf("DESIGN.md §9 does not document the %s analyzer", a.Name)
+		}
+	}
+}
+
+func TestReadmeDocumentsStaticAnalysis(t *testing.T) {
+	readme := readDoc(t, "README.md")
+	if !strings.Contains(readme, "## Static analysis") {
+		t.Fatalf("README.md lost its \"Static analysis\" section")
+	}
+	sec := readme[strings.Index(readme, "## Static analysis"):]
+	for _, want := range []string{"armine-vet", "-vettool", DirDeterministic, DirNoAlloc} {
+		if !strings.Contains(sec, want) {
+			t.Errorf("README \"Static analysis\" section does not mention %s", want)
+		}
+	}
+	for _, a := range Analyzers() {
+		if !strings.Contains(sec, a.Name) {
+			t.Errorf("README \"Static analysis\" section does not name the %s analyzer", a.Name)
+		}
+	}
+}

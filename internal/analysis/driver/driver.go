@@ -1,0 +1,146 @@
+// Package driver loads type-checked packages for the armine-vet analyzers,
+// standalone (via `go list -export`, for the self-check meta-test and the
+// bare `armine-vet ./...` mode) and as a `go vet -vettool` unit checker
+// speaking cmd/go's .cfg protocol. Both paths type-check the target's
+// source against compiler export data, so a whole-repo run costs one build
+// cache walk, not a recompile.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// listedPackage is the subset of `go list -json` the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// Load lists patterns in dir with export data and returns one type-checked
+// analysis.Pass per non-dependency package, sorted by import path. Report
+// is left nil for the caller to fill in.
+func Load(dir string, patterns ...string) ([]*analysis.Pass, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Incomplete",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v: %s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
+			target := p
+			targets = append(targets, &target)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	var passes []*analysis.Pass
+	for _, p := range targets {
+		fset := token.NewFileSet()
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %v", name, err)
+			}
+			files = append(files, f)
+		}
+		pass, err := check(fset, p.ImportPath, files, exportLookup(exports), nil)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+		}
+		passes = append(passes, pass)
+	}
+	return passes, nil
+}
+
+// exportLookup opens export data by (already-resolved) package path.
+func exportLookup(exports map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// check type-checks one package from its parsed files against gc export
+// data. importMap, when non-nil, resolves source import paths to package
+// paths (the vettool config's vendoring map); nil means identity.
+func check(fset *token.FileSet, path string, files []*ast.File, lookup func(string) (io.ReadCloser, error), importMap map[string]string) (*analysis.Pass, error) {
+	compImp := importer.ForCompiler(fset, "gc", lookup)
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if importMap != nil {
+			if mapped, ok := importMap[importPath]; ok {
+				importPath = mapped
+			}
+		}
+		return compImp.Import(importPath)
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &analysis.Pass{Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// Vet loads patterns in dir, runs the full analyzer suite and returns the
+// formatted diagnostics (file:line: analyzer: message), sorted.
+func Vet(dir string, patterns ...string) ([]string, error) {
+	passes, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.RunSelf(passes)
+}

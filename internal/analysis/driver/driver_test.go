@@ -1,0 +1,147 @@
+package driver
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// repoRoot returns the module root (this package sits at
+// internal/analysis/driver).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not found at %s: %v", root, err)
+	}
+	return root
+}
+
+// TestRepoIsVetClean is the suite's meta-test: the full analyzer suite must
+// run clean over the production tree. A failure here means a hot-path
+// invariant regressed (or a new violation needs a fix or a reviewed
+// //armine: waiver).
+func TestRepoIsVetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads every package with export data; skipped in -short")
+	}
+	diags, err := Vet(repoRoot(t), "./...")
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestLoadTypeChecks exercises the standalone loader on one package and
+// checks the passes carry usable type information.
+func TestLoadTypeChecks(t *testing.T) {
+	passes, err := Load(repoRoot(t), "./internal/intset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passes) != 1 {
+		t.Fatalf("got %d passes, want 1", len(passes))
+	}
+	p := passes[0]
+	if p.Pkg.Path() != "repro/internal/intset" {
+		t.Errorf("package path = %q", p.Pkg.Path())
+	}
+	if p.Pkg.Scope().Lookup("Arena") == nil {
+		t.Errorf("type info lost: intset.Arena not in package scope")
+	}
+	if len(p.Files) == 0 || p.Info == nil {
+		t.Errorf("pass missing files or type info")
+	}
+}
+
+// TestGoVetVettool is the end-to-end protocol test: build armine-vet and
+// run it under `go vet -vettool` the way CI does. It must exit zero and
+// print nothing for a clean package.
+func TestGoVetVettool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet; skipped in -short")
+	}
+	root := repoRoot(t)
+	bin := filepath.Join(t.TempDir(), "armine-vet")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/armine-vet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building armine-vet: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./internal/intset/", "./internal/stats/")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool failed: %v\n%s", err, out)
+	}
+
+	// The protocol probe cmd/go uses must identify the tool and a build ID.
+	probe := exec.Command(bin, "-V=full")
+	out, err := probe.CombinedOutput()
+	if err != nil {
+		t.Fatalf("armine-vet -V=full: %v\n%s", err, out)
+	}
+	if !strings.HasPrefix(string(out), "armine-vet version") || !strings.Contains(string(out), "buildID=") {
+		t.Errorf("unexpected -V=full output: %q", out)
+	}
+}
+
+// TestVetReportsDiagnostics checks the standalone path actually surfaces a
+// violation: a scratch module with a deterministic-marked map range must
+// produce exactly one detlint diagnostic.
+func TestVetReportsDiagnostics(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch/internal/permute\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(dir, "scratch.go"), `// Package permute is a scratch fixture for the driver test.
+//
+//armine:deterministic
+package permute
+
+func Sum(m map[int]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`)
+	diags, err := Vet(dir, ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0], "detlint") || !strings.Contains(diags[0], "map iteration") {
+		t.Errorf("unexpected diagnostic: %s", diags[0])
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunSelfFormatting pins the diagnostic line format the CI gate greps.
+func TestRunSelfFormatting(t *testing.T) {
+	passes, err := Load(repoRoot(t), "./internal/analysis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags, err := analysis.RunSelf(passes); err != nil {
+		t.Fatal(err)
+	} else if len(diags) != 0 {
+		t.Errorf("internal/analysis not self-clean: %v", diags)
+	}
+}

@@ -1,0 +1,173 @@
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// This file speaks cmd/go's vettool protocol so armine-vet can run as
+// `go vet -vettool=$(which armine-vet) ./...`: cmd/go probes the tool with
+// -V=full and -flags, then invokes it once per package with a .cfg file
+// describing sources, export data and the facts file to write. The facts
+// file is always written (empty — these analyzers are package-local) so
+// cmd/go can cache and chain dependency runs.
+
+// vetConfig mirrors the JSON cmd/go writes to the .cfg file.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoreFiles               []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the armine-vet entry point. With a .cfg argument (or -V/-flags)
+// it follows the vettool protocol; otherwise it loads the given package
+// patterns standalone and prints any diagnostics.
+func Main() {
+	progname := "armine-vet"
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-list] [package patterns]\n", progname)
+		fmt.Fprintf(os.Stderr, "   or: go vet -vettool=$(which %s) [package patterns]\n\n", progname)
+		fmt.Fprintf(os.Stderr, "Analyzers:\n")
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	printVersion := flag.String("V", "", "print version and exit (cmd/go protocol)")
+	printFlags := flag.Bool("flags", false, "print analyzer flags as JSON and exit (cmd/go protocol)")
+	listOnly := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	switch {
+	case *printVersion == "full":
+		// cmd/go uses the reported build ID to key the vet action cache, so
+		// it must change whenever the tool's binary does.
+		exe, err := os.Executable()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		data, err := os.ReadFile(exe)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, sha256.Sum256(data))
+		return
+	case *printVersion != "":
+		fmt.Printf("%s version devel\n", progname)
+		return
+	case *printFlags:
+		fmt.Println("[]")
+		return
+	case *listOnly:
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0]))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	diags, err := Vet(".", args...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "armine-vet: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// runUnit analyzes the single package described by a cmd/go .cfg file and
+// returns the process exit code.
+func runUnit(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing %s: %v", cfgFile, err)
+	}
+	if cfg.VetxOutput != "" {
+		// No cross-package facts: an empty facts file satisfies cmd/go's
+		// caching contract.
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fatalf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	}
+	pass, err := check(fset, cfg.ImportPath, files, lookup, cfg.ImportMap)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fatalf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+
+	exit := 0
+	for _, a := range analysis.Analyzers() {
+		a := a
+		pass.Report = func(d analysis.Diagnostic) {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), a.Name, d.Message)
+			exit = 2
+		}
+		if err := a.Run(pass); err != nil {
+			fatalf("%s on %s: %v", a.Name, cfg.ImportPath, err)
+		}
+	}
+	return exit
+}

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAlloc enforces //armine:noalloc: a marked function's own body must not
+// contain the constructs the compiler turns into allocations —
+//
+//   - make / new / append (append may grow its backing array: preallocate
+//     outside the hot path, or carve from an arena);
+//   - slice and map composite literals (&T{...} included);
+//   - fmt.* / errors.* calls (message formatting allocates; even
+//     panic-message formatting belongs in a separate cold helper so the
+//     annotated function body stays auditable at a glance);
+//   - function literals (closure capture can heap-allocate);
+//   - go statements (a goroutine is an allocation);
+//   - string concatenation and string <-> []byte/[]rune conversions;
+//   - interface boxing: passing or converting a concrete value where an
+//     interface is expected (calls through an already-interface-typed
+//     operand are fine).
+//
+// The check is an AST+types heuristic, not escape analysis: plain calls to
+// other functions are trusted (that is where cold paths — chunk growth,
+// panic formatting — must live), and the allocs/op benchmark gate remains
+// the ground truth. A reviewed amortised allocation is waived with
+// //armine:allocok -- reason.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc: "flag allocating constructs (make/append, composite literals, fmt, closures, " +
+		"boxing) in //armine:noalloc functions",
+}
+
+func init() { NoAlloc.Run = runNoAlloc } // assigned here to avoid an initialization cycle
+
+func runNoAlloc(pass *Pass) error {
+	for _, f := range pass.ProdFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !pass.FuncMarked(fd, DirNoAlloc) {
+				continue
+			}
+			allocCheckFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func allocCheckFunc(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(NoAlloc, DirAllocOK, n.Pos(),
+				"function literal in noalloc scope: closure capture can heap-allocate")
+			return false // its body is not on this function's hot path
+		case *ast.GoStmt:
+			pass.Reportf(NoAlloc, DirAllocOK, n.Pos(),
+				"go statement in noalloc scope allocates a goroutine")
+		case *ast.CompositeLit:
+			switch pass.Info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(NoAlloc, DirAllocOK, n.Pos(),
+					"slice literal allocates in noalloc scope")
+			case *types.Map:
+				pass.Reportf(NoAlloc, DirAllocOK, n.Pos(),
+					"map literal allocates in noalloc scope")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass.Info.TypeOf(n.X)) {
+				pass.Reportf(NoAlloc, DirAllocOK, n.Pos(),
+					"string concatenation allocates in noalloc scope")
+			}
+		case *ast.CallExpr:
+			allocCheckCall(pass, n)
+		}
+		return true
+	})
+}
+
+func allocCheckCall(pass *Pass, call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				pass.Reportf(NoAlloc, DirAllocOK, call.Pos(),
+					"%s allocates in noalloc scope; preallocate outside the hot path or carve from an arena", id.Name)
+			case "append":
+				pass.Reportf(NoAlloc, DirAllocOK, call.Pos(),
+					"append may grow its backing array in noalloc scope; preallocate with capacity outside the hot path")
+			}
+			return // other builtins (len, copy, panic, ...) do not allocate themselves
+		}
+	}
+
+	// Conversions: T(x).
+	if tv, ok := pass.Info.Types[fun]; ok && tv.IsType() {
+		to, from := tv.Type, pass.Info.TypeOf(call.Args[0])
+		switch {
+		case types.IsInterface(to.Underlying()) && !types.IsInterface(from.Underlying()):
+			pass.Reportf(NoAlloc, DirAllocOK, call.Pos(),
+				"conversion to interface boxes the value in noalloc scope")
+		case isString(to) && isByteOrRuneSlice(from), isByteOrRuneSlice(to) && isString(from):
+			pass.Reportf(NoAlloc, DirAllocOK, call.Pos(),
+				"string/byte-slice conversion copies in noalloc scope")
+		}
+		return
+	}
+
+	// Known-allocating packages.
+	pkg, name := calleePath(pass.Info, call)
+	switch pkg {
+	case "fmt":
+		pass.Reportf(NoAlloc, DirAllocOK, call.Pos(),
+			"fmt.%s allocates in noalloc scope; move formatting (even panic messages) into a cold helper", name)
+		return
+	case "errors":
+		pass.Reportf(NoAlloc, DirAllocOK, call.Pos(),
+			"errors.%s allocates in noalloc scope", name)
+		return
+	}
+
+	// Interface boxing at call boundaries: a concrete argument passed to an
+	// interface-typed parameter forces an allocation (unless the compiler
+	// can prove otherwise — which is exactly what this check refuses to bet
+	// the hot path on).
+	sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // a ...slice passed on, no per-element boxing here
+			}
+			pt = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		at := pass.Info.TypeOf(arg)
+		if at == nil || at == types.Typ[types.UntypedNil] {
+			continue
+		}
+		if types.IsInterface(pt.Underlying()) && !types.IsInterface(at.Underlying()) {
+			pass.Reportf(NoAlloc, DirAllocOK, arg.Pos(),
+				"argument boxes a concrete value into an interface parameter in noalloc scope")
+		}
+	}
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,58 @@
+// Package bad is a noalloc firing fixture: each marked function commits one
+// allocating construct the analyzer must flag.
+package bad
+
+import (
+	"errors"
+	"fmt"
+)
+
+func helper() {}
+
+func sink(v any) { _ = v }
+
+//armine:noalloc
+func Builtins(dst []int, n int) []int {
+	buf := make([]int, n) // want "make allocates"
+	copy(buf, dst)
+	return append(dst, n) // want "append may grow its backing array"
+}
+
+//armine:noalloc
+func Literals(k string) int {
+	xs := []int{1, 2, 3}      // want "slice literal allocates"
+	m := map[string]int{k: 1} // want "map literal allocates"
+	return xs[0] + m[k]
+}
+
+//armine:noalloc
+func Closure() {
+	f := func() {} // want "closure capture can heap-allocate"
+	f()
+	go helper() // want "go statement in noalloc scope"
+}
+
+//armine:noalloc
+func Strings(a, b string, bs []byte) string {
+	s := a + b      // want "string concatenation allocates"
+	t := string(bs) // want "string/byte-slice conversion copies"
+	return s + t    // want "string concatenation allocates"
+}
+
+//armine:noalloc
+func Formatting(n int) error {
+	_ = fmt.Sprintf("n=%d", n) // want "fmt.Sprintf allocates"
+	return errors.New("boom")  // want "errors.New allocates"
+}
+
+//armine:noalloc
+func Boxing(n int) {
+	v := any(n) // want "conversion to interface boxes"
+	_ = v
+	sink(n) // want "boxes a concrete value into an interface parameter"
+}
+
+// Unmarked allocates freely: noalloc must stay silent without the directive.
+func Unmarked(n int) []int {
+	return append(make([]int, 0), n)
+}

@@ -1,0 +1,36 @@
+// Package clean is a noalloc clean fixture: marked functions that index,
+// copy and call helpers without touching the allocator, plus one reviewed
+// waived allocation — zero diagnostics.
+package clean
+
+func cold(n int) []int { return make([]int, n) }
+
+//armine:noalloc
+func Accumulate(dst, src []int) int {
+	n := 0
+	for i := range src {
+		if i < len(dst) {
+			dst[i] += src[i]
+			n += dst[i]
+		}
+	}
+	return n
+}
+
+//armine:noalloc
+func Fill(dst []int, v int) {
+	for i := range dst {
+		dst[i] = v
+	}
+}
+
+//armine:noalloc
+func Waived(n int) []int {
+	return make([]int, n) //armine:allocok -- one-time construction; the bench allocs/op gate is the backstop
+}
+
+//armine:noalloc
+func WaivedAbove(n int) []int {
+	//armine:allocok -- amortised growth, measured by the bench gate
+	return append(cold(n), n)
+}

@@ -1,0 +1,60 @@
+// Package bad is an arenalint firing fixture: a miniature arena carrying
+// the Checkpoint/Rewind method pair, used in every way the discipline
+// forbids. No annotation is involved — arenalint recognises the shape.
+package bad
+
+type mark struct{ chunk, off int }
+
+// Arena is the minimal shape arenalint matches: Checkpoint() returning a
+// mark and Rewind(mark) returning nothing.
+type Arena struct {
+	used int
+	m    mark
+}
+
+func (a *Arena) Checkpoint() mark { return a.m }
+
+func (a *Arena) Rewind(m mark) { a.m = m }
+
+func worker(a *Arena) { a.used++ }
+
+var leaked *Arena
+
+func Discarded(a *Arena) {
+	a.Checkpoint()     // want "result discarded"
+	_ = a.Checkpoint() // want "result discarded"
+}
+
+func Missing(a *Arena) int {
+	m := a.Checkpoint() // want "no matching Rewind in this block"
+	_ = m
+	return a.used
+}
+
+func NonLIFO(a *Arena) {
+	m1 := a.Checkpoint()
+	m2 := a.Checkpoint()
+	a.Rewind(m1) // want "non-LIFO rewind"
+	a.Rewind(m2)
+}
+
+func Double(a *Arena) {
+	m := a.Checkpoint()
+	a.Rewind(m)
+	a.Rewind(m) // want "rewound twice"
+}
+
+func Leaky(a *Arena, n int) int {
+	m := a.Checkpoint()
+	if n > 0 {
+		return n // want "return between Arena.Checkpoint and its Rewind"
+	}
+	a.Rewind(m)
+	return 0
+}
+
+func Escapes(a *Arena, ch chan *Arena) {
+	ch <- a      // want "sent on a channel"
+	leaked = a   // want "package-level variable"
+	go worker(a) // want "passed to a new goroutine"
+}

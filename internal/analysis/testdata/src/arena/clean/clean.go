@@ -1,0 +1,50 @@
+// Package clean is an arenalint clean fixture: the same miniature arena
+// used with the full sanctioned vocabulary — sibling pairs, LIFO nesting,
+// deferred rewinds, loops — producing zero diagnostics.
+package clean
+
+type mark struct{ chunk, off int }
+
+// Arena is the minimal Checkpoint/Rewind shape arenalint matches.
+type Arena struct {
+	used int
+	m    mark
+}
+
+func (a *Arena) Checkpoint() mark { return a.m }
+
+func (a *Arena) Rewind(m mark) { a.m = m }
+
+func Paired(a *Arena) int {
+	m := a.Checkpoint()
+	a.used++
+	a.Rewind(m)
+	return a.used
+}
+
+func Nested(a *Arena) {
+	outer := a.Checkpoint()
+	inner := a.Checkpoint()
+	a.used++
+	a.Rewind(inner)
+	a.Rewind(outer)
+}
+
+func Deferred(a *Arena, n int) int {
+	m := a.Checkpoint()
+	defer a.Rewind(m)
+	if n > 0 {
+		return n
+	}
+	return a.used
+}
+
+func InLoop(a *Arena, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		m := a.Checkpoint()
+		total += x + a.used
+		a.Rewind(m)
+	}
+	return total
+}

@@ -1,0 +1,29 @@
+// Package permute is a ctxlint firing fixture: its import path ends in
+// internal/permute, putting it in the long-running scope, and every entry
+// point mishandles its context.
+package permute
+
+import "context"
+
+func run(ctx context.Context) error { return ctx.Err() }
+
+func RunAll() { // want "without accepting a context"
+	_ = run(context.Background()) // want "severs cancellation"
+}
+
+func RunSwapped(n int, ctx context.Context) error { // want "must be the first parameter"
+	_ = n
+	return ctx.Err()
+}
+
+func RunIgnored(ctx context.Context) int { // want "never uses it"
+	return 0
+}
+
+func RunAnon(context.Context) {} // want "discards it"
+
+func MineTodo(ctx context.Context) error {
+	_ = ctx
+	inner := context.TODO() // want "severs cancellation"
+	return inner.Err()
+}

@@ -1,0 +1,32 @@
+// Package core is a ctxlint clean fixture: entry points in the sanctioned
+// shapes — a ctx-first variant, its single-statement convenience delegate,
+// and an explicitly waived legacy entry point — producing zero diagnostics.
+package core
+
+import "context"
+
+// RunContext is the real entry point; ctx comes first and is used.
+func RunContext(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run is the sanctioned convenience wrapper: one statement delegating to
+// the *Context variant.
+func Run(n int) error { return RunContext(context.Background(), n) }
+
+// RunConfigured consumes its context through a config struct instead of a
+// parameter, which the waiver records.
+//
+//armine:ctxok -- the context arrives via the session config, not a parameter
+func RunConfigured() {}
+
+// ServeContext exercises the Serve prefix with a compliant signature.
+func ServeContext(ctx context.Context) error { return ctx.Err() }
+
+// Serve delegates to ServeContext in the sanctioned single-statement shape.
+func Serve() error { return ServeContext(context.Background()) }

@@ -1,0 +1,10 @@
+// Package other is a ctxlint scope fixture: it commits every ctx sin but
+// sits outside the internal/(core|permute|server|mining) scope, so ctxlint
+// must stay silent.
+package other
+
+import "context"
+
+func RunFree() error {
+	return context.Background().Err()
+}

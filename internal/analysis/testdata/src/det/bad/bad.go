@@ -1,0 +1,57 @@
+// Package bad is a detlint firing fixture: every function is marked
+// deterministic and commits exactly the ordering sins the analyzer exists
+// to catch.
+package bad
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+//armine:deterministic
+func Collect(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration order is nondeterministic"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+//armine:deterministic
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "reads the wall clock"
+}
+
+//armine:deterministic
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "reads the wall clock"
+}
+
+//armine:deterministic
+func Draw() uint64 {
+	return rand.Uint64() // want "shared global generator"
+}
+
+//armine:deterministic
+func Gather(ch chan int, done chan struct{}) []int {
+	var out []int
+	select { // want "case arrival order is nondeterministic"
+	case <-done:
+	default:
+	}
+	for v := range ch {
+		out = append(out, v) // want "completion order"
+	}
+	return out
+}
+
+// Unmarked reproduces every construct above without the directive: detlint
+// must stay silent here.
+func Unmarked(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	n += int(time.Now().UnixNano()) + int(rand.Uint64())
+	return n
+}

@@ -1,0 +1,45 @@
+// Package clean is a detlint clean fixture: deterministic-marked functions
+// written the sanctioned way — sorted keys, seeded generators, waived
+// order-insensitive sites — producing zero diagnostics.
+package clean
+
+import (
+	"math/rand/v2"
+	"sort"
+)
+
+//armine:deterministic
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//armine:orderok -- keys are sorted before any consumer sees them
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+//armine:deterministic
+func Seeded(seed uint64) uint64 {
+	r := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	return r.Uint64()
+}
+
+//armine:deterministic
+func Watch(done chan struct{}, tick chan int) int {
+	n := 0
+	//armine:orderok -- cancellation watcher; the count is order-insensitive
+	select {
+	case <-done:
+	case <-tick:
+		n++
+	}
+	return n
+}
+
+//armine:deterministic
+func MergeByIndex(ch chan int, results []int) {
+	for v := range ch {
+		results[v%len(results)] = v
+	}
+}

@@ -1,0 +1,13 @@
+// Package pkgwide verifies that a deterministic directive in the package
+// comment puts every function in scope without per-function annotation.
+//
+//armine:deterministic
+package pkgwide
+
+func Flatten(m map[int]int) int {
+	s := 0
+	for _, v := range m { // want "map iteration order is nondeterministic"
+		s += v
+	}
+	return s
+}

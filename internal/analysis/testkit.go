@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// This file is the suite's analysistest equivalent: RunFixture type-checks a
+// fixture tree under testdata/src and asserts that an analyzer's diagnostics
+// match the fixtures' inline `// want "regexp"` expectations exactly — every
+// diagnostic must be expected, every expectation must fire. Fixtures import
+// only the standard library, so type-checking uses the source importer and
+// needs no build cache or network.
+
+// TB is the subset of *testing.T the fixture harness needs; taking the
+// interface keeps the testing package out of the armine-vet binary.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// wantRe extracts the quoted expectation patterns from a want comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// fixtureExpectation is one `// want` pattern awaiting a diagnostic.
+type fixtureExpectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// LoadFixture parses and type-checks every package directory under
+// testdata/src/<root> (nested directories allowed; each directory holding
+// .go files is one package whose import path is its path relative to src).
+// It returns one Pass per package, in path order, with Report left nil.
+func LoadFixture(t TB, root string) []*Pass {
+	t.Helper()
+	src := filepath.Join("testdata", "src")
+	base := filepath.Join(src, root)
+
+	var dirs []string
+	err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking fixture %s: %v", root, err)
+	}
+	sort.Strings(dirs)
+	if len(dirs) == 0 {
+		t.Fatalf("fixture %s holds no Go packages", root)
+	}
+
+	var passes []*Pass
+	for _, dir := range dirs {
+		fset := token.NewFileSet()
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading %s: %v", dir, err)
+		}
+		var files []*ast.File
+		for _, e := range ents {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parsing fixture: %v", err)
+			}
+			files = append(files, f)
+		}
+		rel, err := filepath.Rel(src, dir)
+		if err != nil {
+			t.Fatalf("relativising %s: %v", dir, err)
+		}
+		path := filepath.ToSlash(rel)
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+		pkg, err := conf.Check(path, fset, files, info)
+		if err != nil {
+			t.Fatalf("type-checking fixture package %s: %v", path, err)
+		}
+		passes = append(passes, &Pass{Fset: fset, Files: files, Pkg: pkg, Info: info})
+	}
+	return passes
+}
+
+// RunFixture runs one analyzer over the fixture tree at testdata/src/<root>
+// and checks its diagnostics against the fixtures' `// want` comments.
+func RunFixture(t TB, a *Analyzer, root string) {
+	t.Helper()
+	var diags []Diagnostic
+	passes := LoadFixture(t, root)
+	for _, pass := range passes {
+		pass.Report = func(d Diagnostic) { diags = append(diags, d) }
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s on fixture %s: %v", a.Name, root, err)
+		}
+	}
+
+	var wants []*fixtureExpectation
+	for _, pass := range passes {
+		for _, f := range pass.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					posn := pass.Fset.Position(c.Pos())
+					for _, m := range wantRe.FindAllStringSubmatch(text, -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", posn.Filename, posn.Line, m[1], err)
+						}
+						wants = append(wants, &fixtureExpectation{file: posn.Filename, line: posn.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+
+	posOf := func(d Diagnostic) token.Position {
+		for _, pass := range passes {
+			if f := pass.Fset.File(d.Pos); f != nil {
+				return pass.Fset.Position(d.Pos)
+			}
+		}
+		return token.Position{}
+	}
+	for _, d := range diags {
+		posn := posOf(d)
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == posn.Filename && w.line == posn.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s: %s", posn.Filename, posn.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q did not fire", w.file, w.line, w.re)
+		}
+	}
+}
+
+// RunSelf runs every analyzer over already-loaded passes and returns the
+// combined diagnostics, formatted file:line: analyzer: message. The driver
+// meta-test uses it to assert the production tree is clean.
+func RunSelf(passes []*Pass) ([]string, error) {
+	var out []string
+	for _, pass := range passes {
+		p := pass
+		for _, a := range Analyzers() {
+			p.Report = func(d Diagnostic) {
+				posn := p.Fset.Position(d.Pos)
+				out = append(out, fmt.Sprintf("%s:%d: %s: %s", posn.Filename, posn.Line, a.Name, d.Message))
+			}
+			if err := a.Run(p); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, p.Pkg.Path(), err)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -500,6 +500,8 @@ func (s *Session) correctWith(ctx context.Context, cfg Config, rs ruleStage) (*R
 // assemble builds the user-facing Result of one corrected run. MineTime
 // reports the cost of the (possibly shared) mine + score stages behind
 // the result; CorrectTime is this run's own correction cost.
+//
+//armine:deterministic
 func (s *Session) assemble(cfg Config, rs ruleStage, outcome *correction.Outcome, pstats *PermStats, correctTime time.Duration) *Result {
 	res := &Result{
 		Method:      cfg.Method,
@@ -531,6 +533,8 @@ func (s *Session) assemble(cfg Config, rs ruleStage, outcome *correction.Outcome
 // is byte-identical to a fresh Run of that config. The batch fails
 // atomically: the first error (lowest config index) is returned and no
 // results are.
+//
+//armine:deterministic
 func (s *Session) RunBatch(ctx context.Context, cfgs []Config) ([]*Result, error) {
 	n := s.data.NumRecords()
 	norm := make([]Config, len(cfgs))

@@ -41,9 +41,11 @@ func NewArena[T any](chunkLen int) *Arena[T] {
 // are unspecified (previously rewound memory is reused as-is); use
 // AllocZero when the caller needs zeroed memory. The slice is valid until
 // the enclosing checkpoint is rewound or Reset is called.
+//
+//armine:noalloc
 func (a *Arena[T]) Alloc(n int) []T {
 	if n < 0 {
-		panic(fmt.Sprintf("intset: Arena.Alloc: negative length %d", n))
+		panicNegativeAlloc(n)
 	}
 	if n == 0 {
 		return nil
@@ -57,10 +59,18 @@ func (a *Arena[T]) Alloc(n int) []T {
 }
 
 // AllocZero is Alloc with the returned slice cleared.
+//
+//armine:noalloc
 func (a *Arena[T]) AllocZero(n int) []T {
 	s := a.Alloc(n)
 	clear(s)
 	return s
+}
+
+// panicNegativeAlloc keeps the message formatting — an allocation — out of
+// Alloc's noalloc body.
+func panicNegativeAlloc(n int) {
+	panic(fmt.Sprintf("intset: Arena.Alloc: negative length %d", n))
 }
 
 // advance moves allocation to the next chunk, growing the chunk list (or
@@ -81,6 +91,8 @@ func (a *Arena[T]) advance(n int) {
 
 // Checkpoint records the current allocation point. Every Checkpoint must
 // be matched by exactly one Rewind, in LIFO order.
+//
+//armine:noalloc
 func (a *Arena[T]) Checkpoint() Mark {
 	a.depth++
 	return Mark{ci: a.ci, off: a.off, depth: a.depth}
@@ -90,17 +102,25 @@ func (a *Arena[T]) Checkpoint() Mark {
 // The mark must be the most recent outstanding checkpoint: rewinding one
 // mark twice, or an outer mark while an inner checkpoint is outstanding,
 // panics.
+//
+//armine:noalloc
 func (a *Arena[T]) Rewind(m Mark) {
 	if m.depth != a.depth {
-		panic(fmt.Sprintf(
-			"intset: Arena.Rewind: mark depth %d does not match arena depth %d (double rewind, or rewind past an outstanding inner checkpoint)",
-			m.depth, a.depth))
+		panicDepthMismatch(m.depth, a.depth)
 	}
 	if m.ci > a.ci || (m.ci == a.ci && m.off > a.off) {
 		panic("intset: Arena.Rewind: mark lies past the arena's current allocation point (mark from another arena?)")
 	}
 	a.ci, a.off = m.ci, m.off
 	a.depth--
+}
+
+// panicDepthMismatch keeps the message formatting — an allocation — out of
+// Rewind's noalloc body.
+func panicDepthMismatch(mark, arena int) {
+	panic(fmt.Sprintf(
+		"intset: Arena.Rewind: mark depth %d does not match arena depth %d (double rewind, or rewind past an outstanding inner checkpoint)",
+		mark, arena))
 }
 
 // Reset releases every allocation and forgets all checkpoints; the backing

@@ -14,6 +14,8 @@ import "math/bits"
 
 // NonzeroWords returns the number of distinct 64-bit words occupied by the
 // strictly increasing ids — the length FillNonzeroWords needs.
+//
+//armine:noalloc
 func NonzeroWords(ids []uint32) int {
 	n := 0
 	last := -1
@@ -29,6 +31,8 @@ func NonzeroWords(ids []uint32) int {
 // FillNonzeroWords writes the sparse word form of ids: idx[t] is the t-th
 // occupied word index (ascending) and word[t] the 64-bit bitmap of the ids
 // falling in it. Both slices must have length NonzeroWords(ids).
+//
+//armine:noalloc
 func FillNonzeroWords(idx []int32, word []uint64, ids []uint32) {
 	k := -1
 	last := int32(-1)
@@ -51,6 +55,8 @@ func FillNonzeroWords(idx []int32, word []uint64, ids []uint32) {
 //
 // len(k) must be at least width. This is the generic-width reference form;
 // the engine's hot path uses the unrolled IntersectCountStripes8.
+//
+//armine:noalloc
 func IntersectCountStripes(k []int32, width int, idx []int32, word, stripes []uint64) {
 	for t, wi := range idx {
 		w := word[t]
@@ -66,6 +72,8 @@ func IntersectCountStripes(k []int32, width int, idx []int32, word, stripes []ui
 // AVX512VPOPCNTDQ one 512-bit lane holds a whole tile row, so each tid
 // word costs one AND and one vector popcount; elsewhere the eight lane
 // counts accumulate in scalar registers.
+//
+//armine:noalloc
 func IntersectCountStripes8(k *[8]int32, idx []int32, word, stripes []uint64) {
 	if useAsmKernel && len(idx) > 0 {
 		intersectCountStripes8Asm(k, &idx[0], len(idx), &word[0], &stripes[0])
@@ -74,6 +82,7 @@ func IntersectCountStripes8(k *[8]int32, idx []int32, word, stripes []uint64) {
 	intersectCountStripes8Go(k, idx, word, stripes)
 }
 
+//armine:noalloc
 func intersectCountStripes8Go(k *[8]int32, idx []int32, word, stripes []uint64) {
 	var c0, c1, c2, c3, c4, c5, c6, c7 int32
 	for t, wi := range idx {
@@ -114,6 +123,8 @@ func intersectCountStripes8Go(k *[8]int32, idx []int32, word, stripes []uint64) 
 // both set. dst and base rows need ntiles*8 elements and stripes
 // ntiles*strideWords words; every idx value must address a word inside the
 // plane (idx[t]*8+8 <= strideWords).
+//
+//armine:noalloc
 func CountStripesBinary(dst0, dst1, base0, base1 []int32, ln int32, idx []int32, word, stripes []uint64, ntiles, strideWords int) {
 	if ntiles <= 0 {
 		return
@@ -175,6 +186,8 @@ func CountStripesBinary(dst0, dst1, base0, base1 []int32, ln int32, idx []int32,
 // AND+popcount of (idx, word) against one unstriped bitmap. It serves the
 // DisableBlockedCounting ablation, where the label matrix stores each
 // permutation's words contiguously.
+//
+//armine:noalloc
 func IntersectCountStripes1(idx []int32, word, stripes []uint64) int32 {
 	var c int32
 	for t, wi := range idx {

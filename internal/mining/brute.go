@@ -35,6 +35,10 @@ func BruteForceClosed(enc *dataset.Encoded, minSup int) []BrutePattern {
 		tids []uint32
 	}
 	groups := make(map[string]*group)
+	// order keeps the groups in first-discovery order: the final emit loop
+	// must not range over the map, or the pre-sort pattern order — and with
+	// it the unstable sort's tie-breaking — would vary run to run.
+	var order []*group
 	var rec func(start int, items []dataset.Item, tids []uint32)
 	key := func(tids []uint32) string {
 		b := make([]byte, 0, 4*len(tids))
@@ -53,7 +57,9 @@ func BruteForceClosed(enc *dataset.Encoded, minSup int) []BrutePattern {
 			if _, ok := groups[k]; !ok {
 				cp := make([]uint32, len(tids))
 				copy(cp, tids)
-				groups[k] = &group{tids: cp}
+				g := &group{tids: cp}
+				groups[k] = g
+				order = append(order, g)
 			}
 		}
 		for i := start; i < len(frequent); i++ {
@@ -78,12 +84,14 @@ func BruteForceClosed(enc *dataset.Encoded, minSup int) []BrutePattern {
 	if len(rootClosure) > 0 {
 		k := key(all)
 		if _, ok := groups[k]; !ok {
-			groups[k] = &group{tids: all}
+			g := &group{tids: all}
+			groups[k] = g
+			order = append(order, g)
 		}
 	}
 
-	out := make([]BrutePattern, 0, len(groups))
-	for _, g := range groups {
+	out := make([]BrutePattern, 0, len(order))
+	for _, g := range order {
 		// Closure = all frequent items whose tid-list contains g.tids.
 		var closure []dataset.Item
 		for _, it := range frequent {

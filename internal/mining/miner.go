@@ -143,6 +143,7 @@ func MineClosedContext(ctx context.Context, enc *dataset.Encoded, opts Options) 
 	watchDone := make(chan struct{})
 	defer close(watchDone)
 	go func() {
+		//armine:orderok -- cancellation watcher; either arm only raises the sticky stop flag
 		select {
 		case <-ctx.Done():
 			m.stop.Store(true)

@@ -10,6 +10,13 @@
 // permutation engine to recompute class-conditional supports under any
 // relabelling without re-mining (the paper's "mine association rules only
 // once" optimisation, §4.2.1).
+//
+// The package comment directive below puts every function in detlint's
+// deterministic scope (DESIGN.md §9): the mined tree is input to the
+// byte-identical permutation engine, so its shape and order must not
+// depend on scheduling or map iteration.
+//
+//armine:deterministic
 package mining
 
 import (

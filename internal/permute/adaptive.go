@@ -180,6 +180,8 @@ type AdaptiveResult struct {
 //
 // RunAdaptive recomputes from scratch on every call; run it once and share
 // the result.
+//
+//armine:ctxok -- cancellation arrives via Config.Ctx, wired to the stop flag by runSpan
 func (e *Engine) RunAdaptive(mode AdaptiveMode, alpha float64) (*AdaptiveResult, error) {
 	ad := e.cfg.Adaptive
 	if !ad.Enabled() {

@@ -25,6 +25,12 @@
 // the allocator. The blocked, unblocked (stripe width 1) and element-walk
 // paths produce identical integer counts, so results stay byte-identical
 // at every optimisation level and worker count.
+//
+// The package comment directive below puts every function in detlint's
+// deterministic scope (DESIGN.md §9): byte-identical output is the
+// package's contract, so ordering hazards are machine-checked.
+//
+//armine:deterministic
 package permute
 
 import (
@@ -600,6 +606,7 @@ func (e *Engine) runSpan(lab *labelBlock, rulesByNode, children *adjacency, mkVi
 		watchDone := make(chan struct{})
 		defer close(watchDone)
 		go func() {
+			//armine:orderok -- cancellation watcher; either arm only raises the sticky stop flag
 			select {
 			case <-e.cfg.Ctx.Done():
 				e.setErr(e.cfg.Ctx.Err())
@@ -728,6 +735,8 @@ type walker struct {
 // nodes that store full tid-lists (the root always does); Diffset children
 // derive their counts from the parent's in node. The buffer comes from
 // the worker arena — the caller's checkpoint scopes its lifetime.
+//
+//armine:noalloc
 func (w *walker) countsFromNode(nd *mining.Node) []int32 {
 	if w.lab.stripes != nil {
 		counts := w.st.arena.Alloc(w.e.numClasses * w.blockLen)
@@ -748,6 +757,8 @@ func (w *walker) countsFromNode(nd *mining.Node) []int32 {
 // base[c][j] - k_c — §4.2.2's subtraction fused into the write-back, so
 // no separate parent copy is needed. Class 0 is derived from the
 // remainder: the counts of one list across classes sum to its length.
+//
+//armine:noalloc
 func (w *walker) blockedCounts(dst, base []int32, nd *mining.Node) {
 	e := w.e
 	nw := e.nw
@@ -844,6 +855,8 @@ func (w *walker) blockedCounts(dst, base []int32, nd *mining.Node) {
 // per-class, per-permutation counts of ids into counts by walking the
 // transposed element label matrix — the scalar ablation path
 // (DisableWordCounting), byte-identical in output to the blocked kernel.
+//
+//armine:noalloc
 func (w *walker) elementAccumulate(counts []int32, ids []uint32, sign int32) {
 	bl := w.blockLen
 	lab := w.lab
@@ -870,6 +883,8 @@ func (w *walker) elementAccumulate(counts []int32, ids []uint32, sign int32) {
 // its children. counts is nd's class-count matrix for the block; ownership
 // stays with the caller (arena checkpoints scope each child's buffer to
 // its subtree walk).
+//
+//armine:noalloc
 func (w *walker) node(nd *mining.Node, counts []int32) {
 	if w.e.stop.Load() {
 		return

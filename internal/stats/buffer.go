@@ -28,6 +28,8 @@ func (b *PBuffer) Bytes() int { return 8*len(b.p) + 48 }
 // k outside [Lo, Hi] are impossible under the margins; they return 0 so
 // that an inconsistent caller fails loudly downstream rather than silently
 // passing significance filters with p = 1.
+//
+//armine:noalloc
 func (b *PBuffer) PValue(k int) float64 {
 	if k < b.Lo || k > b.Hi {
 		return 0
@@ -42,6 +44,8 @@ func (b *PBuffer) Size() int { return len(b.p) }
 // the batch form the permutation engine uses after counting one rule's
 // supports across a whole block of permutations. dst and ks must have
 // equal length.
+//
+//armine:noalloc
 func (b *PBuffer) PValuesInto(dst []float64, ks []int32) {
 	lo, hi := int32(b.Lo), int32(b.Hi)
 	for i, k := range ks {

@@ -47,6 +47,8 @@ type PScratch struct {
 // the buffered lookups — the "no optimization" configuration pays the
 // per-evaluation ladder rebuild the paper charges it, just not the
 // allocator.
+//
+//armine:noalloc
 func (h *Hypergeom) FisherTwoTailedScratch(s *PScratch, k, sx int) float64 {
 	lo, hi := h.Bounds(sx)
 	if k < lo || k > hi {
@@ -54,12 +56,18 @@ func (h *Hypergeom) FisherTwoTailedScratch(s *PScratch, k, sx int) float64 {
 	}
 	m := hi - lo + 1
 	if cap(s.terms) < m {
-		s.terms = make([]float64, m)
-		s.p = make([]float64, m)
+		s.grow(m)
 	}
 	terms, p := s.terms[:m], s.p[:m]
 	h.fillPValues(terms, p, sx, lo, hi)
 	return p[k-lo]
+}
+
+// grow widens the scratch to hold m ladder positions — the cold path of
+// FisherTwoTailedScratch, hit once per high-water coverage.
+func (s *PScratch) grow(m int) {
+	s.terms = make([]float64, m)
+	s.p = make([]float64, m)
 }
 
 // FisherOneTailed returns the one-tailed (enrichment) Fisher exact p-value

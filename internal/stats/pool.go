@@ -84,16 +84,21 @@ func MaxSupForBudget(h *Hypergeom, minSup int, budgetBytes int) int {
 // PValue returns the two-tailed Fisher p-value of a rule with coverage cvg
 // and support k, routing the lookup through the static or dynamic buffer
 // exactly as §4.2.3 prescribes.
+//
+//armine:noalloc
 func (p *BufferPool) PValue(cvg, k int) float64 {
 	return p.Buffer(cvg).PValue(k)
 }
 
 // Buffer returns the p-value buffer for coverage cvg, building and caching
 // it if necessary. The returned buffer is only valid until the next call
-// when it comes from the dynamic slot.
+// when it comes from the dynamic slot. Buffer itself is allocation-free on
+// hits; builds happen in the cold buildStatic/buildDyn helpers.
+//
+//armine:noalloc
 func (p *BufferPool) Buffer(cvg int) *PBuffer {
 	if cvg < 0 || cvg > p.H.n {
-		panic(fmt.Sprintf("stats: BufferPool.Buffer: coverage %d out of [0, %d]", cvg, p.H.n))
+		panicCoverage(cvg, p.H.n)
 	}
 	if p.static != nil && cvg >= p.minSup && cvg <= p.maxSup {
 		b := p.static[cvg-p.minSup]
@@ -114,6 +119,12 @@ func (p *BufferPool) Buffer(cvg int) *PBuffer {
 	p.supd = cvg
 	p.DynBuilds++
 	return p.dyn
+}
+
+// panicCoverage keeps the message formatting — an allocation — out of
+// Buffer's noalloc body.
+func panicCoverage(cvg, n int) {
+	panic(fmt.Sprintf("stats: BufferPool.Buffer: coverage %d out of [0, %d]", cvg, n))
 }
 
 // growTerms returns the shared ladder scratch with room for m terms.
