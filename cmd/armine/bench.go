@@ -21,6 +21,7 @@ type benchFlags struct {
 	in, uciName          *string
 	minSup, maxLen       *int
 	opts, workers, perms *string
+	shards               *string
 	warmup, repeat       *int
 	seed                 *uint64
 	quick, scalar        *bool
@@ -42,6 +43,7 @@ func newBenchFlags(stderr io.Writer) *benchFlags {
 		opts:      fs.String("opts", "none,dynamic,diffsets,static", "comma-separated optimisation levels to measure"),
 		workers:   fs.String("workers", "1,0", "comma-separated worker counts (0 = all CPUs)"),
 		perms:     fs.String("perms", "100", "comma-separated permutation counts"),
+		shards:    fs.String("shards", "1", "comma-separated shard counts; counts > 1 time the same pass through the shard coordinator (in-process workers)"),
 		warmup:    fs.Int("warmup", 1, "discarded warmup runs per cell"),
 		repeat:    fs.Int("repeat", 3, "timed runs per cell (minimum kept)"),
 		seed:      fs.Uint64("seed", 3, "random seed for the permutation shuffles"),
@@ -109,6 +111,10 @@ func runBench(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	shards, err := parseIntList("shards", *f.shards)
+	if err != nil {
+		return err
+	}
 
 	name, data, err := benchDataset(*f.in, *f.uciName, *f.seed)
 	if err != nil {
@@ -120,6 +126,7 @@ func runBench(args []string, stdout, stderr io.Writer) error {
 		Opts:            opts,
 		Workers:         workers,
 		Perms:           perms,
+		Shards:          shards,
 		Warmup:          *f.warmup,
 		Repeat:          *f.repeat,
 		Seed:            *f.seed,
@@ -198,8 +205,8 @@ func benchDataset(in, uciName string, seed uint64) (string, *repro.Dataset, erro
 // ablation.
 func printBenchTable(w io.Writer, rep *benchio.Report) {
 	fmt.Fprintf(w, "# %s %s/%s %d CPUs rev=%s\n", rep.GoVersion, rep.GOOS, rep.GOARCH, rep.CPUs, rep.Rev)
-	fmt.Fprintf(w, "%-20s %-10s %7s %6s %12s %10s %8s %6s %7s\n",
-		"dataset", "opt", "workers", "perms", "ms/op", "allocs/op", "vs-none", "word", "adapt")
+	fmt.Fprintf(w, "%-20s %-10s %7s %6s %6s %12s %10s %8s %6s %7s\n",
+		"dataset", "opt", "workers", "perms", "shards", "ms/op", "allocs/op", "vs-none", "word", "adapt")
 	for _, e := range rep.Entries {
 		word := "-"
 		if e.WordSpeedup > 0 {
@@ -209,8 +216,12 @@ func printBenchTable(w io.Writer, rep *benchio.Report) {
 		if e.AdaptiveSpeedup > 0 {
 			adapt = fmt.Sprintf("%.2fx", e.AdaptiveSpeedup)
 		}
-		fmt.Fprintf(w, "%-20s %-10s %7d %6d %12.3f %10d %7.2fx %6s %7s\n",
-			e.Dataset, e.Opt, e.Workers, e.Perms,
+		shards := e.Shards
+		if shards == 0 {
+			shards = 1
+		}
+		fmt.Fprintf(w, "%-20s %-10s %7d %6d %6d %12.3f %10d %7.2fx %6s %7s\n",
+			e.Dataset, e.Opt, e.Workers, e.Perms, shards,
 			float64(e.NsPerOp)/1e6, e.AllocsPerOp, e.SpeedupVsNone, word, adapt)
 	}
 }

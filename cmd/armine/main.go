@@ -14,6 +14,7 @@
 //	armine mine -in data.csv -minsup-frac 0.05 -control fdr -method direct
 //	armine mine -in data.csv -minsup 60 -method permutation -perms 1000
 //	armine mine -uci german -minsup 60 -method permutation -perms 10000 -adaptive
+//	armine mine -uci german -minsup 60 -method permutation -perms 1000 -shards 4
 //	armine -uci german -minsup 60 -method holdout -control fwer
 //
 // -adaptive switches permutation runs into sequential early stopping:
@@ -40,6 +41,12 @@
 //
 //	armine serve -addr :8080 -capacity 16 -timeout 2m
 //	armine serve -preload census=data.csv -preload german=uci:german
+//	armine serve -shards 3 -shard-peers http://h1:8080,http://h2:8080
+//
+// -shards splits permutation counting across coordinated shards (DESIGN.md
+// §10); results are byte-identical to single-node runs. With -shard-peers
+// the shards fan out over HTTP to peers holding the same datasets,
+// otherwise they run in-process.
 //
 // See the repro package docs (api.go) for the endpoint table.
 //
@@ -143,6 +150,7 @@ type mineFlags struct {
 	minSupFrac, minConf, alpha *float64
 	control, method, methods   *string
 	perms, workers, maxLen     *int
+	shards                     *int
 	adaptive                   *bool
 	adaptMin, adaptExceed      *int
 	seed                       *uint64
@@ -172,6 +180,7 @@ func newMineFlags(stderr io.Writer) *mineFlags {
 			"exceedances a rule needs before early retirement (0 = default 20, negative = never retire)"),
 		seed:    fs.Uint64("seed", 1, "random seed (permutations, holdout split, stand-ins)"),
 		workers: fs.Int("workers", 0, "worker goroutines for mining and permutations (0 = all CPUs)"),
+		shards:  fs.Int("shards", 0, "split permutation counting across this many coordinated shards (0 or 1 = single-node; results are byte-identical)"),
 		maxLen:  fs.Int("maxlen", 0, "maximum rule LHS length (0 = unlimited)"),
 		limit:   fs.Int("limit", 50, "print at most this many rules per run (0 = all)"),
 		jsonOut: fs.Bool("json", false, "emit a JSON array (one entry per method run) instead of text"),
@@ -201,6 +210,7 @@ func runMine(args []string, stdout, stderr io.Writer) error {
 		Seed:         *f.seed,
 		Workers:      *f.workers,
 		MaxLen:       *f.maxLen,
+		Shards:       *f.shards,
 	}
 	if *f.adaptive {
 		base.Adaptive = repro.Adaptive{
@@ -301,6 +311,8 @@ type serveFlags struct {
 	timeout, drain                 *time.Duration
 	maxUpload                      *int64
 	seed                           *uint64
+	shards                         *int
+	shardPeers                     *string
 	pre                            *preloads
 }
 
@@ -317,7 +329,10 @@ func newServeFlags(stderr io.Writer) *serveFlags {
 		maxUpload: fs.Int64("max-upload", 0, "max CSV upload bytes (0 = default 64 MiB)"),
 		drain:     fs.Duration("drain", 30*time.Second, "max wait for in-flight mining on shutdown"),
 		seed:      fs.Uint64("seed", 1, "seed for uci: preloads"),
-		pre:       &preloads{},
+		shards:    fs.Int("shards", 0, "default shard count for permutation runs whose config leaves shards unset (0 or 1 = single-node)"),
+		shardPeers: fs.String("shard-peers", "",
+			"comma-separated peer base URLs holding the same datasets; sharded runs fan out to their /shard endpoints (empty = shard in-process)"),
+		pre: &preloads{},
 	}
 	fs.Func("preload", "register a dataset at startup: name=path.csv or name=uci:standin (repeatable)", f.pre.set)
 	return f
@@ -352,11 +367,17 @@ func runServe(args []string, stderr io.Writer) error {
 		logger.Printf("armine: preloaded dataset %q (%d records)", p.name, d.NumRecords())
 	}
 
+	var peers []string
+	if *f.shardPeers != "" {
+		peers = strings.Split(*f.shardPeers, ",")
+	}
 	srv := repro.NewServer(reg, repro.ServeOptions{
 		Addr:           *f.addr,
 		Timeout:        *f.timeout,
 		MaxUploadBytes: *f.maxUpload,
 		Log:            logger,
+		DefaultShards:  *f.shards,
+		ShardPeers:     peers,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

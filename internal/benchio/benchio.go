@@ -27,6 +27,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/mining"
 	"repro/internal/permute"
+	"repro/internal/shard"
 )
 
 // SchemaVersion identifies the BENCH json layout; bump on incompatible
@@ -52,6 +53,12 @@ type Spec struct {
 	Opts    []permute.OptLevel
 	Workers []int
 	Perms   []int
+	// Shards adds a distributed-counting dimension: each count > 1 times
+	// the same fixed pass through a shard coordinator over that many
+	// in-process workers (nil or empty = single-node only). Sharded cells
+	// skip the scalar/adaptive ablations — they measure dispatch + merge
+	// overhead, not counting variants.
+	Shards []int
 	// Warmup runs per cell are discarded; Repeat timed runs follow and
 	// the minimum is kept. Repeat < 1 is treated as 1.
 	Warmup, Repeat int
@@ -81,6 +88,10 @@ type Entry struct {
 	Opt     string `json:"opt"`
 	Workers int    `json:"workers"`
 	Perms   int    `json:"perms"`
+	// Shards records the distributed-counting dimension; omitted (0) for
+	// single-node cells, so reports predating the dimension stay
+	// comparable.
+	Shards int `json:"shards,omitempty"`
 
 	// NsPerOp is the minimum wall-clock time of one engine build + MinP
 	// pass; AllocsPerOp/BytesPerOp are the allocation counters of that
@@ -132,6 +143,10 @@ func Run(ctx context.Context, spec Spec, rev string) (*Report, error) {
 	if spec.Repeat < 1 {
 		spec.Repeat = 1
 	}
+	shardCounts := spec.Shards
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1}
+	}
 	rep := &Report{
 		SchemaVersion: SchemaVersion,
 		Rev:           rev,
@@ -161,65 +176,77 @@ func Run(ctx context.Context, spec Spec, rev string) (*Report, error) {
 			}
 			for _, workers := range spec.Workers {
 				for _, perms := range spec.Perms {
-					cell := permute.Config{
-						NumPerms: perms,
-						Seed:     spec.Seed,
-						Opt:      opt,
-						Workers:  workers,
-						Ctx:      ctx,
-					}
-					e := Entry{
-						Dataset: ds.Name,
-						Records: ds.Data.NumRecords(),
-						Rules:   len(rules),
-						MinSup:  ds.MinSup,
-						Opt:     opt.Name(),
-						Workers: workers,
-						Perms:   perms,
-					}
-					m, err := measure(ctx, tree, rules, cell, spec.Warmup, spec.Repeat)
-					if err != nil {
-						return nil, err
-					}
-					e.NsPerOp, e.AllocsPerOp, e.BytesPerOp = m.ns, m.allocs, m.bytes
-					if spec.MeasureScalar {
-						scell := cell
-						scell.DisableWordCounting = true
-						sm, err := measure(ctx, tree, rules, scell, spec.Warmup, spec.Repeat)
+					for _, nShards := range shardCounts {
+						cell := permute.Config{
+							NumPerms: perms,
+							Seed:     spec.Seed,
+							Opt:      opt,
+							Workers:  workers,
+							Ctx:      ctx,
+						}
+						e := Entry{
+							Dataset: ds.Name,
+							Records: ds.Data.NumRecords(),
+							Rules:   len(rules),
+							MinSup:  ds.MinSup,
+							Opt:     opt.Name(),
+							Workers: workers,
+							Perms:   perms,
+						}
+						if nShards > 1 {
+							e.Shards = nShards
+							m, err := measureSharded(ctx, tree, rules, cell, nShards, spec.Warmup, spec.Repeat)
+							if err != nil {
+								return nil, err
+							}
+							e.NsPerOp, e.AllocsPerOp, e.BytesPerOp = m.ns, m.allocs, m.bytes
+							rep.Entries = append(rep.Entries, e)
+							continue
+						}
+						m, err := measure(ctx, tree, rules, cell, spec.Warmup, spec.Repeat)
 						if err != nil {
 							return nil, err
 						}
-						e.ScalarNsPerOp = sm.ns
-						if e.NsPerOp > 0 {
-							e.WordSpeedup = float64(sm.ns) / float64(e.NsPerOp)
+						e.NsPerOp, e.AllocsPerOp, e.BytesPerOp = m.ns, m.allocs, m.bytes
+						if spec.MeasureScalar {
+							scell := cell
+							scell.DisableWordCounting = true
+							sm, err := measure(ctx, tree, rules, scell, spec.Warmup, spec.Repeat)
+							if err != nil {
+								return nil, err
+							}
+							e.ScalarNsPerOp = sm.ns
+							if e.NsPerOp > 0 {
+								e.WordSpeedup = float64(sm.ns) / float64(e.NsPerOp)
+							}
 						}
+						// Adaptive cells are only meaningful when the budget
+						// allows at least one retirement round: with
+						// MaxPerms <= the normalized MinPerms the whole run is
+						// a single round and cannot retire anything, so the
+						// ratio would be fixed-vs-fixed timing noise — and
+						// noise must not enter the regression gate.
+						ad := permute.Adaptive{MaxPerms: perms}.Normalized()
+						if spec.MeasureAdaptive && perms > ad.MinPerms {
+							acell := cell
+							acell.Adaptive = ad
+							alpha := spec.Alpha
+							if alpha == 0 {
+								alpha = 0.05
+							}
+							am, info, err := measureAdaptive(ctx, tree, rules, acell, alpha, spec.Warmup, spec.Repeat)
+							if err != nil {
+								return nil, err
+							}
+							e.AdaptiveNsPerOp = am.ns
+							if am.ns > 0 {
+								e.AdaptiveSpeedup = float64(e.NsPerOp) / float64(am.ns)
+							}
+							e.AdaptivePermsRun = info.PermsRun
+							e.AdaptiveRulesRetired = info.RulesRetired
+						}
+						rep.Entries = append(rep.Entries, e)
 					}
-					// Adaptive cells are only meaningful when the budget
-					// allows at least one retirement round: with
-					// MaxPerms <= the normalized MinPerms the whole run is
-					// a single round and cannot retire anything, so the
-					// ratio would be fixed-vs-fixed timing noise — and
-					// noise must not enter the regression gate.
-					ad := permute.Adaptive{MaxPerms: perms}.Normalized()
-					if spec.MeasureAdaptive && perms > ad.MinPerms {
-						acell := cell
-						acell.Adaptive = ad
-						alpha := spec.Alpha
-						if alpha == 0 {
-							alpha = 0.05
-						}
-						am, info, err := measureAdaptive(ctx, tree, rules, acell, alpha, spec.Warmup, spec.Repeat)
-						if err != nil {
-							return nil, err
-						}
-						e.AdaptiveNsPerOp = am.ns
-						if am.ns > 0 {
-							e.AdaptiveSpeedup = float64(e.NsPerOp) / float64(am.ns)
-						}
-						e.AdaptivePermsRun = info.PermsRun
-						e.AdaptiveRulesRetired = info.RulesRetired
-					}
-					rep.Entries = append(rep.Entries, e)
 				}
 			}
 		}
@@ -312,25 +339,72 @@ func measureAdaptive(ctx context.Context, tree *mining.Tree, rules []mining.Rule
 	})
 }
 
-// cellKey identifies a matrix cell across reports and levels.
+// measureSharded times one fixed pass through a shard coordinator: engine
+// construction (labels deferred — each shard builds only its own range),
+// worker wrapping, dispatch and merge. The statistics are byte-identical
+// to the single-node cell's; the timing difference is the cost (or gain)
+// of the partition itself.
+func measureSharded(ctx context.Context, tree *mining.Tree, rules []mining.Rule, cfg permute.Config, nShards, warmup, repeat int) (measurement, error) {
+	ps := make([]float64, len(rules))
+	for i := range rules {
+		ps[i] = rules[i].P
+	}
+	m, _, err := measureRuns(ctx, warmup, repeat, func() (struct{}, error) {
+		scfg := cfg
+		scfg.DeferLabels = true
+		e, err := permute.NewEngine(tree, rules, scfg)
+		if err != nil {
+			return struct{}{}, fmt.Errorf("benchio: engine: %w", err)
+		}
+		workers := make([]shard.Worker, nShards)
+		for i := range workers {
+			workers[i] = shard.NewLocal(e)
+		}
+		coord, err := shard.NewCoordinator(workers, ps, cfg.NumPerms, permute.Adaptive{})
+		if err != nil {
+			return struct{}{}, fmt.Errorf("benchio: coordinator: %w", err)
+		}
+		_, err = coord.MinP(ctx)
+		return struct{}{}, err
+	})
+	return m, err
+}
+
+// cellKey identifies a matrix cell across reports and levels. shards is
+// stored normalized (normShards): reports written before the dimension
+// existed carry an implicit 0, which must keep matching today's
+// single-node cells — while a shards=N cell never matches a single-node
+// baseline, so Compare skips it like any other cell present in only one
+// report.
 type cellKey struct {
 	dataset string
 	opt     string
 	workers int
 	perms   int
+	shards  int
+}
+
+// normShards collapses the two spellings of "single-node" (0 and 1) into
+// one key value.
+func normShards(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return n
 }
 
 // fillSpeedups derives each entry's speedup against the matching
-// "none"-level cell of the same run.
+// "none"-level cell of the same run (and the same shard count — a
+// sharded cell's ladder is measured against the sharded "none" cell).
 func fillSpeedups(entries []Entry) {
 	none := make(map[cellKey]int64)
 	for _, e := range entries {
 		if e.Opt == permute.OptNone.Name() {
-			none[cellKey{e.Dataset, "", e.Workers, e.Perms}] = e.NsPerOp
+			none[cellKey{e.Dataset, "", e.Workers, e.Perms, normShards(e.Shards)}] = e.NsPerOp
 		}
 	}
 	for i := range entries {
-		base := none[cellKey{entries[i].Dataset, "", entries[i].Workers, entries[i].Perms}]
+		base := none[cellKey{entries[i].Dataset, "", entries[i].Workers, entries[i].Perms, normShards(entries[i].Shards)}]
 		if base > 0 && entries[i].NsPerOp > 0 {
 			entries[i].SpeedupVsNone = float64(base) / float64(entries[i].NsPerOp)
 		}
@@ -369,14 +443,18 @@ type Regression struct {
 	Opt     string
 	Workers int
 	Perms   int
+	Shards  int    // 0 = single-node
 	Metric  string // "speedup_vs_none", "word_speedup", "adaptive_vs_none" or "allocs_per_op"
 	Base    float64
 	Now     float64
 }
 
 func (r Regression) String() string {
-	return fmt.Sprintf("%s opt=%s workers=%d perms=%d: %s %.2f -> %.2f",
-		r.Dataset, r.Opt, r.Workers, r.Perms, r.Metric, r.Base, r.Now)
+	s := fmt.Sprintf("%s opt=%s workers=%d perms=%d", r.Dataset, r.Opt, r.Workers, r.Perms)
+	if r.Shards > 1 {
+		s += fmt.Sprintf(" shards=%d", r.Shards)
+	}
+	return fmt.Sprintf("%s: %s %.2f -> %.2f", s, r.Metric, r.Base, r.Now)
 }
 
 // allocsSlack is the absolute headroom the allocs_per_op gate grants on
@@ -401,18 +479,20 @@ const allocsSlack = 64
 func Compare(base, cur *Report, tolerance float64) []Regression {
 	baseBy := make(map[cellKey]Entry, len(base.Entries))
 	for _, e := range base.Entries {
-		baseBy[cellKey{e.Dataset, e.Opt, e.Workers, e.Perms}] = e
+		baseBy[cellKey{e.Dataset, e.Opt, e.Workers, e.Perms, normShards(e.Shards)}] = e
 	}
 	var regs []Regression
 	for _, e := range cur.Entries {
-		b, ok := baseBy[cellKey{e.Dataset, e.Opt, e.Workers, e.Perms}]
+		b, ok := baseBy[cellKey{e.Dataset, e.Opt, e.Workers, e.Perms, normShards(e.Shards)}]
 		if !ok {
+			// In particular, a baseline recorded before the shard dimension
+			// (or at a different shard count) never gates a sharded cell.
 			continue
 		}
 		reg := func(metric string, was, now float64) {
 			regs = append(regs, Regression{
 				Dataset: e.Dataset, Opt: e.Opt, Workers: e.Workers, Perms: e.Perms,
-				Metric: metric, Base: was, Now: now,
+				Shards: e.Shards, Metric: metric, Base: was, Now: now,
 			})
 		}
 		check := func(metric string, was, now float64) {

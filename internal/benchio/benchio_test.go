@@ -71,6 +71,80 @@ func TestRunMatrixAndRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRunShardDimension: Spec.Shards adds sharded cells that time the same
+// pass through the shard coordinator — they must carry the shard count,
+// skip the ablation columns, and coexist with the single-node cells.
+func TestRunShardDimension(t *testing.T) {
+	spec := tinySpec(t)
+	spec.Opts = []permute.OptLevel{permute.OptDiffsets}
+	spec.MeasureScalar = false
+	spec.Shards = []int{1, 3}
+	rep, err := Run(context.Background(), spec, "test-rev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) != 2 {
+		t.Fatalf("%d entries, want 2 (shards 1 and 3)", len(rep.Entries))
+	}
+	var single, sharded *Entry
+	for i := range rep.Entries {
+		switch rep.Entries[i].Shards {
+		case 0:
+			single = &rep.Entries[i]
+		case 3:
+			sharded = &rep.Entries[i]
+		}
+	}
+	if single == nil || sharded == nil {
+		t.Fatalf("missing single-node or sharded cell: %+v", rep.Entries)
+	}
+	if single.NsPerOp <= 0 || sharded.NsPerOp <= 0 {
+		t.Fatalf("unmeasured cells: single=%d sharded=%d ns/op", single.NsPerOp, sharded.NsPerOp)
+	}
+	if sharded.ScalarNsPerOp != 0 || sharded.AdaptiveNsPerOp != 0 {
+		t.Fatalf("sharded cell ran ablations: %+v", sharded)
+	}
+}
+
+// TestCompareSkipsShardedCellsWithoutBaseline: a baseline recorded before
+// the shard dimension existed must keep gating the single-node cells while
+// never gating (or crashing on) shards>1 cells it has no counterpart for.
+func TestCompareSkipsShardedCellsWithoutBaseline(t *testing.T) {
+	entry := func(shards int, speedup float64) Entry {
+		return Entry{Dataset: "d", Opt: "diffsets", Workers: 1, Perms: 100,
+			Shards: shards, NsPerOp: 100, SpeedupVsNone: speedup}
+	}
+	base := &Report{SchemaVersion: SchemaVersion, Entries: []Entry{entry(0, 10)}}
+
+	// A pre-shard-dimension baseline: the shards=3 cell is skipped even
+	// when its speedup cratered, and the single-node cell still gates.
+	cur := &Report{SchemaVersion: SchemaVersion, Entries: []Entry{entry(1, 10), entry(3, 1)}}
+	if regs := Compare(base, cur, 0.20); len(regs) != 0 {
+		t.Fatalf("sharded cell gated by a shardless baseline: %v", regs)
+	}
+	cur = &Report{SchemaVersion: SchemaVersion, Entries: []Entry{entry(1, 5), entry(3, 1)}}
+	regs := Compare(base, cur, 0.20)
+	if len(regs) != 1 || regs[0].Metric != "speedup_vs_none" || regs[0].Shards != 1 {
+		t.Fatalf("single-node regression lost among sharded cells: %v", regs)
+	}
+
+	// Once a baseline records shards=3, that cell gates like any other.
+	base.Entries = append(base.Entries, entry(3, 8))
+	regs = Compare(base, cur, 0.20)
+	if len(regs) != 2 {
+		t.Fatalf("matched sharded cell not gated: %v", regs)
+	}
+	var found bool
+	for _, r := range regs {
+		if r.Shards == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no regression attributed to the sharded cell: %v", regs)
+	}
+}
+
 func TestRunRejectsEmptyMatrix(t *testing.T) {
 	if _, err := Run(context.Background(), Spec{}, "r"); err == nil {
 		t.Fatal("empty spec accepted")

@@ -18,6 +18,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/mining"
 	"repro/internal/permute"
+	"repro/internal/shard"
 )
 
 // Control selects the error measure being controlled (§2.3).
@@ -160,6 +161,19 @@ type Config struct {
 	// matches the fixed run's up to the conservative stopping rule (see
 	// the design doc for the exactness argument).
 	Adaptive permute.Adaptive
+	// Shards, when > 1, splits MethodPermutation's absolute
+	// permutation-index range into that many disjoint contiguous shards
+	// dispatched through the internal/shard coordinator (DESIGN.md §10).
+	// The default in-process workers share one deferred-label engine;
+	// ShardWorkers overrides them. Results are byte-identical to a
+	// single-node run for every shard count — the (Seed, absolute index)
+	// label contract makes the partition invisible to the statistics.
+	Shards int
+	// ShardWorkers, when non-empty, supplies the shard workers directly
+	// (one shard per worker, e.g. HTTP peers wired up by the server) and
+	// takes precedence over Shards. Like Workers, it never participates in
+	// serialisation or cache keys beyond the shard count.
+	ShardWorkers []shard.Worker
 	// Seed drives permutation shuffles and holdout splits. Seeding is
 	// fully explicit — nothing in the pipeline reads global or time-based
 	// randomness — so equal (Seed, Config) pairs reproduce byte-identical
@@ -365,26 +379,82 @@ func runCorrection(ctx context.Context, cfg Config, tree *mining.Tree, rules []m
 		}
 		return correction.BenjaminiHochberg(ps, len(ps), cfg.Alpha), nil, nil
 	case MethodPermutation:
-		engine, err := permute.NewEngine(tree, rules, cfg.permConfig(ctx))
+		src, err := cfg.permSource(ctx, tree, rules)
 		if err != nil {
 			return nil, nil, err
 		}
 		if cfg.Adaptive.Enabled() {
-			return runAdaptiveCorrection(engine, cfg, rules)
+			return runAdaptiveCorrection(src, cfg, rules)
 		}
 		var outcome *correction.Outcome
 		if cfg.Control == ControlFWER {
-			outcome = correction.PermFWER(engine, rules, cfg.Alpha)
+			outcome = correction.PermFWER(src, rules, cfg.Alpha)
 		} else {
-			outcome = correction.PermFDR(engine, rules, cfg.Alpha)
+			outcome = correction.PermFDR(src, rules, cfg.Alpha)
 		}
-		if err := engine.Err(); err != nil {
+		if err := src.Err(); err != nil {
 			return nil, nil, err
 		}
 		return outcome, nil, nil
 	default:
 		return nil, nil, fmt.Errorf("core: unknown method %d", cfg.Method)
 	}
+}
+
+// permRunner is the engine-shaped surface the permutation correction paths
+// consume, satisfied by both *permute.Engine and the sharded *shard.Bound
+// — the byte-identity contract (DESIGN.md §10) is precisely that swapping
+// one for the other never changes an output bit.
+type permRunner interface {
+	correction.NullSource
+	RunAdaptive(permute.AdaptiveMode, float64) (*permute.AdaptiveResult, error)
+	Err() error
+}
+
+// shardCount normalizes the requested fan-out: the explicit worker count
+// when ShardWorkers is set, else Shards, with "no sharding" always 0.
+func (c Config) shardCount() int {
+	if n := len(c.ShardWorkers); n > 0 {
+		return n
+	}
+	if c.Shards > 1 {
+		return c.Shards
+	}
+	return 0
+}
+
+// permSource builds cfg's permutation null source over the scored rules: a
+// single-node engine, or — when sharding is requested — a shard
+// coordinator bound to ctx. The default in-process workers share one
+// engine built with DeferLabels, so shard dispatch decides which label
+// blocks ever materialise; explicit ShardWorkers (the server's HTTP peers)
+// take precedence and each evaluate their spans remotely.
+func (c Config) permSource(ctx context.Context, tree *mining.Tree, rules []mining.Rule) (permRunner, error) {
+	workers := c.ShardWorkers
+	if len(workers) == 0 && c.Shards > 1 {
+		pcfg := c.permConfig(ctx)
+		pcfg.DeferLabels = true
+		e, err := permute.NewEngine(tree, rules, pcfg)
+		if err != nil {
+			return nil, err
+		}
+		workers = make([]shard.Worker, c.Shards)
+		for i := range workers {
+			workers[i] = shard.NewLocal(e)
+		}
+	}
+	if len(workers) == 0 {
+		return permute.NewEngine(tree, rules, c.permConfig(ctx))
+	}
+	ps := make([]float64, len(rules))
+	for i := range rules {
+		ps[i] = rules[i].P
+	}
+	coord, err := shard.NewCoordinator(workers, ps, c.Permutations, c.Adaptive)
+	if err != nil {
+		return nil, err
+	}
+	return shard.Bind(coord, ctx), nil
 }
 
 // permConfig derives the permutation engine configuration of a normalized
@@ -414,8 +484,8 @@ func (c Config) adaptiveMode() permute.AdaptiveMode {
 }
 
 // runAdaptiveCorrection executes the adaptive permutation schedule on an
-// already-built engine and derives the configured outcome.
-func runAdaptiveCorrection(engine *permute.Engine, cfg Config, rules []mining.Rule) (*correction.Outcome, *PermStats, error) {
+// already-built null source and derives the configured outcome.
+func runAdaptiveCorrection(engine permRunner, cfg Config, rules []mining.Rule) (*correction.Outcome, *PermStats, error) {
 	res, err := engine.RunAdaptive(cfg.adaptiveMode(), cfg.Alpha)
 	if err != nil {
 		return nil, nil, err

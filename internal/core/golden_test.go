@@ -180,6 +180,32 @@ func renderRule(r Rule) string {
 		strings.Join(r.Items, " ^ "), r.Class, r.Coverage, r.Support, fmtFloat(r.P))
 }
 
+// outcomeFromResult renders one correction run as its golden record.
+func outcomeFromResult(name string, ref *Result) goldenOutcome {
+	out := goldenOutcome{
+		Name:    name,
+		Method:  ref.Method.String(),
+		Control: ref.Control.String(),
+		Cutoff:  fmtFloat(ref.Cutoff),
+		Rules:   []string{},
+	}
+	if ref.Perm != nil {
+		out.Adaptive = true
+		out.PermsRun = ref.Perm.PermsRun
+		out.RulesRetired = ref.Perm.RulesRetired
+	}
+	if ref.Outcome != nil {
+		out.Significant = append([]int{}, ref.Outcome.Significant...)
+	}
+	if out.Significant == nil {
+		out.Significant = []int{}
+	}
+	for _, r := range ref.Significant {
+		out.Rules = append(out.Rules, renderRule(r))
+	}
+	return out
+}
+
 // buildGolden runs the full matrix on one dataset and assembles its
 // golden file, asserting the cross-OptLevel agreement along the way.
 func buildGolden(t *testing.T, gc goldenCase) *goldenFile {
@@ -219,28 +245,7 @@ func buildGolden(t *testing.T, gc goldenCase) *goldenFile {
 			}
 		}
 
-		out := goldenOutcome{
-			Name:    entry.name,
-			Method:  ref.Method.String(),
-			Control: ref.Control.String(),
-			Cutoff:  fmtFloat(ref.Cutoff),
-			Rules:   []string{},
-		}
-		if ref.Perm != nil {
-			out.Adaptive = true
-			out.PermsRun = ref.Perm.PermsRun
-			out.RulesRetired = ref.Perm.RulesRetired
-		}
-		if ref.Outcome != nil {
-			out.Significant = append([]int{}, ref.Outcome.Significant...)
-		}
-		if out.Significant == nil {
-			out.Significant = []int{}
-		}
-		for _, r := range ref.Significant {
-			out.Rules = append(out.Rules, renderRule(r))
-		}
-		gf.Outcomes = append(gf.Outcomes, out)
+		gf.Outcomes = append(gf.Outcomes, outcomeFromResult(entry.name, ref))
 
 		// The tested rule set (shared by every non-holdout entry): record
 		// it once, with each p-value validated against the exact oracle.
@@ -310,6 +315,96 @@ func TestGoldenCorpus(t *testing.T) {
 				t.Errorf("%s: results diverge from the golden file;\n got: %s\nrun with -update after verifying the change is intentional", gc.name, got)
 			}
 		})
+	}
+}
+
+// goldenShardedFile records the distributed e2e entry of the corpus: every
+// permutation config of one dataset evaluated across coordinated shards.
+type goldenShardedFile struct {
+	Dataset  string          `json:"dataset"`
+	Shards   int             `json:"shards"`
+	Outcomes []goldenOutcome `json:"outcomes"`
+}
+
+// TestGoldenShardedCorpus is the distributed half of the golden contract:
+// the permutation and adaptive configs of the corpus run across 3
+// coordinated in-process shards must byte-reproduce both the committed
+// sharded golden file and the corresponding single-node outcomes in the
+// per-dataset golden JSON — sharding may move work, never answers.
+// Regenerate with: go test ./internal/core -run TestGoldenSharded -update
+func TestGoldenShardedCorpus(t *testing.T) {
+	const shards = 3
+	gc := goldenCases[0] // contrast
+	d := loadGoldenDataset(t, gc.name)
+	sess := NewSession(d)
+
+	sf := &goldenShardedFile{Dataset: gc.name, Shards: shards}
+	for _, entry := range goldenConfigs(gc.minSup) {
+		if entry.cfg.Method != MethodPermutation {
+			continue
+		}
+		cfg := entry.cfg
+		cfg.Shards = shards
+		cfg.Opt = permute.OptStaticBuffer
+		cfg.OptSet = true
+		res, err := sess.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s/%s shards=%d: %v", gc.name, entry.name, shards, err)
+		}
+		sf.Outcomes = append(sf.Outcomes, outcomeFromResult(entry.name, res))
+	}
+
+	got, err := json.MarshalIndent(sf, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join(goldenDir, "sharded.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d outcomes)", path, len(sf.Outcomes))
+	} else {
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (run with -update to create the golden file)", err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("sharded results diverge from the golden file;\n got: %s\nrun with -update after verifying the change is intentional", got)
+		}
+	}
+
+	// Cross-file identity: every sharded outcome must byte-equal the
+	// single-node outcome of the same name in the dataset's golden file.
+	raw, err := os.ReadFile(filepath.Join(goldenDir, gc.name+".golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gf goldenFile
+	if err := json.Unmarshal(raw, &gf); err != nil {
+		t.Fatal(err)
+	}
+	single := make(map[string]string, len(gf.Outcomes))
+	for _, out := range gf.Outcomes {
+		b, err := json.Marshal(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single[out.Name] = string(b)
+	}
+	for _, out := range sf.Outcomes {
+		b, err := json.Marshal(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, ok := single[out.Name]
+		if !ok {
+			t.Fatalf("no single-node golden outcome named %q", out.Name)
+		}
+		if string(b) != want {
+			t.Errorf("%s: sharded outcome diverged from single-node golden:\n got: %s\nwant: %s", out.Name, b, want)
+		}
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/mining"
 	"repro/internal/permute"
 	"repro/internal/redundancy"
+	"repro/internal/shard"
 )
 
 // treeKey is the subset of Config that determines the mined tree: two
@@ -63,6 +64,11 @@ type permKey struct {
 	// configs that flip them must not share an engine — a shared engine
 	// would silently ignore one config's requested counting path.
 	noWords, noBlocks bool
+	// shards is the normalized shard count (0 = single-node). Sharding
+	// never changes results either, but a sharded group runs through the
+	// coordinator rather than a plain engine, so the requested fan-out
+	// must not be silently dropped by group sharing.
+	shards int
 }
 
 // permKey derives the engine-sharing key of a normalized permutation
@@ -76,6 +82,7 @@ func (c Config) permKey() permKey {
 		budget:   c.StaticBudget,
 		noWords:  c.DisableWordCounting,
 		noBlocks: c.DisableBlockedCounting,
+		shards:   c.shardCount(),
 	}
 	if c.Adaptive.Enabled() {
 		k.perms = 0
@@ -652,7 +659,7 @@ func (s *Session) runPermGroup(ctx context.Context, norm []Config, idxs []int, r
 	}
 	cfg0 := norm[idxs[0]]
 	start := time.Now()
-	engine, err := permute.NewEngine(rs.tree.tree, rs.rules, cfg0.permConfig(ctx))
+	engine, err := cfg0.permSource(ctx, rs.tree.tree, rs.rules)
 	if err != nil {
 		fail(err)
 		return
@@ -692,4 +699,34 @@ func (s *Session) runPermGroup(ctx context.Context, norm []Config, idxs []int, r
 		s.corrections.Add(1)
 		results[i] = s.assemble(cfg, rs, outcome, nil, engineDur+time.Since(correct))
 	}
+}
+
+// ShardSpan evaluates one distributed-shard work assignment against cfg's
+// prepared stages — the worker half of the DESIGN.md §10 protocol, served
+// over HTTP by /v1/datasets/{name}/shard. The config identifies the
+// mine/score stages (cached and shared with ordinary runs of the same
+// parameters); the permutation engine itself is built per call with
+// deferred labels, bound to ctx, so a worker only ever materialises the
+// label blocks of the ranges it is assigned. cfg's own Shards/ShardWorkers
+// fields are ignored: a shard evaluation is a leaf of the fan-out and
+// never fans out further.
+func (s *Session) ShardSpan(ctx context.Context, cfg Config, req shard.Request) (*shard.Reply, error) {
+	cfg, err := cfg.withDefaults(s.data.NumRecords())
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Method != MethodPermutation {
+		return nil, fmt.Errorf("core: ShardSpan needs Method == permutation, got %s", cfg.Method)
+	}
+	rs, err := s.rulesFor(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pcfg := cfg.permConfig(ctx)
+	pcfg.DeferLabels = true
+	engine, err := permute.NewEngine(rs.tree.tree, rs.rules, pcfg)
+	if err != nil {
+		return nil, err
+	}
+	return shard.NewLocal(engine).Span(ctx, req)
 }

@@ -26,10 +26,24 @@ func PermFWERCutoff(minP []float64, alpha float64) float64 {
 	return sorted[k-1]
 }
 
+// NullSource supplies the permutation null statistics the correction
+// procedures consume. *permute.Engine is the single-node source; the
+// distributed coordinator adapter (internal/shard) provides the same
+// surface over merged shard replies, byte-identical by construction.
+type NullSource interface {
+	// MinP returns the per-permutation minimum p-values.
+	MinP() []float64
+	// CountLE returns, per rule, the pooled count of permutation p-values
+	// at or below its original p-value.
+	CountLE() []int64
+	// NumPerms returns the evaluated permutation count.
+	NumPerms() int
+}
+
 // PermFWER runs the full permutation FWER procedure: build the min-p null
 // distribution with the engine, derive the cut-off, and mark the rules at
 // or below it.
-func PermFWER(engine *permute.Engine, rules []mining.Rule, alpha float64) *Outcome {
+func PermFWER(engine NullSource, rules []mining.Rule, alpha float64) *Outcome {
 	minP := engine.MinP()
 	cutoff := PermFWERCutoff(minP, alpha)
 	o := &Outcome{Method: "Perm_FWER", Alpha: alpha, NumTests: len(rules), Cutoff: cutoff}
@@ -59,7 +73,7 @@ func PermAdjustedP(countLE []int64, numPerms, numTests int) []float64 {
 // PermFDR runs the full permutation FDR procedure (§4.2): each rule's
 // p-value is replaced by its pooled empirical adjusted p-value, then
 // Benjamini–Hochberg is applied to the adjusted values at level alpha.
-func PermFDR(engine *permute.Engine, rules []mining.Rule, alpha float64) *Outcome {
+func PermFDR(engine NullSource, rules []mining.Rule, alpha float64) *Outcome {
 	adj := PermAdjustedP(engine.CountLE(), engine.NumPerms(), len(rules))
 	o := BenjaminiHochberg(adj, len(rules), alpha)
 	o.Method = "Perm_FDR"

@@ -183,35 +183,52 @@ type AdaptiveResult struct {
 //
 //armine:ctxok -- cancellation arrives via Config.Ctx, wired to the stop flag by runSpan
 func (e *Engine) RunAdaptive(mode AdaptiveMode, alpha float64) (*AdaptiveResult, error) {
-	ad := e.cfg.Adaptive
-	if !ad.Enabled() {
+	if !e.cfg.Adaptive.Enabled() {
 		return nil, fmt.Errorf("permute: RunAdaptive needs Config.Adaptive.MaxPerms > 0")
 	}
-	if alpha <= 0 || alpha > 1 {
-		return nil, fmt.Errorf("permute: RunAdaptive alpha %g outside (0, 1]", alpha)
+	return DriveAdaptive(e.origPs(), e.cfg.Adaptive, mode, alpha,
+		func(lo, hi int, live []bool, withPool bool) (*ShardStats, error) {
+			return e.ShardSpan(lo, hi, live, true, withPool)
+		})
+}
+
+// RoundRunner evaluates the permutations [lo, hi) against the rules still
+// live and returns the round's mergeable statistics: per-permutation
+// live-set minima, per-rule own exceedances, and — when withPool is set —
+// the pooled histogram over the sorted original p-values.
+// Engine.ShardSpan is the single-node runner; the distributed coordinator
+// (internal/shard) fans each range out to its workers and merges their
+// replies into the same shape.
+type RoundRunner func(lo, hi int, live []bool, withPool bool) (*ShardStats, error)
+
+// DriveAdaptive executes RunAdaptive's round schedule over an abstract
+// round runner. ps holds the rules' original p-values by rule index; ad
+// must have MaxPerms > 0. Factoring the driver out of the engine is what
+// makes distributed adaptive runs byte-identical by construction
+// (DESIGN.md §10): retirement depends only on the aggregated exceedance
+// histograms, so the driver makes every retirement decision centrally and
+// broadcasts the resulting frontier to the next round through the
+// runner's live mask. Any runner that returns exact span statistics —
+// one engine, or any merge of per-shard replies — yields the exact result
+// a single-node run would.
+func DriveAdaptive(ps []float64, ad Adaptive, mode AdaptiveMode, alpha float64, run RoundRunner) (*AdaptiveResult, error) {
+	ad = ad.Normalized()
+	if !ad.Enabled() {
+		return nil, fmt.Errorf("permute: DriveAdaptive needs Adaptive.MaxPerms > 0")
 	}
-	nR := len(e.rules)
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("permute: adaptive alpha %g outside (0, 1]", alpha)
+	}
+	nR := len(ps)
 	maxPerms := ad.MaxPerms
 
-	// Original p-values in ascending order. The exceedance tallies are
-	// kept as histograms over sorted positions (the CountLE technique):
-	// each permutation p-value lands in one bucket by binary search, and a
-	// prefix sum recovers every rule's count, so a round costs O(values ·
-	// log rules + rules) bookkeeping regardless of how many rules a value
-	// affects.
-	orig := make([]float64, nR)
-	for i := range e.rules {
-		orig[i] = e.rules[i].P
-	}
-	order := make([]int, nR)
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool { return orig[order[a]] < orig[order[b]] })
-	sorted := make([]float64, nR)
-	for i, idx := range order {
-		sorted[i] = orig[idx]
-	}
+	// The exceedance tallies are kept as histograms over the sorted
+	// original p-values (the CountLE technique): each permutation p-value
+	// lands in one bucket by binary search, and a prefix sum recovers
+	// every rule's count, so a round costs O(values · log rules + rules)
+	// bookkeeping regardless of how many rules a value affects.
+	rank := NewRank(ps)
+	order, sorted := rank.Order, rank.Sorted
 
 	live := make([]bool, nR)
 	for i := range live {
@@ -233,7 +250,6 @@ func (e *Engine) RunAdaptive(mode AdaptiveMode, alpha float64) (*AdaptiveResult,
 	// values below its p-value can never sit at or below the cut-off.
 	kmax := int64(alpha * float64(maxPerms))
 
-	rulesByNode, children := e.rulesByNode, e.children
 	res := &AdaptiveResult{Mode: mode}
 	permsRun := 0
 	roundLen := ad.MinPerms
@@ -242,38 +258,21 @@ func (e *Engine) RunAdaptive(mode AdaptiveMode, alpha float64) (*AdaptiveResult,
 		if hi > maxPerms {
 			hi = maxPerms
 		}
-		lab := e.buildLabels(permsRun, hi)
-		if err := e.ctxErr(); err != nil {
-			e.setErr(err)
+		// Only the FDR path consumes the pool; skipping the histogram
+		// spares the FWER hot loop a binary search per (rule, permutation)
+		// p-value.
+		st, err := run(permsRun, hi, live, mode == AdaptFDR)
+		if err != nil {
 			return nil, err
 		}
-		e.runSpan(lab, rulesByNode, children,
-			func() visitor {
-				av := &adaptiveVisitor{
-					orig: orig,
-					min:  minP,
-					own:  make([]int64, nR),
-				}
-				if mode == AdaptFDR {
-					// Only the FDR path consumes the pool; skipping the
-					// histogram spares the FWER hot loop a binary search
-					// per (rule, permutation) p-value.
-					av.sorted = sorted
-					av.poolHist = make([]int64, nR+1)
-				}
-				return av
-			},
-			func(v visitor) {
-				av := v.(*adaptiveVisitor)
-				for i, c := range av.own {
-					own[i] += c
-				}
-				for i, c := range av.poolHist {
-					poolHist[i] += c
-				}
-			})
-		if err := e.Err(); err != nil {
-			return nil, err
+		copy(minP[permsRun:hi], st.MinP)
+		for i, c := range st.OwnLE {
+			own[i] += c
+		}
+		if mode == AdaptFDR {
+			for i, c := range st.PoolHist {
+				poolHist[i] += c
+			}
 		}
 		res.Rounds++
 		for ri := range live {
@@ -292,10 +291,8 @@ func (e *Engine) RunAdaptive(mode AdaptiveMode, alpha float64) (*AdaptiveResult,
 		permsRun = hi
 
 		if ad.Exceedances >= 0 && permsRun < maxPerms {
-			if e.retireRules(mode, alpha, kmax, maxPerms, permsRun, totalSamples,
-				order, poolHist, minHist, live, &numLive, &res.RulesRetired) {
-				rulesByNode, children = e.compactLive(live)
-			}
+			retireLive(mode, alpha, kmax, int64(ad.Exceedances), maxPerms, permsRun, totalSamples,
+				order, poolHist, minHist, live, &numLive, &res.RulesRetired)
 		}
 		roundLen = permsRun // double the executed total each round
 	}
@@ -320,13 +317,12 @@ func (e *Engine) RunAdaptive(mode AdaptiveMode, alpha float64) (*AdaptiveResult,
 	return res, nil
 }
 
-// retireRules applies the two retirement prongs to every live rule and
+// retireLive applies the two retirement prongs to every live rule and
 // reports whether any rule retired. The histograms are cumulative over all
 // executed permutations; walking the sorted order keeps the per-rule
 // counts as running prefix sums.
-func (e *Engine) retireRules(mode AdaptiveMode, alpha float64, kmax int64, maxPerms, permsRun int, totalSamples int64,
+func retireLive(mode AdaptiveMode, alpha float64, kmax, exceedTarget int64, maxPerms, permsRun int, totalSamples int64,
 	order []int, poolHist, minHist []int64, live []bool, numLive, retired *int) bool {
-	exceedTarget := int64(e.cfg.Adaptive.Exceedances)
 	nR := len(order)
 	changed := false
 	var pc, mc int64
@@ -411,43 +407,4 @@ func (e *Engine) compactLive(live []bool) (rulesByNode, children *adjacency) {
 		}
 	})
 	return rulesByNode, children
-}
-
-// adaptiveVisitor accumulates, for one worker's permutation block, the
-// exceedance statistics of a round in a single pass: per-permutation
-// live-set minima (written in place — workers own disjoint permutation
-// ranges), per-rule own exceedances, and — in FDR mode, where poolHist is
-// non-nil — the pooled histogram. The pool bucketing matches
-// countLEVisitor exactly, so a no-retirement adaptive FDR run reproduces
-// CountLE bit for bit.
-type adaptiveVisitor struct {
-	orig     []float64 // original p-value per rule index
-	sorted   []float64 // original p-values, ascending (FDR mode only)
-	min      []float64 // absolute-indexed per-permutation minima (shared)
-	own      []int64   // own exceedances per rule index
-	poolHist []int64   // pooled p-values over sorted positions (FDR mode only)
-}
-
-func (v *adaptiveVisitor) visit(ruleIdx int, perm0 int, ps []float64) {
-	p0 := v.orig[ruleIdx]
-	if v.poolHist == nil {
-		for j, p := range ps {
-			if p <= p0 {
-				v.own[ruleIdx]++
-			}
-			if p < v.min[perm0+j] {
-				v.min[perm0+j] = p
-			}
-		}
-		return
-	}
-	for j, p := range ps {
-		if p <= p0 {
-			v.own[ruleIdx]++
-		}
-		v.poolHist[sort.SearchFloat64s(v.sorted, p)]++
-		if p < v.min[perm0+j] {
-			v.min[perm0+j] = p
-		}
-	}
 }

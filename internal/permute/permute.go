@@ -166,6 +166,13 @@ type Config struct {
 	// Results are byte-identical either way. Ignored when word counting
 	// is disabled.
 	DisableBlockedCounting bool
+	// DeferLabels skips the fixed-mode label materialisation at
+	// construction: label blocks are built lazily, per ShardSpan range (or
+	// on the first fixed-mode call). Shard workers set it so an engine that
+	// only ever evaluates a slice of the permutation range never pays for
+	// the whole matrix. Results are unaffected — every block derives from
+	// (Seed, absolute index) regardless of when it is built.
+	DeferLabels bool
 	// Adaptive, when Adaptive.MaxPerms > 0, switches the engine into
 	// sequential early-stopping mode (DESIGN.md §7): permutations run in
 	// rounds via RunAdaptive, and NumPerms is ignored in favour of
@@ -300,6 +307,22 @@ type Engine struct {
 	stMu   sync.Mutex
 	stFree []*workerState
 
+	// rankOnce memoises the ascending rank of the rules' original p-values
+	// (and the raw p-value slice), shared by CountLE, ShardSpan and the
+	// adaptive driver.
+	rankOnce sync.Once
+	rankVal  Rank
+	origVal  []float64
+
+	// compactMu guards the memoised retirement-compacted walk indexes:
+	// every ShardSpan of one retirement frontier — all workers of a round,
+	// and all following rounds without new retirements — reuses a single
+	// compactLive result, keyed by the live mask's content.
+	compactMu       sync.Mutex
+	compactKey      []bool
+	compactRules    *adjacency
+	compactChildren *adjacency
+
 	stop   atomic.Bool           // set when cfg.Ctx is cancelled mid-run
 	runErr atomic.Pointer[error] // sticky: first cancellation error observed
 }
@@ -368,7 +391,7 @@ func NewEngine(tree *mining.Tree, rules []mining.Rule, cfg Config) (*Engine, err
 		e.stripeS = 1
 	}
 
-	if !cfg.Adaptive.Enabled() {
+	if !cfg.Adaptive.Enabled() && !cfg.DeferLabels {
 		e.lab = e.buildLabels(0, cfg.NumPerms)
 	}
 	if cfg.Ctx != nil {
@@ -975,27 +998,15 @@ func (v *minPVisitor) visit(_ int, perm0 int, ps []float64) {
 //
 //	p_adj(R) = |{p' in permutation p-values : p' <= p(R)}| / (N·Nt)
 func (e *Engine) CountLE() []int64 {
-	// Sort the original p-values once; every permutation p-value then
-	// contributes to a suffix of the sorted order via binary search.
-	orig := make([]float64, len(e.rules))
-	for i := range e.rules {
-		orig[i] = e.rules[i].P
-	}
-	order := make([]int, len(orig))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool { return orig[order[a]] < orig[order[b]] })
-	sorted := make([]float64, len(order))
-	for i, idx := range order {
-		sorted[i] = orig[idx]
-	}
-
+	// Rank the original p-values once; every permutation p-value then
+	// contributes to a suffix of the sorted order via binary search, and
+	// the prefix sums of the histogram recover the per-rule counts.
+	rk := e.rank()
 	var mu sync.Mutex
-	hist := make([]int64, len(sorted)+1)
+	hist := make([]int64, len(rk.Sorted)+1)
 	e.run(
 		func() visitor {
-			return &countLEVisitor{sorted: sorted, hist: make([]int64, len(sorted)+1)}
+			return &countLEVisitor{sorted: rk.Sorted, hist: make([]int64, len(rk.Sorted)+1)}
 		},
 		func(v visitor) {
 			cv := v.(*countLEVisitor)
@@ -1006,16 +1017,7 @@ func (e *Engine) CountLE() []int64 {
 			mu.Unlock()
 		},
 	)
-
-	// counts in sorted order are prefix sums of the histogram; map back to
-	// rule order.
-	out := make([]int64, len(orig))
-	var acc int64
-	for i := range sorted {
-		acc += hist[i]
-		out[order[i]] = acc
-	}
-	return out
+	return rk.CountsFromHist(hist)
 }
 
 type countLEVisitor struct {

@@ -28,6 +28,16 @@ type Options struct {
 	MaxUploadBytes int64
 	// Log receives request-level diagnostics (default log.Default()).
 	Log *log.Logger
+	// DefaultShards splits permutation runs whose config leaves shards
+	// unset across this many shards (0 or 1 = single-node). Results are
+	// byte-identical either way; sharding only changes where the counting
+	// happens.
+	DefaultShards int
+	// ShardPeers lists peer base URLs (e.g. "http://host:8080") holding
+	// the same datasets. When a permutation run shards and peers are
+	// configured, the coordinator POSTs shard assignments to the peers'
+	// /v1/datasets/{name}/shard endpoints instead of counting in-process.
+	ShardPeers []string
 }
 
 func (o Options) withDefaults() Options {
@@ -54,12 +64,15 @@ type Server struct {
 	reg  *Registry
 	opts Options
 	http *http.Server
+	// shardClient issues fan-out requests to shard peers; one client so
+	// connections to the peers are pooled across mining requests.
+	shardClient *http.Client
 }
 
 // New builds a Server over reg. Call Handler for an http.Handler (tests,
 // custom listeners) or ListenAndServe to serve opts.Addr.
 func New(reg *Registry, opts Options) *Server {
-	s := &Server{reg: reg, opts: opts.withDefaults()}
+	s := &Server{reg: reg, opts: opts.withDefaults(), shardClient: &http.Client{}}
 	s.http = &http.Server{Addr: s.opts.Addr, Handler: s.Handler()}
 	return s
 }
@@ -77,8 +90,11 @@ func (s *Server) Registry() *Registry { return s.reg }
 //	GET    /v1/datasets/{name}/stats    session stage/cache counters
 //	POST   /v1/datasets/{name}/mine     run one Config (body: ConfigJSON)
 //	POST   /v1/datasets/{name}/batch    run many Configs (body: [ConfigJSON])
+//	POST   /v1/datasets/{name}/shard    evaluate one shard assignment
 //
 // Mine and batch accept ?limit=K to truncate the reported rule lists.
+// Shard is the worker half of distributed permutation counting: a peer
+// coordinator posts {config, request} bodies here and merges the replies.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -88,6 +104,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/datasets/{name}/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/datasets/{name}/mine", s.handleMine)
 	mux.HandleFunc("POST /v1/datasets/{name}/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/datasets/{name}/shard", s.handleShard)
 	return mux
 }
 
@@ -316,6 +333,10 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if err := s.applyShards(&cfg, cj, name); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	res, err := sess.RunContext(ctx, cfg)
@@ -358,6 +379,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	for i := range cfgs {
+		if err := s.applyShards(&cfgs[i], cjs[i], name); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()

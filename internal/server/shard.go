@@ -1,0 +1,85 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+// shardRequestJSON is the POST /v1/datasets/{name}/shard body: the mining
+// config that identifies the prepared session on this worker, plus the
+// span assignment to evaluate against it.
+type shardRequestJSON struct {
+	Config  ConfigJSON    `json:"config"`
+	Request shard.Request `json:"request"`
+}
+
+// handleShard is the worker half of distributed permutation counting: it
+// resolves the same session stages a local mine would (sharing the
+// singleflight stage caches), evaluates the assignment's permutation
+// range, and replies with the shard's statistics for the coordinator to
+// merge.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	sess, name, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var sj shardRequestJSON
+	if err := decodeBody(w, r, &sj); err != nil {
+		writeError(w, bodyErrStatus(err), err)
+		return
+	}
+	cfg, err := sj.Config.ToConfig()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	rep, err := sess.ShardSpan(ctx, cfg, sj.Request)
+	if err != nil {
+		s.opts.Log.Printf("server: shard %s: %v", name, err)
+		writeError(w, mineStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// applyShards finishes a decoded mining config's shard wiring: the shard
+// count defaults from the server options, and when the run shards with
+// peers configured, the config gains one HTTP worker per shard —
+// round-robin over the peers — so the session's coordinator fans the
+// permutation range out over the wire. Without peers the count alone makes
+// the session shard in-process, which is the conformance-testing
+// configuration. The peers receive the client's own wire config, so they
+// resolve the identical prepared session (their ShardSpan ignores the
+// shard fields — a worker is a leaf of the fan-out, never a coordinator).
+func (s *Server) applyShards(cfg *core.Config, cj ConfigJSON, name string) error {
+	if cfg.Shards == 0 {
+		cfg.Shards = s.opts.DefaultShards
+	}
+	if cfg.Method != core.MethodPermutation || cfg.Shards <= 1 || len(s.opts.ShardPeers) == 0 {
+		return nil
+	}
+	cj.Shards = cfg.Shards
+	raw, err := json.Marshal(cj)
+	if err != nil {
+		return fmt.Errorf("server: encoding peer config: %w", err)
+	}
+	workers := make([]shard.Worker, cfg.Shards)
+	for i := range workers {
+		peer := strings.TrimSuffix(s.opts.ShardPeers[i%len(s.opts.ShardPeers)], "/")
+		workers[i] = &shard.HTTP{
+			Client: s.shardClient,
+			URL:    peer + "/v1/datasets/" + url.PathEscape(name) + "/shard",
+			Config: raw,
+		}
+	}
+	cfg.ShardWorkers = workers
+	return nil
+}
