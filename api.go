@@ -90,8 +90,10 @@ package repro
 import (
 	"context"
 	"io"
+	"os"
 
 	"repro/internal/basket"
+	"repro/internal/colstore"
 	"repro/internal/core"
 	"repro/internal/correction"
 	"repro/internal/dataset"
@@ -265,30 +267,106 @@ func (s *Session) Stats() SessionStats {
 	return s.s.Stats()
 }
 
-// Dataset returns the dataset the session was built on.
+// Dataset returns the dataset the session was built on, or nil for a
+// store-backed session (which holds no in-memory dataset — use Schema
+// and NumRecords instead).
 func (s *Session) Dataset() *Dataset {
 	return s.s.Data()
+}
+
+// Schema returns the current schema of the session's data, whether
+// in-memory or store-backed.
+func (s *Session) Schema() *Schema {
+	return s.s.Schema()
+}
+
+// NumRecords returns the current record count of the session's data.
+func (s *Session) NumRecords() int {
+	return s.s.NumRecords()
+}
+
+// Store is an on-disk segmented columnar dataset: immutable segment
+// files of packed per-item bitmaps plus an ordered manifest. Stores are
+// built once (CreateStore/StoreFromDataset), reopened cheaply
+// (OpenStore), grown by appending CSV deltas (Store.Append), and mined
+// through NewStoreSession — peak ingest memory is one segment
+// regardless of dataset size, and mining results are byte-identical to
+// the in-memory path.
+type Store = colstore.Store
+
+// StoreOptions configures store ingest (segment size).
+type StoreOptions = colstore.Options
+
+// CreateStore ingests a CSV stream (header row; last column = class)
+// into a new store directory. The input must be categorical already:
+// segment bitmaps are immutable, so numeric columns cannot be
+// discretized after ingest — run the data through LoadCSV +
+// StoreFromDataset (or `armine convert`) when it has numeric columns.
+func CreateStore(dir string, r io.Reader, opts StoreOptions) (*Store, error) {
+	return colstore.Create(dir, r, opts)
+}
+
+// StoreFromDataset writes an in-memory (already discretized) dataset
+// into a new store directory, preserving its schema verbatim.
+func StoreFromDataset(dir string, d *Dataset, opts StoreOptions) (*Store, error) {
+	return colstore.FromDataset(dir, d, opts)
+}
+
+// OpenStore loads an existing store directory, validating its manifest
+// and segment chain.
+func OpenStore(dir string) (*Store, error) {
+	return colstore.Open(dir)
+}
+
+// RemoveStore deletes a store directory. It refuses directories that do
+// not hold a store manifest, so a mistyped path cannot delete unrelated
+// data.
+func RemoveStore(dir string) error {
+	return colstore.Remove(dir)
+}
+
+// NewStoreSession prepares a store-backed Session: mining snapshots the
+// vertical encoding from the segment files instead of holding a dataset
+// in memory, and results are byte-identical to NewSession over the
+// equivalent in-memory dataset. Appends to the store bump its version,
+// which invalidates the session's stage caches on the next run.
+func NewStoreSession(st *Store) *Session {
+	return &Session{s: core.NewSessionSource(st)}
+}
+
+// NewStoreSessionLimits is NewStoreSession with explicit stage-cache
+// bounds.
+func NewStoreSessionLimits(st *Store, lim CacheLimits) *Session {
+	return &Session{s: core.NewSessionSourceLimits(st, lim)}
 }
 
 // LoadCSV reads a CSV stream with a header row into a Dataset, treating
 // the LAST column as the class attribute and every other column as
 // categorical. Numeric columns are discretized with the supervised
 // Fayyad–Irani MDL method first. Missing values are "" or "?".
+//
+// The stream is encoded row by row: peak memory is one row of strings
+// plus the encoded dataset, never a full string table — the result is
+// byte-identical to ReadTable + FromTable.
 func LoadCSV(r io.Reader) (*Dataset, error) {
-	tab, err := dataset.ReadTable(r)
+	d, err := dataset.ReadDataset(r, -1)
 	if err != nil {
 		return nil, err
 	}
-	return FromTable(tab, len(tab.Header)-1)
+	if err := disc.DiscretizeDataset(d); err != nil {
+		return nil, err
+	}
+	return d, nil
 }
 
 // LoadCSVFile is LoadCSV over a file path.
 func LoadCSVFile(path string) (*Dataset, error) {
-	tab, err := dataset.ReadTableFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	return FromTable(tab, len(tab.Header)-1)
+	defer f.Close()
+	return LoadCSV(f)
 }
 
 // FromTable converts a raw table into a Dataset with the given class

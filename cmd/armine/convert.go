@@ -1,0 +1,102 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro"
+	"repro/internal/colstore"
+	"repro/internal/disc"
+)
+
+// convertFlags bundles the convert subcommand's flag set with its parsed
+// values.
+type convertFlags struct {
+	fs         *flag.FlagSet
+	in, out    *string
+	segRecords *int
+	force      *bool
+	discretize *bool
+	quiet      *bool
+}
+
+func newConvertFlags(stderr io.Writer) *convertFlags {
+	fs := flag.NewFlagSet("convert", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return &convertFlags{
+		fs:         fs,
+		in:         fs.String("in", "", "input CSV file (header row, class label last)"),
+		out:        fs.String("out", "", "store directory to create"),
+		segRecords: fs.Int("seg-records", 0, "records per segment file (0 = default 8192)"),
+		force:      fs.Bool("force", false, "replace an existing store at -out"),
+		discretize: fs.Bool("discretize", false,
+			"load the CSV in memory and discretize numeric columns (Fayyad-Irani) before writing; needed when the CSV has numeric columns, at the cost of streaming"),
+		quiet: fs.Bool("q", false, "no summary line"),
+	}
+}
+
+// runConvert ingests a CSV into an on-disk segment store. The default
+// path streams — peak memory is one segment regardless of input size —
+// but can only accept categorical data, because segment bitmaps are
+// immutable once written and numeric columns need supervised
+// discretization over the whole column. -discretize trades streaming
+// for that: load, discretize, then write the store from memory.
+func runConvert(args []string, stdout, stderr io.Writer) error {
+	f := newConvertFlags(stderr)
+	if err := parseArgs(f.fs, args); err != nil {
+		return err
+	}
+	if f.fs.NArg() > 0 {
+		return fmt.Errorf("convert takes no positional arguments, got %q", f.fs.Arg(0))
+	}
+	if *f.in == "" || *f.out == "" {
+		return fmt.Errorf("convert needs -in FILE and -out DIR")
+	}
+	if _, err := os.Stat(filepath.Join(*f.out, colstore.ManifestName)); err == nil {
+		if !*f.force {
+			return fmt.Errorf("%s already holds a store (use -force to replace)", *f.out)
+		}
+		if err := repro.RemoveStore(*f.out); err != nil {
+			return err
+		}
+	}
+
+	opts := repro.StoreOptions{SegRecords: *f.segRecords}
+	var st *repro.Store
+	if *f.discretize {
+		d, err := repro.LoadCSVFile(*f.in)
+		if err != nil {
+			return err
+		}
+		if st, err = repro.StoreFromDataset(*f.out, d, opts); err != nil {
+			return err
+		}
+	} else {
+		in, err := os.Open(*f.in)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		if st, err = repro.CreateStore(*f.out, in, opts); err != nil {
+			return err
+		}
+		for _, a := range st.Schema().Attrs {
+			if disc.NumericVocab(a.Values) {
+				// Roll back: a store with raw numeric columns would be
+				// rejected at every downstream mine anyway.
+				if rmErr := repro.RemoveStore(*f.out); rmErr != nil {
+					return fmt.Errorf("column %q is numeric (and removing the partial store failed: %v)", a.Name, rmErr)
+				}
+				return fmt.Errorf("column %q is numeric; segment bitmaps are immutable, so discretize at convert time with -discretize", a.Name)
+			}
+		}
+	}
+	if !*f.quiet {
+		fmt.Fprintf(stdout, "armine: wrote store %s (%d records, %d segments)\n",
+			*f.out, st.NumRecords(), st.NumSegments())
+	}
+	return nil
+}

@@ -5,9 +5,10 @@
 //
 // Subcommands:
 //
-//	armine mine  [flags]   one-shot mining run (default when flags come first)
-//	armine serve [flags]   HTTP mining service over a bounded session registry
-//	armine bench [flags]   permutation-engine benchmark matrix -> BENCH_<rev>.json
+//	armine mine    [flags]   one-shot mining run (default when flags come first)
+//	armine serve   [flags]   HTTP mining service over a bounded session registry
+//	armine bench   [flags]   permutation-engine benchmark matrix -> BENCH_<rev>.json
+//	armine convert [flags]   CSV -> on-disk segment store for out-of-core mining
 //
 // Mining examples:
 //
@@ -16,6 +17,14 @@
 //	armine mine -uci german -minsup 60 -method permutation -perms 10000 -adaptive
 //	armine mine -uci german -minsup 60 -method permutation -perms 1000 -shards 4
 //	armine -uci german -minsup 60 -method holdout -control fwer
+//
+// Out-of-core examples — convert once, then mine datasets larger than
+// memory from the store (results are byte-identical to the in-memory
+// path; see DESIGN.md §11):
+//
+//	armine convert -in big.csv -out big.store
+//	armine convert -in numeric.csv -out numeric.store -discretize
+//	armine mine -store big.store -minsup 60 -method permutation -perms 1000
 //
 // -adaptive switches permutation runs into sequential early stopping:
 // -perms becomes the permutation budget, and rules whose correction fate
@@ -42,6 +51,12 @@
 //	armine serve -addr :8080 -capacity 16 -timeout 2m
 //	armine serve -preload census=data.csv -preload german=uci:german
 //	armine serve -shards 3 -shard-peers http://h1:8080,http://h2:8080
+//	armine serve -store-dir /var/lib/armine
+//
+// With -store-dir uploads stream into immutable segment stores under
+// that directory instead of in-memory sessions (pre-discretized CSV
+// only), existing stores are re-registered on restart, and
+// POST /v1/datasets/{name}/append ingests CSV deltas as new segments.
 //
 // -shards splits permutation counting across coordinated shards (DESIGN.md
 // §10); results are byte-identical to single-node runs. With -shard-peers
@@ -96,10 +111,12 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		err = runServe(rest, stderr)
 	case "bench":
 		err = runBench(rest, stdout, stderr)
+	case "convert":
+		err = runConvert(rest, stdout, stderr)
 	case "help":
 		usage(stdout)
 	default:
-		err = fmt.Errorf("unknown command %q (want mine, serve or bench)", cmd)
+		err = fmt.Errorf("unknown command %q (want mine, serve, bench or convert)", cmd)
 	}
 	switch {
 	case err == nil:
@@ -121,11 +138,13 @@ var errUsage = errors.New("usage error")
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `armine — significant class association rule mining
 
-  armine mine  [flags]   one-shot mining run ("armine -in ..." also works)
-  armine serve [flags]   HTTP mining service
-  armine bench [flags]   permutation-engine benchmarks -> BENCH_<rev>.json
+  armine mine    [flags]   one-shot mining run ("armine -in ..." also works)
+  armine serve   [flags]   HTTP mining service
+  armine bench   [flags]   permutation-engine benchmarks -> BENCH_<rev>.json
+  armine convert [flags]   CSV -> on-disk segment store for out-of-core mining
 
-Run "armine mine -h", "armine serve -h" or "armine bench -h" for flags.`)
+Run "armine mine -h", "armine serve -h", "armine bench -h" or
+"armine convert -h" for flags.`)
 }
 
 // parseArgs runs fs over args, normalizing help and parse failures.
@@ -145,7 +164,7 @@ func parseArgs(fs *flag.FlagSet, args []string) error {
 // sets.
 type mineFlags struct {
 	fs                         *flag.FlagSet
-	in, uciName                *string
+	in, uciName, store         *string
 	minSup                     *int
 	minSupFrac, minConf, alpha *float64
 	control, method, methods   *string
@@ -166,6 +185,7 @@ func newMineFlags(stderr io.Writer) *mineFlags {
 		fs:         fs,
 		in:         fs.String("in", "", "input CSV file (header row, class label last)"),
 		uciName:    fs.String("uci", "", "use a built-in UCI stand-in instead of -in (adult|german|hypo|mushroom)"),
+		store:      fs.String("store", "", "mine an on-disk segment store directory (see \"armine convert\") instead of -in/-uci; the dataset is never loaded whole into memory"),
 		minSup:     fs.Int("minsup", 0, "absolute minimum support"),
 		minSupFrac: fs.Float64("minsup-frac", 0, "relative minimum support (fraction of records)"),
 		minConf:    fs.Float64("minconf", 0, "minimum confidence (domain filter; default 0)"),
@@ -240,9 +260,22 @@ func runMine(args []string, stdout, stderr io.Writer) error {
 		cfgs[i] = cfg
 	}
 
-	d, err := loadDataset(*f.in, *f.uciName, *f.seed)
-	if err != nil {
-		return err
+	var sess *repro.Session
+	if *f.store != "" {
+		if *f.in != "" || *f.uciName != "" {
+			return fmt.Errorf("use either -store or -in/-uci, not both")
+		}
+		st, err := repro.OpenStore(*f.store)
+		if err != nil {
+			return err
+		}
+		sess = repro.NewStoreSession(st)
+	} else {
+		d, err := loadDataset(*f.in, *f.uciName, *f.seed)
+		if err != nil {
+			return err
+		}
+		sess = repro.NewSession(d)
 	}
 
 	if *f.cpuProf != "" {
@@ -257,7 +290,6 @@ func runMine(args []string, stdout, stderr io.Writer) error {
 		defer pprof.StopCPUProfile()
 	}
 
-	sess := repro.NewSession(d)
 	results, err := sess.MineBatch(context.Background(), cfgs)
 	if err != nil {
 		return err
@@ -278,7 +310,7 @@ func runMine(args []string, stdout, stderr io.Writer) error {
 	if *f.jsonOut {
 		return printJSON(stdout, results, *f.limit)
 	}
-	printText(stdout, d, results, *f.limit, *f.quiet)
+	printText(stdout, sess.Schema().Class.Name, results, *f.limit, *f.quiet)
 	if !*f.quiet && len(results) > 1 {
 		st := sess.Stats()
 		line := fmt.Sprintf("# session: %d mine(s) + %d score(s)", st.Mines, st.Scores)
@@ -312,7 +344,7 @@ type serveFlags struct {
 	maxUpload                      *int64
 	seed                           *uint64
 	shards                         *int
-	shardPeers                     *string
+	shardPeers, storeDir           *string
 	pre                            *preloads
 }
 
@@ -332,6 +364,8 @@ func newServeFlags(stderr io.Writer) *serveFlags {
 		shards:    fs.Int("shards", 0, "default shard count for permutation runs whose config leaves shards unset (0 or 1 = single-node)"),
 		shardPeers: fs.String("shard-peers", "",
 			"comma-separated peer base URLs holding the same datasets; sharded runs fan out to their /shard endpoints (empty = shard in-process)"),
+		storeDir: fs.String("store-dir", "",
+			"serve datasets out-of-core: uploads stream into segment stores under this directory (pre-discretized CSV only), existing stores are re-served on restart, and POST .../append grows them (empty = in-memory sessions)"),
 		pre: &preloads{},
 	}
 	fs.Func("preload", "register a dataset at startup: name=path.csv or name=uci:standin (repeatable)", f.pre.set)
@@ -378,7 +412,11 @@ func runServe(args []string, stderr io.Writer) error {
 		Log:            logger,
 		DefaultShards:  *f.shards,
 		ShardPeers:     peers,
+		StoreDir:       *f.storeDir,
 	})
+	if err := srv.LoadStores(); err != nil {
+		return fmt.Errorf("loading stores from %s: %w", *f.storeDir, err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -412,7 +450,9 @@ func setMethod(cfg *repro.Config, name string) error {
 }
 
 // printText renders the classic line-per-rule report, one block per run.
-func printText(w io.Writer, d *repro.Dataset, results []*repro.Result, limit int, quiet bool) {
+// className labels the rule consequents (store-backed sessions have no
+// in-memory dataset, only a schema).
+func printText(w io.Writer, className string, results []*repro.Result, limit int, quiet bool) {
 	for _, res := range results {
 		if !quiet {
 			fmt.Fprintf(w, "# %d records, %d rules tested (min_sup=%d), method=%s control=%s alpha=%g\n",
@@ -431,7 +471,7 @@ func printText(w io.Writer, d *repro.Dataset, results []*repro.Result, limit int
 		}
 		for _, r := range res.Significant[:n] {
 			fmt.Fprintf(w, "%s => %s=%s  cvg=%d supp=%d conf=%.3f p=%.4g\n",
-				strings.Join(r.Items, " ^ "), d.Schema.Class.Name, r.Class,
+				strings.Join(r.Items, " ^ "), className, r.Class,
 				r.Coverage, r.Support, r.Confidence, r.P)
 		}
 		if !quiet && n < len(res.Significant) {

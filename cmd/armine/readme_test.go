@@ -64,9 +64,10 @@ func armineInvocations(t *testing.T, path string) []string {
 // the same constructors the real runs use.
 func TestReadmeFlagsExist(t *testing.T) {
 	sets := map[string]*flag.FlagSet{
-		"mine":  newMineFlags(io.Discard).fs,
-		"serve": newServeFlags(io.Discard).fs,
-		"bench": newBenchFlags(io.Discard).fs,
+		"mine":    newMineFlags(io.Discard).fs,
+		"serve":   newServeFlags(io.Discard).fs,
+		"bench":   newBenchFlags(io.Discard).fs,
+		"convert": newConvertFlags(io.Discard).fs,
 	}
 	cmds := armineInvocations(t, "../../README.md")
 	if len(cmds) < 4 {
@@ -100,9 +101,10 @@ func TestDocCommentFlagsExist(t *testing.T) {
 	src := string(data)
 	src = src[:strings.Index(src, "package main")]
 	sets := map[string]*flag.FlagSet{
-		"mine":  newMineFlags(io.Discard).fs,
-		"serve": newServeFlags(io.Discard).fs,
-		"bench": newBenchFlags(io.Discard).fs,
+		"mine":    newMineFlags(io.Discard).fs,
+		"serve":   newServeFlags(io.Discard).fs,
+		"bench":   newBenchFlags(io.Discard).fs,
+		"convert": newConvertFlags(io.Discard).fs,
 	}
 	checked := 0
 	for _, line := range strings.Split(src, "\n") {

@@ -21,9 +21,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
+	"repro/internal/colstore"
 	"repro/internal/dataset"
 	"repro/internal/mining"
 	"repro/internal/permute"
@@ -72,6 +74,15 @@ type Spec struct {
 	// permutation budget and records fixed/adaptive as the adaptive
 	// speedup.
 	MeasureAdaptive bool
+	// MeasureStore adds an out-of-core dimension: each single-node cell
+	// is additionally measured with the dataset's vertical encoding
+	// rebuilt from an on-disk segment store (internal/colstore) inside
+	// the timed region — snapshot + engine build + MinP — recording what
+	// not holding the dataset in memory costs per run. Store cells skip
+	// the scalar/adaptive ablations (they measure storage overhead, not
+	// counting variants) and are keyed separately, so baselines written
+	// before the dimension keep gating the in-memory cells.
+	MeasureStore bool
 	// Alpha is the error level the adaptive cells stop against (default
 	// 0.05 when zero).
 	Alpha float64
@@ -92,6 +103,10 @@ type Entry struct {
 	// single-node cells, so reports predating the dimension stay
 	// comparable.
 	Shards int `json:"shards,omitempty"`
+	// Store marks out-of-core cells (encoding snapshot from a segment
+	// store inside the timed region); omitted (false) for in-memory
+	// cells, so reports predating the dimension stay comparable.
+	Store bool `json:"store,omitempty"`
 
 	// NsPerOp is the minimum wall-clock time of one engine build + MinP
 	// pass; AllocsPerOp/BytesPerOp are the allocation counters of that
@@ -156,9 +171,26 @@ func Run(ctx context.Context, spec Spec, rev string) (*Report, error) {
 		CPUs:          runtime.NumCPU(),
 		CreatedAt:     time.Now().UTC().Format(time.RFC3339),
 	}
+	var storeRoot string
+	if spec.MeasureStore {
+		dir, err := os.MkdirTemp("", "armine-bench-store-")
+		if err != nil {
+			return nil, fmt.Errorf("benchio: store dir: %w", err)
+		}
+		storeRoot = dir
+		defer os.RemoveAll(storeRoot)
+	}
 
 	for _, ds := range spec.Datasets {
 		enc := dataset.Encode(ds.Data)
+		var store *colstore.Store
+		if spec.MeasureStore {
+			st, err := colstore.FromDataset(filepath.Join(storeRoot, ds.Name), ds.Data, colstore.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("benchio: store for %s: %w", ds.Name, err)
+			}
+			store = st
+		}
 		for _, opt := range spec.Opts {
 			// Mining is outside the timed region: the engine consumes a
 			// prepared tree, mirroring the paper's mine-once accounting.
@@ -246,6 +278,24 @@ func Run(ctx context.Context, spec Spec, rev string) (*Report, error) {
 							e.AdaptiveRulesRetired = info.RulesRetired
 						}
 						rep.Entries = append(rep.Entries, e)
+						if store != nil {
+							se := Entry{
+								Dataset: e.Dataset,
+								Records: e.Records,
+								Rules:   e.Rules,
+								MinSup:  e.MinSup,
+								Opt:     e.Opt,
+								Workers: e.Workers,
+								Perms:   e.Perms,
+								Store:   true,
+							}
+							sm, err := measureStore(ctx, store, tree, rules, cell, spec.Warmup, spec.Repeat)
+							if err != nil {
+								return nil, err
+							}
+							se.NsPerOp, se.AllocsPerOp, se.BytesPerOp = sm.ns, sm.allocs, sm.bytes
+							rep.Entries = append(rep.Entries, se)
+						}
 					}
 				}
 			}
@@ -339,6 +389,27 @@ func measureAdaptive(ctx context.Context, tree *mining.Tree, rules []mining.Rule
 	})
 }
 
+// measureStore times one out-of-core pass: rebuilding the vertical
+// encoding from the segment store (Snapshot re-reads and decodes every
+// segment file — nothing is cached between runs) plus the same engine
+// build + MinP pass as the in-memory cell. The statistics are
+// byte-identical to the in-memory cell's; the timing difference is what
+// the storage layer costs per run.
+func measureStore(ctx context.Context, st *colstore.Store, tree *mining.Tree, rules []mining.Rule, cfg permute.Config, warmup, repeat int) (measurement, error) {
+	m, _, err := measureRuns(ctx, warmup, repeat, func() (struct{}, error) {
+		if _, _, err := st.Snapshot(); err != nil {
+			return struct{}{}, fmt.Errorf("benchio: snapshot: %w", err)
+		}
+		e, err := permute.NewEngine(tree, rules, cfg)
+		if err != nil {
+			return struct{}{}, fmt.Errorf("benchio: engine: %w", err)
+		}
+		e.MinP()
+		return struct{}{}, e.Err()
+	})
+	return m, err
+}
+
 // measureSharded times one fixed pass through a shard coordinator: engine
 // construction (labels deferred — each shard builds only its own range),
 // worker wrapping, dispatch and merge. The statistics are byte-identical
@@ -375,13 +446,17 @@ func measureSharded(ctx context.Context, tree *mining.Tree, rules []mining.Rule,
 // existed carry an implicit 0, which must keep matching today's
 // single-node cells — while a shards=N cell never matches a single-node
 // baseline, so Compare skips it like any other cell present in only one
-// report.
+// report. store needs no normalization: the JSON field is omitempty, so
+// a baseline written before the dimension unmarshals to false and keeps
+// gating the in-memory cells, while a store cell never matches an
+// in-memory baseline.
 type cellKey struct {
 	dataset string
 	opt     string
 	workers int
 	perms   int
 	shards  int
+	store   bool
 }
 
 // normShards collapses the two spellings of "single-node" (0 and 1) into
@@ -394,17 +469,19 @@ func normShards(n int) int {
 }
 
 // fillSpeedups derives each entry's speedup against the matching
-// "none"-level cell of the same run (and the same shard count — a
-// sharded cell's ladder is measured against the sharded "none" cell).
+// "none"-level cell of the same run (and the same shard count and store
+// dimension — a sharded cell's ladder is measured against the sharded
+// "none" cell, a store cell's against the store "none" cell, so the
+// ladder isolates the optimisation from the dispatch/storage overhead).
 func fillSpeedups(entries []Entry) {
 	none := make(map[cellKey]int64)
 	for _, e := range entries {
 		if e.Opt == permute.OptNone.Name() {
-			none[cellKey{e.Dataset, "", e.Workers, e.Perms, normShards(e.Shards)}] = e.NsPerOp
+			none[cellKey{e.Dataset, "", e.Workers, e.Perms, normShards(e.Shards), e.Store}] = e.NsPerOp
 		}
 	}
 	for i := range entries {
-		base := none[cellKey{entries[i].Dataset, "", entries[i].Workers, entries[i].Perms, normShards(entries[i].Shards)}]
+		base := none[cellKey{entries[i].Dataset, "", entries[i].Workers, entries[i].Perms, normShards(entries[i].Shards), entries[i].Store}]
 		if base > 0 && entries[i].NsPerOp > 0 {
 			entries[i].SpeedupVsNone = float64(base) / float64(entries[i].NsPerOp)
 		}
@@ -444,6 +521,7 @@ type Regression struct {
 	Workers int
 	Perms   int
 	Shards  int    // 0 = single-node
+	Store   bool   // true = out-of-core (segment-store) cell
 	Metric  string // "speedup_vs_none", "word_speedup", "adaptive_vs_none" or "allocs_per_op"
 	Base    float64
 	Now     float64
@@ -453,6 +531,9 @@ func (r Regression) String() string {
 	s := fmt.Sprintf("%s opt=%s workers=%d perms=%d", r.Dataset, r.Opt, r.Workers, r.Perms)
 	if r.Shards > 1 {
 		s += fmt.Sprintf(" shards=%d", r.Shards)
+	}
+	if r.Store {
+		s += " store"
 	}
 	return fmt.Sprintf("%s: %s %.2f -> %.2f", s, r.Metric, r.Base, r.Now)
 }
@@ -479,20 +560,21 @@ const allocsSlack = 64
 func Compare(base, cur *Report, tolerance float64) []Regression {
 	baseBy := make(map[cellKey]Entry, len(base.Entries))
 	for _, e := range base.Entries {
-		baseBy[cellKey{e.Dataset, e.Opt, e.Workers, e.Perms, normShards(e.Shards)}] = e
+		baseBy[cellKey{e.Dataset, e.Opt, e.Workers, e.Perms, normShards(e.Shards), e.Store}] = e
 	}
 	var regs []Regression
 	for _, e := range cur.Entries {
-		b, ok := baseBy[cellKey{e.Dataset, e.Opt, e.Workers, e.Perms, normShards(e.Shards)}]
+		b, ok := baseBy[cellKey{e.Dataset, e.Opt, e.Workers, e.Perms, normShards(e.Shards), e.Store}]
 		if !ok {
-			// In particular, a baseline recorded before the shard dimension
-			// (or at a different shard count) never gates a sharded cell.
+			// In particular, a baseline recorded before the shard or store
+			// dimension (or at a different shard count) never gates a
+			// sharded or store cell.
 			continue
 		}
 		reg := func(metric string, was, now float64) {
 			regs = append(regs, Regression{
 				Dataset: e.Dataset, Opt: e.Opt, Workers: e.Workers, Perms: e.Perms,
-				Shards: e.Shards, Metric: metric, Base: was, Now: now,
+				Shards: e.Shards, Store: e.Store, Metric: metric, Base: was, Now: now,
 			})
 		}
 		check := func(metric string, was, now float64) {

@@ -145,6 +145,77 @@ func TestCompareSkipsShardedCellsWithoutBaseline(t *testing.T) {
 	}
 }
 
+// TestRunStoreDimension: Spec.MeasureStore doubles each single-node cell
+// with an out-of-core twin that snapshots a segment store inside the
+// timed region — the twin must carry the store mark, skip the ablation
+// columns, and ladder against the store "none" cell.
+func TestRunStoreDimension(t *testing.T) {
+	spec := tinySpec(t)
+	spec.MeasureStore = true
+	rep, err := Run(context.Background(), spec, "test-rev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) != 4 {
+		t.Fatalf("%d entries, want 4 (2 opts × {memory, store})", len(rep.Entries))
+	}
+	byStore := map[bool]int{}
+	for _, e := range rep.Entries {
+		byStore[e.Store]++
+		if e.NsPerOp <= 0 {
+			t.Errorf("%s/%s store=%v: ns_per_op = %d, want > 0", e.Dataset, e.Opt, e.Store, e.NsPerOp)
+		}
+		if e.Store {
+			if e.ScalarNsPerOp != 0 || e.AdaptiveNsPerOp != 0 {
+				t.Errorf("store cell ran ablations: %+v", e)
+			}
+			if e.SpeedupVsNone <= 0 {
+				t.Errorf("store cell missing its own ladder: %+v", e)
+			}
+		}
+	}
+	if byStore[false] != 2 || byStore[true] != 2 {
+		t.Fatalf("cell split %v, want 2 in-memory + 2 store", byStore)
+	}
+}
+
+// TestCompareSkipsStoreCellsWithoutBaseline: a baseline recorded before
+// the store dimension existed must keep gating the in-memory cells while
+// never gating the store cells it has no counterpart for.
+func TestCompareSkipsStoreCellsWithoutBaseline(t *testing.T) {
+	entry := func(store bool, speedup float64) Entry {
+		return Entry{Dataset: "d", Opt: "diffsets", Workers: 1, Perms: 100,
+			Store: store, NsPerOp: 100, SpeedupVsNone: speedup}
+	}
+	base := &Report{SchemaVersion: SchemaVersion, Entries: []Entry{entry(false, 10)}}
+
+	cur := &Report{SchemaVersion: SchemaVersion, Entries: []Entry{entry(false, 10), entry(true, 1)}}
+	if regs := Compare(base, cur, 0.20); len(regs) != 0 {
+		t.Fatalf("store cell gated by a storeless baseline: %v", regs)
+	}
+	cur = &Report{SchemaVersion: SchemaVersion, Entries: []Entry{entry(false, 5), entry(true, 1)}}
+	regs := Compare(base, cur, 0.20)
+	if len(regs) != 1 || regs[0].Metric != "speedup_vs_none" || regs[0].Store {
+		t.Fatalf("in-memory regression lost among store cells: %v", regs)
+	}
+
+	// Once a baseline records the store cell, it gates like any other.
+	base.Entries = append(base.Entries, entry(true, 8))
+	regs = Compare(base, cur, 0.20)
+	if len(regs) != 2 {
+		t.Fatalf("matched store cell not gated: %v", regs)
+	}
+	var found bool
+	for _, r := range regs {
+		if r.Store {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no regression attributed to the store cell: %v", regs)
+	}
+}
+
 func TestRunRejectsEmptyMatrix(t *testing.T) {
 	if _, err := Run(context.Background(), Spec{}, "r"); err == nil {
 		t.Fatal("empty spec accepted")

@@ -1,0 +1,391 @@
+// Package colstore is the out-of-core columnar dataset store: a
+// directory of immutable segment files plus a manifest listing them in
+// record order (DESIGN.md §11). Each segment covers a contiguous record
+// range and holds, per item (attribute–value pair), a packed tid-word
+// bitmap over the range, together with a footer carrying the segment's
+// per-class record counts and the vocabulary values first seen inside
+// it. Replaying the footer deltas in manifest order reconstructs the
+// full schema; concatenating the per-item word runs reconstructs the
+// exact vertical encoding dataset.Encode would have produced in memory —
+// mining from a store is byte-identical to the in-memory path.
+//
+// Ingest streams (dataset.EncodeSegments): peak memory is one segment,
+// independent of dataset size, and Append adds new immutable segments
+// without rewriting old ones, bumping the store version that the session
+// layer folds into its cache keys.
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math/bits"
+
+	"repro/internal/dataset"
+)
+
+// Segment wire format (all integers little-endian):
+//
+//	header:  magic "ARMSEG1\n" · records u32 · attrs u32 · classes u32 ·
+//	         attrVals [attrs]u32  (per-attribute vocab size at segment end)
+//	labels:  records × u32       (class index per record)
+//	bitmaps: for a in attrs, v in attrVals[a]:
+//	         ceil(records/64) × u64  (bit r-base set ⇔ record carries value)
+//	footer:  fmagic "SFTR" · classCounts [classes]u64 ·
+//	         per attr: n u32, n × (len u32 · bytes)   (vocab delta) ·
+//	         class delta: n u32, n × (len u32 · bytes)
+//	trailer: footerOff u64 · crc u32 (IEEE, bytes [0,footerEnd)) ·
+//	         tmagic "ARMSEGE\n"
+const (
+	segMagic     = "ARMSEG1\n"
+	footerMagic  = "SFTR"
+	trailerMagic = "ARMSEGE\n"
+	trailerSize  = 8 + 4 + 8
+)
+
+// segment is a decoded segment file. Bitmap words are not materialised:
+// appendTids decodes them straight out of raw, so a loaded segment costs
+// its file size plus the small decoded footer.
+type segment struct {
+	records     int
+	classes     int
+	attrVals    []int
+	labels      []int32
+	classCounts []uint64
+	attrDeltas  [][]string
+	classDelta  []string
+
+	raw     []byte
+	valOff  []int // valOff[a] = sum attrVals[:a], prefix for bitmap offsets
+	bitmaps int   // byte offset of the first bitmap word
+}
+
+func (sg *segment) words() int { return (sg.records + 63) / 64 }
+
+// appendTids appends base+r for every record r in the bitmap of
+// attribute a's value v, in increasing order.
+func (sg *segment) appendTids(a int, v int, base uint32, dst []uint32) []uint32 {
+	w := sg.words()
+	off := sg.bitmaps + (sg.valOff[a]+v)*w*8
+	for wi := 0; wi < w; wi++ {
+		word := binary.LittleEndian.Uint64(sg.raw[off+wi*8:])
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			dst = append(dst, base+uint32(wi*64+b))
+		}
+	}
+	return dst
+}
+
+// itemCounts adds each value's bitmap population count into counts
+// (indexed like valOff: attribute-major, value-minor).
+func (sg *segment) itemCounts(counts []int) {
+	w := sg.words()
+	off := sg.bitmaps
+	for a, nv := range sg.attrVals {
+		for v := 0; v < nv; v++ {
+			c := 0
+			for wi := 0; wi < w; wi++ {
+				c += bits.OnesCount64(binary.LittleEndian.Uint64(sg.raw[off:]))
+				off += 8
+			}
+			counts[sg.valOff[a]+v] += c
+		}
+	}
+}
+
+// encodeSegment serialises a streaming-encoder block into the wire
+// format above.
+func encodeSegment(blk *dataset.SegmentBlock, classes int, classCounts []int) []byte {
+	records := blk.NumRecords
+	w := (records + 63) / 64
+	nAttrs := len(blk.Bitmaps)
+
+	size := len(segMagic) + 12 + 4*nAttrs + 4*records
+	for a := range blk.Bitmaps {
+		size += len(blk.Bitmaps[a]) * w * 8
+	}
+	size += len(footerMagic) + 8*classes
+	for a := range blk.AttrDeltas {
+		size += 4
+		for _, s := range blk.AttrDeltas[a] {
+			size += 4 + len(s)
+		}
+	}
+	size += 4
+	for _, s := range blk.ClassDelta {
+		size += 4 + len(s)
+	}
+	size += trailerSize
+
+	buf := make([]byte, 0, size)
+	u32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	u64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+	str := func(s string) { u32(uint32(len(s))); buf = append(buf, s...) }
+
+	buf = append(buf, segMagic...)
+	u32(uint32(records))
+	u32(uint32(nAttrs))
+	u32(uint32(classes))
+	for a := range blk.Bitmaps {
+		u32(uint32(len(blk.Bitmaps[a])))
+	}
+	for _, c := range blk.Labels {
+		u32(uint32(c))
+	}
+	for a := range blk.Bitmaps {
+		for _, bm := range blk.Bitmaps[a] {
+			for wi := 0; wi < w; wi++ {
+				if wi < len(bm) {
+					u64(bm[wi])
+				} else {
+					u64(0) // nil or short bitmap: the value never occurs
+				}
+			}
+		}
+	}
+	footerOff := len(buf)
+	buf = append(buf, footerMagic...)
+	for c := 0; c < classes; c++ {
+		if c < len(classCounts) {
+			u64(uint64(classCounts[c]))
+		} else {
+			u64(0)
+		}
+	}
+	for a := range blk.AttrDeltas {
+		u32(uint32(len(blk.AttrDeltas[a])))
+		for _, s := range blk.AttrDeltas[a] {
+			str(s)
+		}
+	}
+	u32(uint32(len(blk.ClassDelta)))
+	for _, s := range blk.ClassDelta {
+		str(s)
+	}
+	crc := crc32.ChecksumIEEE(buf)
+	u64(uint64(footerOff))
+	u32(crc)
+	buf = append(buf, trailerMagic...)
+	return buf
+}
+
+// segReader walks raw segment bytes with bounds checking; every read
+// reports a positioned error instead of panicking, and no count field is
+// trusted before the bytes it implies are known to exist.
+type segReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *segReader) need(n int) error {
+	if n < 0 || len(r.data)-r.pos < n {
+		return fmt.Errorf("colstore: segment truncated at byte %d (need %d more)", r.pos, n)
+	}
+	return nil
+}
+
+func (r *segReader) u32() (uint32, error) {
+	if err := r.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.pos:])
+	r.pos += 4
+	return v, nil
+}
+
+func (r *segReader) u64() (uint64, error) {
+	if err := r.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.pos:])
+	r.pos += 8
+	return v, nil
+}
+
+func (r *segReader) str() (string, error) {
+	n, err := r.u32()
+	if err != nil {
+		return "", err
+	}
+	if err := r.need(int(n)); err != nil {
+		return "", err
+	}
+	s := string(r.data[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s, nil
+}
+
+// strs reads a u32-counted list of strings. The count is bounded by the
+// remaining bytes (each string costs at least its 4-byte length), so a
+// corrupt count cannot drive a huge allocation.
+func (r *segReader) strs(what string) ([]string, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int64(n) > int64(len(r.data)-r.pos)/4 {
+		return nil, fmt.Errorf("colstore: segment %s count %d exceeds remaining bytes", what, n)
+	}
+	out := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		s, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// decodeSegment parses and fully validates a segment file: magics, CRC,
+// section sizes against the trailer's footer offset, label range, and
+// class-count agreement with the labels. It never panics on corrupt
+// input, and allocations stay proportional to the input size.
+func decodeSegment(data []byte) (*segment, error) {
+	if len(data) < len(segMagic)+12+trailerSize {
+		return nil, fmt.Errorf("colstore: segment too short (%d bytes)", len(data))
+	}
+	if string(data[:len(segMagic)]) != segMagic {
+		return nil, fmt.Errorf("colstore: bad segment magic")
+	}
+	tr := segReader{data: data, pos: len(data) - trailerSize}
+	footerOff64, _ := tr.u64()
+	wantCRC, _ := tr.u32()
+	if string(data[len(data)-8:]) != trailerMagic {
+		return nil, fmt.Errorf("colstore: bad segment trailer magic")
+	}
+	body := len(data) - trailerSize
+	if footerOff64 > uint64(body) {
+		return nil, fmt.Errorf("colstore: footer offset %d beyond segment body %d", footerOff64, body)
+	}
+	footerOff := int(footerOff64)
+	if crc := crc32.ChecksumIEEE(data[:body]); crc != wantCRC {
+		return nil, fmt.Errorf("colstore: segment CRC mismatch (got %08x, want %08x)", crc, wantCRC)
+	}
+
+	r := segReader{data: data[:footerOff], pos: len(segMagic)}
+	records32, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	attrs32, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	classes32, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	// Bound every count by the bytes it implies before allocating.
+	if int64(attrs32) > int64(footerOff)/4 {
+		return nil, fmt.Errorf("colstore: segment attr count %d exceeds file size", attrs32)
+	}
+	if int64(records32) > int64(footerOff)/4 {
+		return nil, fmt.Errorf("colstore: segment record count %d exceeds file size", records32)
+	}
+	// The class vocabulary is cumulative across segments, so it is
+	// bounded by the footer's class-count array, not by this segment's
+	// record count.
+	if int64(classes32) > int64(body-footerOff)/8 {
+		return nil, fmt.Errorf("colstore: segment class count %d exceeds footer size", classes32)
+	}
+	sg := &segment{
+		records:  int(records32),
+		classes:  int(classes32),
+		attrVals: make([]int, attrs32),
+		valOff:   make([]int, attrs32),
+		raw:      data,
+	}
+	w := sg.words()
+	totalVals := 0
+	for a := range sg.attrVals {
+		nv, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		sg.valOff[a] = totalVals
+		sg.attrVals[a] = int(nv)
+		totalVals += int(nv)
+		if w > 0 && int64(totalVals) > int64(footerOff)/int64(w*8) {
+			return nil, fmt.Errorf("colstore: segment value count %d exceeds file size", totalVals)
+		}
+	}
+	if err := r.need(4 * sg.records); err != nil {
+		return nil, err
+	}
+	sg.labels = make([]int32, sg.records)
+	for i := range sg.labels {
+		v, _ := r.u32()
+		if v >= classes32 {
+			return nil, fmt.Errorf("colstore: record %d label %d out of range [0,%d)", i, v, classes32)
+		}
+		sg.labels[i] = int32(v)
+	}
+	sg.bitmaps = r.pos
+	if err := r.need(totalVals * w * 8); err != nil {
+		return nil, err
+	}
+	r.pos += totalVals * w * 8
+	if r.pos != footerOff {
+		return nil, fmt.Errorf("colstore: segment sections end at %d, footer starts at %d", r.pos, footerOff)
+	}
+
+	// Footer.
+	f := segReader{data: data[:body], pos: footerOff}
+	if err := f.need(len(footerMagic)); err != nil {
+		return nil, err
+	}
+	if string(data[footerOff:footerOff+len(footerMagic)]) != footerMagic {
+		return nil, fmt.Errorf("colstore: bad segment footer magic")
+	}
+	f.pos += len(footerMagic)
+	sg.classCounts = make([]uint64, sg.classes)
+	var sum uint64
+	for c := range sg.classCounts {
+		v, err := f.u64()
+		if err != nil {
+			return nil, err
+		}
+		if v > uint64(sg.records) {
+			return nil, fmt.Errorf("colstore: class %d count %d exceeds %d records", c, v, sg.records)
+		}
+		sg.classCounts[c] = v
+		sum += v
+	}
+	if sum != uint64(sg.records) {
+		return nil, fmt.Errorf("colstore: class counts sum to %d, segment has %d records", sum, sg.records)
+	}
+	// Cross-check the footer against the labels actually stored.
+	recount := make([]uint64, sg.classes)
+	for _, c := range sg.labels {
+		recount[c]++
+	}
+	for c := range recount {
+		if recount[c] != sg.classCounts[c] {
+			return nil, fmt.Errorf("colstore: class %d footer count %d, labels count %d", c, sg.classCounts[c], recount[c])
+		}
+	}
+	sg.attrDeltas = make([][]string, attrs32)
+	for a := range sg.attrDeltas {
+		d, err := f.strs("attr delta")
+		if err != nil {
+			return nil, err
+		}
+		if len(d) > sg.attrVals[a] {
+			return nil, fmt.Errorf("colstore: attr %d delta %d exceeds its %d values", a, len(d), sg.attrVals[a])
+		}
+		sg.attrDeltas[a] = d
+	}
+	if sg.classDelta, err = f.strs("class delta"); err != nil {
+		return nil, err
+	}
+	if len(sg.classDelta) > sg.classes {
+		return nil, fmt.Errorf("colstore: class delta %d exceeds %d classes", len(sg.classDelta), sg.classes)
+	}
+	if f.pos != body {
+		return nil, fmt.Errorf("colstore: %d trailing bytes after segment footer", body-f.pos)
+	}
+	return sg, nil
+}

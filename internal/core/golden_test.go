@@ -12,6 +12,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/colstore"
 	"repro/internal/dataset"
 	"repro/internal/permute"
 )
@@ -404,6 +405,111 @@ func TestGoldenShardedCorpus(t *testing.T) {
 		}
 		if string(b) != want {
 			t.Errorf("%s: sharded outcome diverged from single-node golden:\n got: %s\nwant: %s", out.Name, b, want)
+		}
+	}
+}
+
+// goldenSegmentedFile records the out-of-core e2e entry of the corpus:
+// the permutation configs of one dataset mined from a segment store
+// across coordinated shards.
+type goldenSegmentedFile struct {
+	Dataset    string          `json:"dataset"`
+	Shards     int             `json:"shards"`
+	SegRecords int             `json:"seg_records"`
+	Segments   int             `json:"segments"`
+	Outcomes   []goldenOutcome `json:"outcomes"`
+}
+
+// TestGoldenSegmentedCorpus is the out-of-core third of the golden
+// contract: the permutation and adaptive configs of the corpus dataset,
+// mined from a segment store split into 7-record segments and fanned
+// across 3 shards, must byte-reproduce both the committed segmented
+// golden file and the sharded golden outcomes — storage layout may move
+// bytes, never answers.
+// Regenerate with: go test ./internal/core -run TestGoldenSegmented -update
+func TestGoldenSegmentedCorpus(t *testing.T) {
+	const shards, segRecords = 3, 7
+	gc := goldenCases[0] // contrast, matching the sharded golden entry
+	f, err := os.Open(filepath.Join(goldenDir, gc.name+".csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := colstore.Create(filepath.Join(t.TempDir(), gc.name), f, colstore.Options{SegRecords: segRecords})
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSessionSource(store)
+
+	sf := &goldenSegmentedFile{Dataset: gc.name, Shards: shards, SegRecords: segRecords, Segments: store.NumSegments()}
+	if sf.Segments < 2 {
+		t.Fatalf("corpus too small to segment: %d segment(s)", sf.Segments)
+	}
+	for _, entry := range goldenConfigs(gc.minSup) {
+		if entry.cfg.Method != MethodPermutation {
+			continue
+		}
+		cfg := entry.cfg
+		cfg.Shards = shards
+		cfg.Opt = permute.OptStaticBuffer
+		cfg.OptSet = true
+		res, err := sess.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s/%s shards=%d: %v", gc.name, entry.name, shards, err)
+		}
+		sf.Outcomes = append(sf.Outcomes, outcomeFromResult(entry.name, res))
+	}
+
+	got, err := json.MarshalIndent(sf, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join(goldenDir, "segmented.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d outcomes)", path, len(sf.Outcomes))
+	} else {
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (run with -update to create the golden file)", err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("segmented results diverge from the golden file;\n got: %s\nrun with -update after verifying the change is intentional", got)
+		}
+	}
+
+	// Cross-file identity: every segmented outcome must byte-equal the
+	// sharded outcome of the same name — the store is a storage detail.
+	raw, err := os.ReadFile(filepath.Join(goldenDir, "sharded.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sharded goldenShardedFile
+	if err := json.Unmarshal(raw, &sharded); err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]string, len(sharded.Outcomes))
+	for _, out := range sharded.Outcomes {
+		b, err := json.Marshal(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byName[out.Name] = string(b)
+	}
+	for _, out := range sf.Outcomes {
+		b, err := json.Marshal(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, ok := byName[out.Name]
+		if !ok {
+			t.Fatalf("no sharded golden outcome named %q", out.Name)
+		}
+		if string(b) != want {
+			t.Errorf("%s: segmented outcome diverged from sharded golden:\n got: %s\nwant: %s", out.Name, b, want)
 		}
 	}
 }

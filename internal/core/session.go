@@ -22,7 +22,15 @@ import (
 // Workers is deliberately absent — the miner's output is byte-identical
 // for every worker count — as are the correction knobs (Method, Control,
 // Alpha, Seed, Permutations, ...), which only consume the tree.
+//
+// version is the dataset version the tree was mined against (always 1
+// for in-memory sessions). Appending to a segment store bumps its
+// version, so every stage keyed under the old version — and, since
+// ruleKey and permKey embed treeKey, every rule and permutation stage
+// above it — is invalidated at once: the next run keys under the new
+// version and recomputes from a fresh snapshot.
 type treeKey struct {
+	version       uint64
 	minSup        int
 	maxLen        int
 	maxNodes      int
@@ -126,10 +134,14 @@ func (c Config) ruleKey() ruleKey {
 	return k
 }
 
-// treeStage is a cached mine stage: the tree plus the wall-clock cost of
-// producing it.
+// treeStage is a cached mine stage: the tree, the encoded snapshot it
+// was mined from (carried so downstream consumers — rule rendering,
+// record counts — stay consistent with the tree even if the source has
+// since moved to a newer version), and the wall-clock cost of producing
+// it.
 type treeStage struct {
 	tree *mining.Tree
+	enc  *dataset.Encoded
 	dur  time.Duration
 }
 
@@ -327,10 +339,12 @@ func (l CacheLimits) withDefaults() CacheLimits {
 // parameters — evicts least-recently-used stages instead of growing
 // without bound, and recomputes them identically on re-request.
 type Session struct {
-	data *dataset.Dataset
+	data *dataset.Dataset // nil for source-backed (e.g. segment store) sessions
+	src  EncodedSource
 
-	encOnce sync.Once
-	enc     *dataset.Encoded
+	encMu  sync.Mutex
+	enc    *dataset.Encoded
+	encVer uint64 // version enc corresponds to; 0 = not yet encoded
 
 	trees *stageCache[treeKey, treeStage]
 	rules *stageCache[ruleKey, ruleStage]
@@ -341,6 +355,32 @@ type Session struct {
 	adaptiveRuns, permsSaved atomic.Int64
 }
 
+// EncodedSource supplies a session's vertical encoding. An in-memory
+// dataset is the trivial source (version pinned at 1); a segment store
+// (internal/colstore) is the out-of-core one, whose version bumps on
+// every append. Snapshot must return the encoding and the version it
+// corresponds to atomically — the session folds that version into its
+// stage-cache keys, so a version bump invalidates every cached stage.
+// Returned encodings are treated as immutable.
+type EncodedSource interface {
+	NumRecords() int
+	Schema() *dataset.Schema
+	Version() uint64
+	Snapshot() (*dataset.Encoded, uint64, error)
+}
+
+// memSource adapts an in-memory dataset to EncodedSource.
+type memSource struct {
+	d *dataset.Dataset
+}
+
+func (m memSource) NumRecords() int         { return m.d.NumRecords() }
+func (m memSource) Schema() *dataset.Schema { return m.d.Schema }
+func (m memSource) Version() uint64         { return 1 }
+func (m memSource) Snapshot() (*dataset.Encoded, uint64, error) {
+	return dataset.Encode(m.d), 1, nil
+}
+
 // NewSession prepares d for repeated mining with the default CacheLimits.
 // The encode stage runs lazily on the first Run.
 func NewSession(d *dataset.Dataset) *Session {
@@ -349,16 +389,43 @@ func NewSession(d *dataset.Dataset) *Session {
 
 // NewSessionLimits is NewSession with explicit stage-cache bounds.
 func NewSessionLimits(d *dataset.Dataset, lim CacheLimits) *Session {
+	s := NewSessionSourceLimits(memSource{d: d}, lim)
+	s.data = d
+	return s
+}
+
+// NewSessionSource prepares an encoded source — typically a segment
+// store — for repeated mining. Holdout runs are unavailable (they need
+// the raw record matrix); every other method behaves exactly as on an
+// in-memory session over the equivalent dataset, byte for byte.
+func NewSessionSource(src EncodedSource) *Session {
+	return NewSessionSourceLimits(src, CacheLimits{})
+}
+
+// NewSessionSourceLimits is NewSessionSource with explicit stage-cache
+// bounds.
+func NewSessionSourceLimits(src EncodedSource, lim CacheLimits) *Session {
 	lim = lim.withDefaults()
 	return &Session{
-		data:  d,
+		src:   src,
 		trees: newStageCache[treeKey, treeStage](lim.MaxTrees),
 		rules: newStageCache[ruleKey, ruleStage](lim.MaxRules),
 	}
 }
 
-// Data returns the dataset the session was built on.
+// Data returns the dataset the session was built on, or nil for a
+// source-backed session (use NumRecords/Schema instead).
 func (s *Session) Data() *dataset.Dataset { return s.data }
+
+// Source returns the session's encoded source (for in-memory sessions,
+// an adapter over the dataset).
+func (s *Session) Source() EncodedSource { return s.src }
+
+// NumRecords returns the current record count of the session's source.
+func (s *Session) NumRecords() int { return s.src.NumRecords() }
+
+// Schema returns the current schema of the session's source.
+func (s *Session) Schema() *dataset.Schema { return s.src.Schema() }
 
 // Stats snapshots the stage counters.
 func (s *Session) Stats() SessionStats {
@@ -379,22 +446,41 @@ func (s *Session) Stats() SessionStats {
 	}
 }
 
-// encoded returns the session-wide vertical representation, building it on
-// first use.
-func (s *Session) encoded() *dataset.Encoded {
-	s.encOnce.Do(func() {
-		s.enc = dataset.Encode(s.data)
-		s.encodes.Add(1)
-	})
-	return s.enc
+// snapshot returns the session-wide vertical representation and the
+// source version it corresponds to, (re)building it when the source has
+// moved past the cached version. For in-memory sessions the version is
+// constant, so the encode runs once, on first use.
+func (s *Session) snapshot() (*dataset.Encoded, uint64, error) {
+	s.encMu.Lock()
+	defer s.encMu.Unlock()
+	if s.enc != nil && s.encVer == s.src.Version() {
+		return s.enc, s.encVer, nil
+	}
+	enc, ver, err := s.src.Snapshot()
+	if err != nil {
+		return nil, 0, err
+	}
+	s.enc, s.encVer = enc, ver
+	s.encodes.Add(1)
+	return enc, ver, nil
 }
 
-// treeFor returns the mined tree of cfg, mining it at most once per
-// distinct treeKey.
+// treeFor returns the mined tree of cfg against the current source
+// version, mining it at most once per distinct (version, treeKey).
 func (s *Session) treeFor(ctx context.Context, cfg Config) (treeStage, error) {
+	enc, ver, err := s.snapshot()
+	if err != nil {
+		return treeStage{}, err
+	}
+	return s.treeForVer(ctx, cfg, enc, ver)
+}
+
+// treeForVer is treeFor against an already-taken snapshot, so callers
+// composing several stages key them all under one consistent version.
+func (s *Session) treeForVer(ctx context.Context, cfg Config, enc *dataset.Encoded, ver uint64) (treeStage, error) {
 	key := cfg.treeKey()
+	key.version = ver
 	v, hit, err := s.trees.getOrCompute(key, func() (treeStage, error) {
-		enc := s.encoded()
 		start := time.Now()
 		tree, err := mining.MineClosedContext(ctx, enc, mining.Options{
 			MinSup:        key.minSup,
@@ -407,7 +493,7 @@ func (s *Session) treeFor(ctx context.Context, cfg Config) (treeStage, error) {
 			return treeStage{}, err
 		}
 		s.mines.Add(1)
-		return treeStage{tree: tree, dur: time.Since(start)}, nil
+		return treeStage{tree: tree, enc: enc, dur: time.Since(start)}, nil
 	})
 	if hit {
 		s.treeHits.Add(1)
@@ -415,12 +501,22 @@ func (s *Session) treeFor(ctx context.Context, cfg Config) (treeStage, error) {
 	return v, err
 }
 
-// rulesFor returns the scored rule set of cfg, scoring it at most once per
-// distinct ruleKey (and mining its tree at most once per treeKey).
+// rulesFor returns the scored rule set of cfg against the current source
+// version, scoring it at most once per distinct (version, ruleKey).
 func (s *Session) rulesFor(ctx context.Context, cfg Config) (ruleStage, error) {
+	enc, ver, err := s.snapshot()
+	if err != nil {
+		return ruleStage{}, err
+	}
+	return s.rulesForVer(ctx, cfg, enc, ver)
+}
+
+// rulesForVer is rulesFor against an already-taken snapshot.
+func (s *Session) rulesForVer(ctx context.Context, cfg Config, enc *dataset.Encoded, ver uint64) (ruleStage, error) {
 	key := cfg.ruleKey()
+	key.tree.version = ver
 	v, hit, err := s.rules.getOrCompute(key, func() (ruleStage, error) {
-		ts, err := s.treeFor(ctx, cfg)
+		ts, err := s.treeForVer(ctx, cfg, enc, ver)
 		if err != nil {
 			return ruleStage{}, err
 		}
@@ -460,7 +556,7 @@ func (s *Session) Run(cfg Config) (*Result, error) {
 // RunContext(ctx, s.Data(), cfg) — the caches never change outputs, only
 // cost.
 func (s *Session) RunContext(ctx context.Context, cfg Config) (*Result, error) {
-	cfg, err := cfg.withDefaults(s.data.NumRecords())
+	cfg, err := cfg.withDefaults(s.src.NumRecords())
 	if err != nil {
 		return nil, err
 	}
@@ -475,6 +571,9 @@ func (s *Session) run(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Method == MethodHoldout {
 		if cfg.Test != mining.TestFisher {
 			return nil, fmt.Errorf("core: the holdout method supports the Fisher test only")
+		}
+		if s.data == nil {
+			return nil, fmt.Errorf("core: the holdout method needs an in-memory dataset (it splits raw records); store-backed sessions support the other methods")
 		}
 		s.holdouts.Add(1)
 		return runHoldout(ctx, s.data, cfg)
@@ -515,7 +614,7 @@ func (s *Session) assemble(cfg Config, rs ruleStage, outcome *correction.Outcome
 		Control:     cfg.Control,
 		Alpha:       cfg.Alpha,
 		MinSup:      cfg.MinSup,
-		NumRecords:  s.data.NumRecords(),
+		NumRecords:  rs.tree.enc.NumRecords,
 		NumPatterns: rs.tree.tree.NumPatterns(),
 		NumTested:   len(rs.rules),
 		Cutoff:      outcome.Cutoff,
@@ -526,7 +625,7 @@ func (s *Session) assemble(cfg Config, rs ruleStage, outcome *correction.Outcome
 		CorrectTime: correctTime,
 	}
 	for _, i := range outcome.Significant {
-		res.Significant = append(res.Significant, toRule(&rs.rules[i], s.encoded().Enc))
+		res.Significant = append(res.Significant, toRule(&rs.rules[i], rs.tree.enc.Enc))
 	}
 	sortRules(res.Significant)
 	return res
@@ -543,7 +642,7 @@ func (s *Session) assemble(cfg Config, rs ruleStage, outcome *correction.Outcome
 //
 //armine:deterministic
 func (s *Session) RunBatch(ctx context.Context, cfgs []Config) ([]*Result, error) {
-	n := s.data.NumRecords()
+	n := s.src.NumRecords()
 	norm := make([]Config, len(cfgs))
 	maxWorkers := 1
 	for i := range cfgs {
@@ -563,17 +662,30 @@ func (s *Session) RunBatch(ctx context.Context, cfgs []Config) ([]*Result, error
 	// config that needs it). The stages are held locally for the duration
 	// of the batch — not re-fetched through the bounded cache — so the
 	// once-per-key guarantee stands even when the batch has more distinct
-	// keys than the cache retains.
+	// keys than the cache retains. One snapshot is taken for the whole
+	// batch (lazily, so a holdout-only batch never encodes): every stage
+	// keys under the same source version even if an append lands mid-way.
+	var (
+		enc *dataset.Encoded
+		ver uint64
+	)
 	held := make(map[ruleKey]ruleStage)
 	for i := range norm {
 		if norm[i].Method == MethodHoldout {
 			continue
 		}
+		if enc == nil {
+			var err error
+			if enc, ver, err = s.snapshot(); err != nil {
+				return nil, fmt.Errorf("core: batch config %d: %w", i, err)
+			}
+		}
 		key := norm[i].ruleKey()
+		key.tree.version = ver
 		if _, ok := held[key]; ok {
 			continue
 		}
-		rs, err := s.rulesFor(ctx, norm[i])
+		rs, err := s.rulesForVer(ctx, norm[i], enc, ver)
 		if err != nil {
 			return nil, fmt.Errorf("core: batch config %d: %w", i, err)
 		}
@@ -592,6 +704,7 @@ func (s *Session) RunBatch(ctx context.Context, cfgs []Config) ([]*Result, error
 	for i := range norm {
 		if norm[i].Method == MethodPermutation {
 			k := norm[i].permKey()
+			k.rule.tree.version = ver // match the held-stage keys
 			if _, ok := groups[k]; !ok {
 				groupKeys = append(groupKeys, k)
 			}
@@ -614,7 +727,9 @@ func (s *Session) RunBatch(ctx context.Context, cfgs []Config) ([]*Result, error
 			if norm[i].Method == MethodHoldout {
 				results[i], errs[i] = s.run(ctx, norm[i])
 			} else {
-				results[i], errs[i] = s.correctWith(ctx, norm[i], held[norm[i].ruleKey()])
+				key := norm[i].ruleKey()
+				key.tree.version = ver
+				results[i], errs[i] = s.correctWith(ctx, norm[i], held[key])
 			}
 		}(i)
 	}
@@ -711,7 +826,7 @@ func (s *Session) runPermGroup(ctx context.Context, norm []Config, idxs []int, r
 // fields are ignored: a shard evaluation is a leaf of the fan-out and
 // never fans out further.
 func (s *Session) ShardSpan(ctx context.Context, cfg Config, req shard.Request) (*shard.Reply, error) {
-	cfg, err := cfg.withDefaults(s.data.NumRecords())
+	cfg, err := cfg.withDefaults(s.src.NumRecords())
 	if err != nil {
 		return nil, err
 	}

@@ -15,6 +15,21 @@ import (
 type Table struct {
 	Header []string
 	Rows   [][]string
+	// Lines, when present, holds the 1-based file line on which each row
+	// started. ReadTable fills it from csv.Reader.FieldPos so error
+	// messages can point at the true offending line even when quoted
+	// fields span lines; hand-built tables may leave it nil.
+	Lines []int
+}
+
+// line returns the file line to report for row ri: the recorded starting
+// line when known, otherwise the legacy one-line-per-row estimate (header
+// on line 1, first row on line 2).
+func (t *Table) line(ri int) int {
+	if ri < len(t.Lines) {
+		return t.Lines[ri]
+	}
+	return ri + 2
 }
 
 // utf8BOM is the byte-order mark Excel (and other Windows tools) prepend
@@ -51,9 +66,14 @@ func ReadTable(r io.Reader) (*Table, error) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("dataset: reading CSV row %d: %w", len(t.Rows)+2, err)
+			// csv errors carry their own line position, which stays
+			// correct when quoted fields span lines; a row count here
+			// would not.
+			return nil, fmt.Errorf("dataset: reading CSV: %w", err)
 		}
+		line, _ := cr.FieldPos(0)
 		t.Rows = append(t.Rows, rec)
+		t.Lines = append(t.Lines, line)
 	}
 	return t, nil
 }
@@ -113,11 +133,11 @@ func (t *Table) ToDataset(classCol int) (*Dataset, error) {
 	d := New(schema, len(t.Rows))
 	for ri, row := range t.Rows {
 		if len(row) != len(t.Header) {
-			return nil, fmt.Errorf("dataset: row %d has %d fields, header has %d", ri+2, len(row), len(t.Header))
+			return nil, fmt.Errorf("dataset: line %d has %d fields, header has %d", t.line(ri), len(row), len(t.Header))
 		}
 		cv := row[classCol]
 		if cv == "" || cv == "?" {
-			return nil, fmt.Errorf("dataset: row %d has a missing class label", ri+2)
+			return nil, fmt.Errorf("dataset: line %d has a missing class label", t.line(ri))
 		}
 		ci, ok := classVocab[cv]
 		if !ok {

@@ -1,0 +1,367 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// This file is the streaming half of the package: CSV input is encoded
+// record by record — growing the attribute and class vocabularies in
+// first-appearance order, exactly like Table.ToDataset — without ever
+// materialising the raw string table. ReadDataset builds an in-memory
+// Dataset this way (one materialisation instead of two), and
+// EncodeSegments chunks the stream into per-item tid-word bitmap blocks
+// for the out-of-core column store (internal/colstore, DESIGN.md §11).
+
+// RowReader streams a CSV with a header row into encoded records: each
+// Next call returns one record's cell value indices and class index,
+// growing the schema's vocabularies in first-appearance order. The
+// resulting schema (and therefore any dataset or segment store built
+// from the stream) is byte-identical to reading the whole file with
+// ReadTable and converting with ToDataset.
+type RowReader struct {
+	cr         *csv.Reader
+	schema     *Schema
+	classCol   int
+	attrCols   []int
+	vocabs     []map[string]int32
+	classVocab map[string]int32
+	rows       int
+	line       int
+}
+
+// NewRowReader opens a CSV stream (header row required; a leading UTF-8
+// BOM is stripped). classCol selects the class column; negative means
+// the last column.
+func NewRowReader(r io.Reader, classCol int) (*RowReader, error) {
+	return newRowReader(r, classCol, nil)
+}
+
+// NewRowReaderResume is NewRowReader continuing an existing vocabulary:
+// the header must name base's attributes and class in the same column
+// layout, and value/class indices continue past base's vocabularies —
+// the append path of a segment store. base is deep-copied; the reader's
+// growing schema never aliases it.
+func NewRowReaderResume(r io.Reader, classCol int, base *Schema) (*RowReader, error) {
+	if base == nil {
+		return nil, fmt.Errorf("dataset: NewRowReaderResume: nil base schema")
+	}
+	return newRowReader(r, classCol, base)
+}
+
+func newRowReader(r io.Reader, classCol int, base *Schema) (*RowReader, error) {
+	cr := csv.NewReader(skipBOM(r))
+	cr.ReuseRecord = true
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	if classCol < 0 {
+		classCol = len(header) - 1
+	}
+	if classCol >= len(header) {
+		return nil, fmt.Errorf("dataset: class column %d out of range [0,%d)", classCol, len(header))
+	}
+	rr := &RowReader{cr: cr, classCol: classCol}
+	for c := range header {
+		if c != classCol {
+			rr.attrCols = append(rr.attrCols, c)
+		}
+	}
+	if base != nil {
+		if err := rr.resume(header, base); err != nil {
+			return nil, err
+		}
+		return rr, nil
+	}
+	rr.schema = &Schema{Class: Attribute{Name: header[classCol]}}
+	rr.vocabs = make([]map[string]int32, len(rr.attrCols))
+	for i, c := range rr.attrCols {
+		rr.schema.Attrs = append(rr.schema.Attrs, Attribute{Name: header[c]})
+		rr.vocabs[i] = make(map[string]int32)
+	}
+	rr.classVocab = make(map[string]int32)
+	return rr, nil
+}
+
+// resume seeds the reader's schema and vocabularies from a deep copy of
+// base, after validating the header against it.
+func (rr *RowReader) resume(header []string, base *Schema) error {
+	if len(rr.attrCols) != len(base.Attrs) {
+		return fmt.Errorf("dataset: resume header has %d attribute columns, schema has %d",
+			len(rr.attrCols), len(base.Attrs))
+	}
+	if name := header[rr.classCol]; name != base.Class.Name {
+		return fmt.Errorf("dataset: resume class column %q, schema class is %q", name, base.Class.Name)
+	}
+	rr.schema = &Schema{Class: Attribute{Name: base.Class.Name}}
+	rr.vocabs = make([]map[string]int32, len(rr.attrCols))
+	for i, c := range rr.attrCols {
+		if header[c] != base.Attrs[i].Name {
+			return fmt.Errorf("dataset: resume attribute column %d is %q, schema has %q",
+				i, header[c], base.Attrs[i].Name)
+		}
+		vals := append([]string(nil), base.Attrs[i].Values...)
+		rr.schema.Attrs = append(rr.schema.Attrs, Attribute{Name: base.Attrs[i].Name, Values: vals})
+		rr.vocabs[i] = make(map[string]int32, len(vals))
+		for vi, v := range vals {
+			rr.vocabs[i][v] = int32(vi)
+		}
+	}
+	rr.schema.Class.Values = append([]string(nil), base.Class.Values...)
+	rr.classVocab = make(map[string]int32, len(base.Class.Values))
+	for ci, v := range rr.schema.Class.Values {
+		rr.classVocab[v] = int32(ci)
+	}
+	return nil
+}
+
+// Schema returns the reader's growing schema. It is owned by the reader
+// until the stream is exhausted; callers must not mutate it.
+func (rr *RowReader) Schema() *Schema { return rr.schema }
+
+// NumRows reports the records decoded so far.
+func (rr *RowReader) NumRows() int { return rr.rows }
+
+// Line reports the 1-based file line on which the last-decoded record
+// started (quoted fields may span lines, so this is not the row count).
+func (rr *RowReader) Line() int { return rr.line }
+
+// Next decodes the next record into cells (which must have one slot per
+// attribute) and returns its class index. Missing attribute values ("" or
+// "?") encode as -1; a missing class label is an error. io.EOF signals a
+// clean end of stream.
+func (rr *RowReader) Next(cells []int32) (label int32, err error) {
+	row, err := rr.cr.Read()
+	if err == io.EOF {
+		return 0, io.EOF
+	}
+	if err != nil {
+		return 0, fmt.Errorf("dataset: reading CSV: %w", err)
+	}
+	rr.line, _ = rr.cr.FieldPos(0)
+	cv := row[rr.classCol]
+	if cv == "" || cv == "?" {
+		return 0, fmt.Errorf("dataset: line %d has a missing class label", rr.line)
+	}
+	ci, ok := rr.classVocab[cv]
+	if !ok {
+		ci = int32(len(rr.schema.Class.Values))
+		rr.classVocab[cv] = ci
+		rr.schema.Class.Values = append(rr.schema.Class.Values, cv)
+	}
+	if len(cells) != len(rr.attrCols) {
+		return 0, fmt.Errorf("dataset: Next: %d cell slots for %d attributes", len(cells), len(rr.attrCols))
+	}
+	for i, c := range rr.attrCols {
+		v := row[c]
+		if v == "" || v == "?" {
+			cells[i] = -1
+			continue
+		}
+		vi, ok := rr.vocabs[i][v]
+		if !ok {
+			vi = int32(len(rr.schema.Attrs[i].Values))
+			rr.vocabs[i][v] = vi
+			rr.schema.Attrs[i].Values = append(rr.schema.Attrs[i].Values, v)
+		}
+		cells[i] = vi
+	}
+	rr.rows++
+	return ci, nil
+}
+
+// ReadDataset streams a CSV (header row; classCol negative = last
+// column) into a Dataset without materialising the intermediate string
+// table: each row is encoded to value indices as it is read, so peak
+// memory is one row of strings plus the growing cell matrix — not both
+// the full [][]string table and the matrix, as the ReadTable + ToDataset
+// path holds. The result is byte-identical to that path.
+func ReadDataset(r io.Reader, classCol int) (*Dataset, error) {
+	rr, err := NewRowReader(r, classCol)
+	if err != nil {
+		return nil, err
+	}
+	d := New(rr.Schema(), 0)
+	n := len(rr.Schema().Attrs)
+	for {
+		cells := make([]int32, n)
+		label, err := rr.Next(cells)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		d.Cells = append(d.Cells, cells)
+		d.Labels = append(d.Labels, label)
+	}
+	return d, nil
+}
+
+// SegmentBlock is one flushed chunk of a streaming encode: a contiguous
+// record range with per-item packed tid-word bitmaps and the vocabulary
+// growth observed inside the range. Blocks are what internal/colstore
+// serialises as immutable segment files (DESIGN.md §11).
+type SegmentBlock struct {
+	// Base is the absolute record id of the block's first record;
+	// NumRecords the records it covers.
+	Base       int
+	NumRecords int
+	// Labels holds the class index of each record in the range.
+	Labels []int32
+	// Bitmaps[a][v] packs the block-relative tid bitmap of attribute a's
+	// value v — bit (r - Base) set when record r carries the value — in
+	// ceil(NumRecords/64) little-endian words. The value axis spans the
+	// vocabulary known at the END of the block; a nil entry is an
+	// all-zero bitmap (the value does not occur in the range).
+	Bitmaps [][][]uint64
+	// AttrDeltas[a] lists attribute a's values first seen inside this
+	// block, in first-appearance order; ClassDelta likewise for class
+	// labels. Replaying the deltas of every block in order rebuilds the
+	// full vocabulary.
+	AttrDeltas [][]string
+	ClassDelta []string
+	// ClassCounts counts the block's records per class, spanning the
+	// class vocabulary known at the end of the block.
+	ClassCounts []int
+}
+
+// SegmentOptions configures a streaming segment encode.
+type SegmentOptions struct {
+	// ClassCol selects the class column (negative = last).
+	ClassCol int
+	// SegRecords caps the records per emitted block (default 8192).
+	SegRecords int
+	// Base, when non-nil, resumes an existing vocabulary (the append
+	// path): value and class indices continue past it, and only newly
+	// seen values appear in the deltas. BaseRecords offsets Block.Base.
+	Base        *Schema
+	BaseRecords int
+}
+
+// DefaultSegRecords is the block size when SegmentOptions.SegRecords is
+// unset: small enough that ingest memory stays a few MB regardless of
+// input size, large enough that per-segment overheads stay negligible.
+const DefaultSegRecords = 8192
+
+// EncodeSegments streams CSV r into per-item tid-word segment blocks,
+// invoking emit for each completed block in record order. Peak memory is
+// one block — one row of strings, SegRecords labels and the block's
+// bitmaps — independent of the input size; neither the string table nor
+// a full cell matrix ever exists. It returns the final schema and the
+// total records encoded. An emit error aborts the stream.
+func EncodeSegments(r io.Reader, opts SegmentOptions, emit func(*SegmentBlock) error) (*Schema, int, error) {
+	if opts.SegRecords <= 0 {
+		opts.SegRecords = DefaultSegRecords
+	}
+	var rr *RowReader
+	var err error
+	if opts.Base != nil {
+		rr, err = NewRowReaderResume(r, opts.ClassCol, opts.Base)
+	} else {
+		rr, err = NewRowReader(r, opts.ClassCol)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	schema := rr.Schema()
+	nAttrs := len(schema.Attrs)
+	cells := make([]int32, nAttrs)
+
+	var (
+		blk        *SegmentBlock
+		vocabStart []int // per-attr vocab size at block start
+		classStart int
+	)
+	openBlock := func(base int) {
+		blk = &SegmentBlock{
+			Base:    base,
+			Labels:  make([]int32, 0, opts.SegRecords),
+			Bitmaps: make([][][]uint64, nAttrs),
+		}
+		vocabStart = make([]int, nAttrs)
+		for a := range schema.Attrs {
+			vocabStart[a] = len(schema.Attrs[a].Values)
+			blk.Bitmaps[a] = make([][]uint64, vocabStart[a])
+		}
+		classStart = len(schema.Class.Values)
+	}
+	words := func() int { return (opts.SegRecords + 63) / 64 }
+	flush := func() error {
+		blk.NumRecords = len(blk.Labels)
+		blk.AttrDeltas = make([][]string, nAttrs)
+		for a := range schema.Attrs {
+			blk.AttrDeltas[a] = append([]string(nil), schema.Attrs[a].Values[vocabStart[a]:]...)
+			// The value axis must span the vocabulary at block end even
+			// if the highest-indexed values never occurred in the range.
+			for len(blk.Bitmaps[a]) < len(schema.Attrs[a].Values) {
+				blk.Bitmaps[a] = append(blk.Bitmaps[a], nil)
+			}
+			// Trim bitmap words to the block's true length (the last
+			// block is usually short).
+			w := (blk.NumRecords + 63) / 64
+			for v, bm := range blk.Bitmaps[a] {
+				if bm != nil {
+					blk.Bitmaps[a][v] = bm[:w]
+				}
+			}
+		}
+		blk.ClassDelta = append([]string(nil), schema.Class.Values[classStart:]...)
+		blk.ClassCounts = make([]int, len(schema.Class.Values))
+		for _, c := range blk.Labels {
+			blk.ClassCounts[c]++
+		}
+		err := emit(blk)
+		blk = nil
+		return err
+	}
+
+	base := opts.BaseRecords
+	total := 0
+	for {
+		// Open before reading: Next may grow the vocabulary while
+		// decoding the block's first record, and vocabStart must be the
+		// size before that record so the delta includes its new values.
+		if blk == nil {
+			openBlock(base + total)
+		}
+		label, err := rr.Next(cells)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		ri := len(blk.Labels)
+		blk.Labels = append(blk.Labels, label)
+		for a, v := range cells {
+			if v < 0 {
+				continue
+			}
+			// Bitmap slots exist for every value known at block start;
+			// values first seen inside the block grow the axis here.
+			for int(v) >= len(blk.Bitmaps[a]) {
+				blk.Bitmaps[a] = append(blk.Bitmaps[a], nil)
+			}
+			if blk.Bitmaps[a][v] == nil {
+				blk.Bitmaps[a][v] = make([]uint64, words())
+			}
+			blk.Bitmaps[a][v][ri>>6] |= 1 << (uint(ri) & 63)
+		}
+		total++
+		if len(blk.Labels) == opts.SegRecords {
+			if err := flush(); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	if blk != nil && len(blk.Labels) > 0 {
+		if err := flush(); err != nil {
+			return nil, 0, err
+		}
+	}
+	return schema, total, nil
+}

@@ -1,0 +1,268 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// randCSV builds a deterministic categorical CSV with missing values and
+// the occasional quoted field, returning the text.
+func randCSV(seed uint64, rows, attrs int) string {
+	rng := rand.New(rand.NewPCG(seed, 0))
+	var b strings.Builder
+	for a := 0; a < attrs; a++ {
+		fmt.Fprintf(&b, "a%d,", a)
+	}
+	b.WriteString("class\n")
+	for r := 0; r < rows; r++ {
+		for a := 0; a < attrs; a++ {
+			switch rng.IntN(10) {
+			case 0:
+				b.WriteString("?")
+			case 1:
+				// empty = missing
+			default:
+				fmt.Fprintf(&b, "v%d", rng.IntN(2+a))
+			}
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "c%d\n", rng.IntN(3))
+	}
+	return b.String()
+}
+
+func TestReadDatasetMatchesToDataset(t *testing.T) {
+	cases := map[string]string{
+		"random": randCSV(1, 200, 5),
+		"quoted": "a,b,class\n\"x,1\",\"line\nbreak\",yes\nplain,\"v\"\"q\",no\n?,,yes\n",
+		"bom":    "\xEF\xBB\xBFa,class\nv,c\n",
+	}
+	for name, csvText := range cases {
+		t.Run(name, func(t *testing.T) {
+			tab, err := ReadTable(strings.NewReader(csvText))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := tab.ToDataset(len(tab.Header) - 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadDataset(strings.NewReader(csvText), -1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Schema, want.Schema) {
+				t.Fatalf("schema mismatch:\n got %+v\nwant %+v", got.Schema, want.Schema)
+			}
+			if !reflect.DeepEqual(got.Cells, want.Cells) || !reflect.DeepEqual(got.Labels, want.Labels) {
+				t.Fatalf("cells/labels mismatch")
+			}
+		})
+	}
+}
+
+func TestReadDatasetClassCol(t *testing.T) {
+	csvText := "class,a\nyes,v1\nno,v2\n"
+	d, err := ReadDataset(strings.NewReader(csvText), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Schema.Class.Name != "class" || d.Schema.Attrs[0].Name != "a" {
+		t.Fatalf("wrong columns: %+v", d.Schema)
+	}
+	if got := d.Schema.Class.Values; !reflect.DeepEqual(got, []string{"yes", "no"}) {
+		t.Fatalf("class vocab = %v", got)
+	}
+}
+
+// TestQuotedNewlineLineNumbers is the satellite-bug fixture: a quoted
+// field spanning three file lines shifts every later row's file line, and
+// error messages must report the true line, not row-index+2.
+func TestQuotedNewlineLineNumbers(t *testing.T) {
+	csvText := "a,class\n" + // line 1
+		"\"x\ny\nz\",c1\n" + // row 0 spans lines 2-4
+		"v,c1\n" + // row 1 on line 5
+		"w,?\n" // row 2 on line 6: missing class
+	tab, err := ReadTable(strings.NewReader(csvText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{2, 5, 6}; !reflect.DeepEqual(tab.Lines, want) {
+		t.Fatalf("Lines = %v, want %v", tab.Lines, want)
+	}
+	_, err = tab.ToDataset(1)
+	if err == nil || !strings.Contains(err.Error(), "line 6") {
+		t.Fatalf("ToDataset error = %v, want mention of line 6", err)
+	}
+	// The streaming reader must agree.
+	_, err = ReadDataset(strings.NewReader(csvText), -1)
+	if err == nil || !strings.Contains(err.Error(), "line 6") {
+		t.Fatalf("ReadDataset error = %v, want mention of line 6", err)
+	}
+}
+
+func TestTableLineFallback(t *testing.T) {
+	// Hand-built tables have no recorded lines; the legacy row+2
+	// estimate keeps errors plausible.
+	tab := &Table{Header: []string{"a", "class"}, Rows: [][]string{{"v", ""}}}
+	_, err := tab.ToDataset(1)
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error = %v, want fallback line 2", err)
+	}
+}
+
+func TestRowReaderResumeMatchesConcat(t *testing.T) {
+	head := randCSV(2, 120, 4)
+	tailRows := strings.SplitAfterN(randCSV(3, 80, 4), "\n", 2)[1]
+	tail := strings.SplitAfterN(head, "\n", 2)[0] + tailRows
+
+	whole, err := ReadDataset(strings.NewReader(strings.TrimSuffix(head, "\n")+"\n"+tailRows), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := ReadDataset(strings.NewReader(head), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := NewRowReaderResume(strings.NewReader(tail), -1, first.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := New(rr.Schema(), 0)
+	got.Cells = append(got.Cells, first.Cells...)
+	got.Labels = append(got.Labels, first.Labels...)
+	for {
+		cells := make([]int32, len(rr.Schema().Attrs))
+		label, err := rr.Next(cells)
+		if err != nil {
+			break
+		}
+		got.Cells = append(got.Cells, cells)
+		got.Labels = append(got.Labels, label)
+	}
+	if !reflect.DeepEqual(rr.Schema(), whole.Schema) {
+		t.Fatalf("resumed schema mismatch:\n got %+v\nwant %+v", rr.Schema(), whole.Schema)
+	}
+	if !reflect.DeepEqual(got.Cells, whole.Cells) || !reflect.DeepEqual(got.Labels, whole.Labels) {
+		t.Fatal("resumed cells/labels mismatch")
+	}
+	// The base schema must not have been mutated by the resume reader.
+	if len(first.Schema.Attrs[0].Values) > len(whole.Schema.Attrs[0].Values) {
+		t.Fatal("base schema grew")
+	}
+}
+
+func TestRowReaderResumeRejectsHeaderMismatch(t *testing.T) {
+	base, err := ReadDataset(strings.NewReader("a,b,class\nx,y,c\n"), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{
+		"a,class\nx,c\n",     // wrong arity
+		"a,z,class\nx,y,c\n", // wrong attr name
+		"a,b,klass\nx,y,c\n", // wrong class name
+	} {
+		if _, err := NewRowReaderResume(strings.NewReader(bad), -1, base.Schema); err == nil {
+			t.Errorf("resume accepted mismatched header %q", bad)
+		}
+	}
+}
+
+// TestEncodeSegmentsReconstruct checks the streaming block path against
+// the in-memory encoder: replaying every block's deltas and bitmaps must
+// rebuild the exact vertical encoding, at several block sizes including
+// ones that split the vocabulary growth across blocks.
+func TestEncodeSegmentsReconstruct(t *testing.T) {
+	csvText := randCSV(4, 157, 4)
+	want, err := ReadDataset(strings.NewReader(csvText), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEnc := Encode(want)
+	for _, segRecords := range []int{1, 7, 64, 100, 1000} {
+		t.Run(fmt.Sprintf("seg=%d", segRecords), func(t *testing.T) {
+			var blocks []*SegmentBlock
+			schema, total, err := EncodeSegments(strings.NewReader(csvText),
+				SegmentOptions{ClassCol: -1, SegRecords: segRecords},
+				func(b *SegmentBlock) error { blocks = append(blocks, b); return nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if total != want.NumRecords() {
+				t.Fatalf("total = %d, want %d", total, want.NumRecords())
+			}
+			if !reflect.DeepEqual(schema, want.Schema) {
+				t.Fatalf("schema mismatch")
+			}
+			// Replay deltas and bitmaps.
+			replayed := &Schema{Class: Attribute{Name: schema.Class.Name}}
+			for _, a := range schema.Attrs {
+				replayed.Attrs = append(replayed.Attrs, Attribute{Name: a.Name})
+			}
+			enc := NewEncoding(schema)
+			tids := make([][]uint32, enc.NumItems())
+			var labels []int32
+			base := 0
+			for bi, blk := range blocks {
+				if blk.Base != base {
+					t.Fatalf("block %d base %d, want %d", bi, blk.Base, base)
+				}
+				for a := range replayed.Attrs {
+					replayed.Attrs[a].Values = append(replayed.Attrs[a].Values, blk.AttrDeltas[a]...)
+					if len(blk.Bitmaps[a]) != len(replayed.Attrs[a].Values) {
+						t.Fatalf("block %d attr %d axis %d, vocab %d", bi, a, len(blk.Bitmaps[a]), len(replayed.Attrs[a].Values))
+					}
+					for v, bm := range blk.Bitmaps[a] {
+						for w, word := range bm {
+							for word != 0 {
+								bit := word & -word
+								r := w*64 + popLow(word)
+								word &^= bit
+								it := enc.ItemOf(a, int32(v))
+								tids[it] = append(tids[it], uint32(blk.Base+r))
+							}
+						}
+					}
+				}
+				replayed.Class.Values = append(replayed.Class.Values, blk.ClassDelta...)
+				labels = append(labels, blk.Labels...)
+				counts := make([]int, len(replayed.Class.Values))
+				for _, c := range blk.Labels {
+					counts[c]++
+				}
+				if !reflect.DeepEqual(counts, blk.ClassCounts) {
+					t.Fatalf("block %d class counts %v, want %v", bi, blk.ClassCounts, counts)
+				}
+				base += blk.NumRecords
+			}
+			if !reflect.DeepEqual(replayed, want.Schema) {
+				t.Fatalf("replayed schema mismatch")
+			}
+			if !reflect.DeepEqual(labels, wantEnc.Labels) {
+				t.Fatal("labels mismatch")
+			}
+			for it := range tids {
+				got, want := tids[it], wantEnc.Tids[it]
+				if len(got) == 0 && len(want) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("item %d tids %v, want %v", it, got, want)
+				}
+			}
+		})
+	}
+}
+
+// popLow returns the index of the lowest set bit of a non-zero word.
+func popLow(w uint64) int {
+	n := 0
+	for w&1 == 0 {
+		w >>= 1
+		n++
+	}
+	return n
+}

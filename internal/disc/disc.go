@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"repro/internal/dataset"
 )
@@ -212,7 +213,7 @@ func DiscretizeTable(t *dataset.Table, classCol int) (*dataset.Table, error) {
 		labels[r] = ci
 	}
 
-	out := &dataset.Table{Header: t.Header}
+	out := &dataset.Table{Header: t.Header, Lines: t.Lines}
 	rows := make([][]string, len(t.Rows))
 	for r := range rows {
 		rows[r] = make([]string, len(t.Header))
@@ -247,4 +248,92 @@ func DiscretizeTable(t *dataset.Table, classCol int) (*dataset.Table, error) {
 	}
 	out.Rows = rows
 	return out, nil
+}
+
+// DiscretizeDataset rewrites, in place, every numeric attribute of a
+// dataset built by the streaming encoder (dataset.ReadDataset) into
+// interval-labelled categorical values, supervised by the class labels.
+// It is the post-encode twin of DiscretizeTable: because the streaming
+// path never materialises a string table, the numeric test and the float
+// parse run over the attribute's value vocabulary instead of the raw
+// rows — which visit the exact same value sequence, so the cuts, the
+// interval vocabularies and the rewritten cells are byte-identical to
+// DiscretizeTable followed by Table.ToDataset.
+//
+// An attribute is numeric when its vocabulary is non-empty and every
+// value parses as a float; vocabularies built by the streaming encoder
+// contain exactly the values appearing in some record, matching
+// Table.NumericColumn's "at least one non-missing value" rule.
+func DiscretizeDataset(d *dataset.Dataset) error {
+	n := d.NumRecords()
+	var labels []int32
+	var values []float64 // reused per attribute
+	for a := range d.Schema.Attrs {
+		attr := &d.Schema.Attrs[a]
+		if !NumericVocab(attr.Values) {
+			continue
+		}
+		// Parse each vocabulary value once with the same scanner
+		// DiscretizeTable applies per row, so any parse quirk (a string
+		// strconv accepts but Sscanf rejects) fails identically.
+		parsed := make([]float64, len(attr.Values))
+		for vi, v := range attr.Values {
+			var f float64
+			if _, err := fmt.Sscanf(v, "%g", &f); err != nil {
+				return fmt.Errorf("disc: column %q value %q: %w", attr.Name, v, err)
+			}
+			parsed[vi] = f
+		}
+		if labels == nil {
+			labels = d.Labels
+			values = make([]float64, n)
+		}
+		for r, cells := range d.Cells {
+			if v := cells[a]; v < 0 {
+				values[r] = math.NaN()
+			} else {
+				values[r] = parsed[v]
+			}
+		}
+		cuts := FayyadIrani(values, labels, d.Schema.NumClasses())
+		bins := Apply(values, cuts)
+		// Rebuild the vocabulary as interval names in first-appearance
+		// order — keyed by rendered name, not bin index, because two
+		// cuts can round to the same label and must merge, exactly as
+		// they would when ToDataset re-reads the rewritten strings.
+		byName := make(map[string]int32)
+		var vocab []string
+		for r := range d.Cells {
+			if bins[r] < 0 {
+				d.Cells[r][a] = -1
+				continue
+			}
+			name := IntervalName(cuts, int(bins[r]))
+			vi, ok := byName[name]
+			if !ok {
+				vi = int32(len(vocab))
+				byName[name] = vi
+				vocab = append(vocab, name)
+			}
+			d.Cells[r][a] = vi
+		}
+		attr.Values = vocab
+	}
+	return nil
+}
+
+// NumericVocab reports whether vocab is non-empty and entirely parseable
+// as floats — the vocabulary-level mirror of Table.NumericColumn. Callers
+// that cannot discretize (e.g. out-of-core ingest, where segment bitmaps
+// are immutable) use it to detect and reject numeric columns up front.
+func NumericVocab(vocab []string) bool {
+	if len(vocab) == 0 {
+		return false
+	}
+	for _, v := range vocab {
+		if _, err := strconv.ParseFloat(v, 64); err != nil {
+			return false
+		}
+	}
+	return true
 }

@@ -51,10 +51,21 @@ func NewRegistry(capacity int, limits core.CacheLimits) *Registry {
 // Register builds a Session over d and binds it to name, replacing any
 // existing binding and evicting the LRU session if the registry is full.
 func (r *Registry) Register(name string, d *dataset.Dataset) (*core.Session, error) {
+	return r.bind(name, func() *core.Session { return core.NewSessionLimits(d, r.limits) })
+}
+
+// RegisterSource builds a Session over an encoded source — typically an
+// opened segment store — and binds it to name, with the same replacement
+// and eviction semantics as Register.
+func (r *Registry) RegisterSource(name string, src core.EncodedSource) (*core.Session, error) {
+	return r.bind(name, func() *core.Session { return core.NewSessionSourceLimits(src, r.limits) })
+}
+
+func (r *Registry) bind(name string, build func() *core.Session) (*core.Session, error) {
 	if !nameRE.MatchString(name) {
 		return nil, fmt.Errorf("server: invalid dataset name %q (want [A-Za-z0-9][A-Za-z0-9._-]*, at most 128 chars)", name)
 	}
-	sess := core.NewSessionLimits(d, r.limits)
+	sess := build()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.byName[name] = sess

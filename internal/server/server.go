@@ -8,9 +8,12 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"time"
 
+	"repro/internal/colstore"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/disc"
@@ -38,6 +41,13 @@ type Options struct {
 	// configured, the coordinator POSTs shard assignments to the peers'
 	// /v1/datasets/{name}/shard endpoints instead of counting in-process.
 	ShardPeers []string
+	// StoreDir, when set, switches uploads to out-of-core mode: each CSV
+	// upload streams into a segment store at StoreDir/{name} instead of
+	// an in-memory dataset, and POST /v1/datasets/{name}/append grows it
+	// with CSV deltas. Store-mode uploads must be pre-discretized — the
+	// immutable segment bitmaps cannot be re-binned, so numeric columns
+	// are rejected with 400 (discretize offline with `armine convert`).
+	StoreDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -88,6 +98,7 @@ func (s *Server) Registry() *Registry { return s.reg }
 //	POST   /v1/datasets?name=N          register a CSV upload as dataset N
 //	DELETE /v1/datasets/{name}          drop a dataset
 //	GET    /v1/datasets/{name}/stats    session stage/cache counters
+//	POST   /v1/datasets/{name}/append   append a CSV delta (store mode only)
 //	POST   /v1/datasets/{name}/mine     run one Config (body: ConfigJSON)
 //	POST   /v1/datasets/{name}/batch    run many Configs (body: [ConfigJSON])
 //	POST   /v1/datasets/{name}/shard    evaluate one shard assignment
@@ -102,6 +113,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/datasets", s.handleUpload)
 	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDelete)
 	mux.HandleFunc("GET /v1/datasets/{name}/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/datasets/{name}/append", s.handleAppend)
 	mux.HandleFunc("POST /v1/datasets/{name}/mine", s.handleMine)
 	mux.HandleFunc("POST /v1/datasets/{name}/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/datasets/{name}/shard", s.handleShard)
@@ -232,59 +244,111 @@ type datasetJSON struct {
 	NumClasses int    `json:"num_classes"`
 }
 
-func describe(name string, d *dataset.Dataset) datasetJSON {
+func describe(name string, sess *core.Session) datasetJSON {
+	schema := sess.Schema()
 	return datasetJSON{
 		Name:       name,
-		NumRecords: d.NumRecords(),
-		NumAttrs:   d.Schema.NumAttrs(),
-		NumClasses: len(d.Schema.Class.Values),
+		NumRecords: sess.NumRecords(),
+		NumAttrs:   schema.NumAttrs(),
+		NumClasses: len(schema.Class.Values),
 	}
 }
 
 // handleUpload registers the request body — a CSV stream with a header
-// row, class label last, numeric columns discretized automatically — under
-// ?name=.
+// row, class label last — under ?name=. In-memory mode discretizes
+// numeric columns automatically; store mode (Options.StoreDir) streams
+// the CSV into a segment store instead and requires pre-discretized
+// input.
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("name")
 	if name == "" {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing ?name= query parameter"))
 		return
 	}
-	// Reject bad names before parsing and discretizing a potentially large
-	// body; Registry.Register re-checks under its lock.
+	// Reject bad names before parsing a potentially large body;
+	// Registry re-checks under its lock.
 	if !nameRE.MatchString(name) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("server: invalid dataset name %q", name))
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
-	tab, err := dataset.ReadTable(body)
+	var sess *core.Session
+	var err error
+	if s.opts.StoreDir != "" {
+		sess, err = s.uploadStore(name, body)
+	} else {
+		sess, err = s.uploadMemory(name, body)
+	}
 	if err != nil {
-		status := http.StatusBadRequest
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			status = http.StatusRequestEntityTooLarge
+		writeError(w, bodyErrStatus(err), err)
+		return
+	}
+	s.opts.Log.Printf("server: registered dataset %q (%d records, %d attrs)", name, sess.NumRecords(), sess.Schema().NumAttrs())
+	writeJSON(w, http.StatusCreated, describe(name, sess))
+}
+
+// uploadMemory streams the CSV straight into an encoded dataset — the
+// row reader interns values as it parses, so the raw string table and
+// the cell matrix never coexist — then discretizes numeric columns in
+// place.
+func (s *Server) uploadMemory(name string, body io.Reader) (*core.Session, error) {
+	d, err := dataset.ReadDataset(body, -1)
+	if err != nil {
+		return nil, err
+	}
+	if err := disc.DiscretizeDataset(d); err != nil {
+		return nil, err
+	}
+	return s.reg.Register(name, d)
+}
+
+// uploadStore streams the CSV into a segment store at StoreDir/name,
+// replacing any existing store of that name. Numeric columns cannot be
+// discretized after ingest (segment bitmaps are immutable), so they are
+// rejected and the fresh store removed.
+func (s *Server) uploadStore(name string, body io.Reader) (*core.Session, error) {
+	dir := filepath.Join(s.opts.StoreDir, name)
+	if _, err := os.Stat(filepath.Join(dir, colstore.ManifestName)); err == nil {
+		if err := colstore.Remove(dir); err != nil {
+			return nil, err
 		}
-		writeError(w, status, err)
-		return
 	}
-	classCol := len(tab.Header) - 1
-	dt, err := disc.DiscretizeTable(tab, classCol)
+	st, err := colstore.Create(dir, body, colstore.Options{})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		os.RemoveAll(dir) // partial ingest: segments without a manifest
+		return nil, err
 	}
-	d, err := dt.ToDataset(classCol)
+	for _, attr := range st.Schema().Attrs {
+		if disc.NumericVocab(attr.Values) {
+			colstore.Remove(dir)
+			return nil, fmt.Errorf("server: column %q is numeric; store-mode uploads must be pre-discretized (run `armine convert` first)", attr.Name)
+		}
+	}
+	return s.reg.RegisterSource(name, st)
+}
+
+// LoadStores opens every segment store under Options.StoreDir and
+// registers it, so a restarted server serves its datasets without
+// re-upload. It is a no-op when StoreDir is unset.
+func (s *Server) LoadStores() error {
+	if s.opts.StoreDir == "" {
+		return nil
+	}
+	names, err := colstore.List(s.opts.StoreDir)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return err
 	}
-	sess, err := s.reg.Register(name, d)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+	for _, name := range names {
+		st, err := colstore.Open(filepath.Join(s.opts.StoreDir, name))
+		if err != nil {
+			return fmt.Errorf("server: opening store %q: %w", name, err)
+		}
+		if _, err := s.reg.RegisterSource(name, st); err != nil {
+			return err
+		}
 	}
-	s.opts.Log.Printf("server: registered dataset %q (%d records, %d attrs)", name, d.NumRecords(), d.Schema.NumAttrs())
-	writeJSON(w, http.StatusCreated, describe(name, sess.Data()))
+	s.opts.Log.Printf("server: loaded %d store(s) from %s", len(names), s.opts.StoreDir)
+	return nil
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -293,7 +357,53 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", name))
 		return
 	}
+	if s.opts.StoreDir != "" {
+		// Best effort: the binding is gone either way, and Remove refuses
+		// anything that is not a store directory.
+		if err := colstore.Remove(filepath.Join(s.opts.StoreDir, name)); err != nil {
+			s.opts.Log.Printf("server: removing store for %q: %v", name, err)
+		}
+	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// appendJSON is the POST /v1/datasets/{name}/append response body.
+type appendJSON struct {
+	Name       string `json:"name"`
+	Added      int    `json:"added"`
+	NumRecords int    `json:"num_records"`
+	Version    uint64 `json:"version"`
+}
+
+// handleAppend ingests a CSV delta — same header as the original upload —
+// as new immutable segments of a store-backed dataset. The store's
+// version bump flows into every stage-cache key, so the next mine
+// re-snapshots the grown dataset; no stale stage can be served. Appending
+// to an in-memory dataset is a 409.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	sess, name, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	store, isStore := sess.Source().(*colstore.Store)
+	if !isStore {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("dataset %q is in-memory; append needs a store-backed dataset (serve with -store-dir)", name))
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
+	added, err := store.Append(body, colstore.Options{})
+	if err != nil {
+		writeError(w, bodyErrStatus(err), err)
+		return
+	}
+	s.opts.Log.Printf("server: appended %d records to %q (now %d, version %d)", added, name, store.NumRecords(), store.Version())
+	writeJSON(w, http.StatusOK, appendJSON{
+		Name:       name,
+		Added:      added,
+		NumRecords: store.NumRecords(),
+		Version:    store.Version(),
+	})
 }
 
 // statsJSON is the GET /v1/datasets/{name}/stats body.
@@ -308,7 +418,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, statsJSON{
-		Dataset: describe(name, sess.Data()),
+		Dataset: describe(name, sess),
 		Session: EncodeStats(sess.Stats()),
 	})
 }

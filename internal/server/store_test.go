@@ -1,0 +1,368 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/colstore"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/disc"
+)
+
+// datasetCSV renders a signal dataset as CSV text.
+func datasetCSV(t *testing.T, seed uint64) (string, *dataset.Dataset) {
+	t.Helper()
+	d := signalDataset(t, seed)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), d
+}
+
+// TestServerStoreModeRoundTrip covers the out-of-core serving path end to
+// end: a store-mode upload lands on disk as a segment store, mines
+// byte-identically to a direct in-memory run, grows through the append
+// endpoint (after which a re-mine equals a fresh run over the
+// concatenated CSV), survives a server restart via LoadStores, and is
+// removed from disk on DELETE.
+func TestServerStoreModeRoundTrip(t *testing.T) {
+	storeDir := t.TempDir()
+	_, ts := newTestServer(t, 4, Options{StoreDir: storeDir})
+	csvText, d := datasetCSV(t, 31)
+
+	status, body := post(t, ts.URL+"/v1/datasets?name=demo", csvText)
+	if status != http.StatusCreated {
+		t.Fatalf("upload status %d: %s", status, body)
+	}
+	var info datasetJSON
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "demo" || info.NumRecords != d.NumRecords() {
+		t.Fatalf("upload response %+v", info)
+	}
+	manifest := filepath.Join(storeDir, "demo", colstore.ManifestName)
+	if _, err := os.Stat(manifest); err != nil {
+		t.Fatalf("store-mode upload left no store on disk: %v", err)
+	}
+
+	mineBody := `{"min_sup": 60, "method": "direct", "control": "fdr"}`
+	cfg := core.Config{MinSup: 60, Method: core.MethodDirect, Control: core.ControlFDR}
+	wantFor := func(csv string) []byte {
+		local, err := dataset.ReadDataset(strings.NewReader(csv), -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := core.Run(local, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return wireBytes(t, canonRun(EncodeRun(fresh, 0)))
+	}
+	status, body = post(t, ts.URL+"/v1/datasets/demo/mine", mineBody)
+	if status != http.StatusOK {
+		t.Fatalf("mine status %d: %s", status, body)
+	}
+	if got, want := canonBody(t, body), wantFor(csvText); !bytes.Equal(got, want) {
+		t.Fatalf("store-backed mine differs from direct run:\n got %s\nwant %s", got, want)
+	}
+
+	// Append a delta with the same header; the response reports the grown
+	// store, and a re-mine equals a fresh run over the concatenated CSV.
+	delta, d2 := datasetCSV(t, 32)
+	parts := strings.SplitAfterN(delta, "\n", 2)
+	header, deltaRows := parts[0], parts[1]
+	if !strings.HasPrefix(csvText, header) {
+		t.Fatalf("fixture drift: headers differ (%q)", header)
+	}
+	status, body = post(t, ts.URL+"/v1/datasets/demo/append", header+deltaRows)
+	if status != http.StatusOK {
+		t.Fatalf("append status %d: %s", status, body)
+	}
+	var ap appendJSON
+	if err := json.Unmarshal(body, &ap); err != nil {
+		t.Fatal(err)
+	}
+	if ap.Added != d2.NumRecords() || ap.NumRecords != d.NumRecords()+d2.NumRecords() || ap.Version != 2 {
+		t.Fatalf("append response %+v", ap)
+	}
+	wantGrown := wantFor(csvText + deltaRows)
+	status, body = post(t, ts.URL+"/v1/datasets/demo/mine", mineBody)
+	if status != http.StatusOK {
+		t.Fatalf("post-append mine status %d: %s", status, body)
+	}
+	if got := canonBody(t, body); !bytes.Equal(got, wantGrown) {
+		t.Fatalf("post-append mine differs from fresh concatenated run:\n got %s\nwant %s", got, wantGrown)
+	}
+
+	// A restarted server over the same directory re-serves the dataset.
+	s2, ts2 := newTestServer(t, 4, Options{StoreDir: storeDir})
+	if err := s2.LoadStores(); err != nil {
+		t.Fatal(err)
+	}
+	status, body = post(t, ts2.URL+"/v1/datasets/demo/mine", mineBody)
+	if status != http.StatusOK {
+		t.Fatalf("mine after restart status %d: %s", status, body)
+	}
+	if got := canonBody(t, body); !bytes.Equal(got, wantGrown) {
+		t.Fatalf("mine after restart differs:\n got %s\nwant %s", got, wantGrown)
+	}
+
+	// DELETE drops the binding and the on-disk store.
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/datasets/demo", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+	if _, err := os.Stat(manifest); !os.IsNotExist(err) {
+		t.Fatalf("delete left the store on disk: %v", err)
+	}
+}
+
+// TestServerAppendRequiresStore pins the append endpoint's modes: an
+// in-memory dataset is 409, an unknown one 404, and a bad delta leaves
+// the store's version untouched.
+func TestServerAppendRequiresStore(t *testing.T) {
+	csvText, _ := datasetCSV(t, 33)
+	_, ts := newTestServer(t, 4, Options{})
+	if status, body := post(t, ts.URL+"/v1/datasets?name=mem", csvText); status != http.StatusCreated {
+		t.Fatalf("upload status %d: %s", status, body)
+	}
+	status, body := post(t, ts.URL+"/v1/datasets/mem/append", csvText)
+	if status != http.StatusConflict {
+		t.Fatalf("append to in-memory dataset: status %d (%s), want 409", status, body)
+	}
+	if status, _ := post(t, ts.URL+"/v1/datasets/nope/append", csvText); status != http.StatusNotFound {
+		t.Fatalf("append to unknown dataset: status %d, want 404", status)
+	}
+
+	sDir := t.TempDir()
+	s2, ts2 := newTestServer(t, 4, Options{StoreDir: sDir})
+	if status, body := post(t, ts2.URL+"/v1/datasets?name=st", csvText); status != http.StatusCreated {
+		t.Fatalf("store upload status %d: %s", status, body)
+	}
+	if status, body := post(t, ts2.URL+"/v1/datasets/st/append", "wrong,header\nx,y\n"); status != http.StatusBadRequest {
+		t.Fatalf("mismatched append: status %d (%s), want 400", status, body)
+	}
+	sess, ok := s2.Registry().Get("st")
+	if !ok {
+		t.Fatal("store dataset vanished")
+	}
+	if v := sess.Source().(*colstore.Store).Version(); v != 1 {
+		t.Fatalf("failed append bumped version to %d", v)
+	}
+}
+
+// TestServerStoreModeRejectsNumeric pins the store-mode contract that
+// numeric columns must be discretized before upload: the ingest is
+// rejected with 400, the half-built store is removed, and the same CSV
+// still uploads fine in in-memory mode (where it is discretized).
+func TestServerStoreModeRejectsNumeric(t *testing.T) {
+	storeDir := t.TempDir()
+	_, ts := newTestServer(t, 4, Options{StoreDir: storeDir})
+	csv := "age,outcome\n1.5,yes\n2.5,no\n3.5,yes\n4.5,no\n"
+	status, body := post(t, ts.URL+"/v1/datasets?name=num", csv)
+	if status != http.StatusBadRequest || !strings.Contains(string(body), "numeric") {
+		t.Fatalf("numeric store upload: status %d (%s), want 400 naming the numeric column", status, body)
+	}
+	if _, err := os.Stat(filepath.Join(storeDir, "num")); !os.IsNotExist(err) {
+		t.Fatalf("rejected upload left a store directory: %v", err)
+	}
+	if status, _ := get(t, ts.URL+"/v1/datasets/num/stats"); status != http.StatusNotFound {
+		t.Fatalf("rejected dataset is registered: stats status %d", status)
+	}
+
+	_, ts2 := newTestServer(t, 4, Options{})
+	if status, body := post(t, ts2.URL+"/v1/datasets?name=num", csv); status != http.StatusCreated {
+		t.Fatalf("in-memory upload of the same CSV: status %d (%s)", status, body)
+	}
+}
+
+// TestServerUploadNameRoundTrip is the reachability half of name
+// validation: every accepted name must round-trip — appear in the list
+// and resolve on the mine endpoint — and every rejected name must 400 at
+// upload and stay unregistered, so no dataset can be created under a
+// name its own URLs cannot reach.
+func TestServerUploadNameRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, 16, Options{})
+	csv := "a,class\nx,y\nz,w\nx,w\n"
+	good := []string{"demo", "Data.Set-1_x", "9lives", strings.Repeat("n", 128)}
+	for _, name := range good {
+		status, body := post(t, ts.URL+"/v1/datasets?name="+url.QueryEscape(name), csv)
+		if status != http.StatusCreated {
+			t.Errorf("name %q: upload status %d (%s), want 201", name, status, body)
+			continue
+		}
+		status, body = get(t, ts.URL+"/v1/datasets")
+		if status != http.StatusOK {
+			t.Fatalf("list status %d", status)
+		}
+		var l listJSON
+		if err := json.Unmarshal(body, &l); err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, n := range l.Datasets {
+			found = found || n == name
+		}
+		if !found {
+			t.Errorf("name %q accepted but missing from the list %v", name, l.Datasets)
+		}
+		status, body = post(t, ts.URL+"/v1/datasets/"+name+"/mine", `{"min_sup": 1, "method": "none"}`)
+		if status != http.StatusOK {
+			t.Errorf("name %q accepted but unreachable: mine status %d (%s)", name, status, body)
+		}
+	}
+	bad := []string{"-lead", ".lead", "_lead", "has space", "has/slash", "naïve", strings.Repeat("n", 129)}
+	for _, name := range bad {
+		status, body := post(t, ts.URL+"/v1/datasets?name="+url.QueryEscape(name), csv)
+		if status != http.StatusBadRequest {
+			t.Errorf("name %q: upload status %d (%s), want 400", name, status, body)
+		}
+		if status, _ := get(t, ts.URL+"/v1/datasets/"+url.PathEscape(name)+"/stats"); status != http.StatusNotFound {
+			t.Errorf("rejected name %q is registered: stats status %d", name, status)
+		}
+	}
+}
+
+// csvGen streams a deterministic synthetic CSV without materialising it,
+// so the allocation test can feed an upload an order of magnitude larger
+// than the heap budget it asserts.
+type csvGen struct {
+	attrs, rows int
+	row         int
+	buf         []byte
+	off         int
+	state       uint64
+}
+
+func newCSVGen(attrs, rows int) *csvGen { return &csvGen{attrs: attrs, rows: rows, state: 1} }
+
+// next is a splitmix64 step: deterministic, no package-level state.
+func (g *csvGen) next() uint64 {
+	g.state += 0x9e3779b97f4a7c15
+	z := g.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4568b
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (g *csvGen) Read(p []byte) (int, error) {
+	if g.off >= len(g.buf) {
+		if g.row > g.rows {
+			return 0, io.EOF
+		}
+		g.buf, g.off = g.buf[:0], 0
+		if g.row == 0 {
+			for a := 0; a < g.attrs; a++ {
+				g.buf = append(g.buf, fmt.Sprintf("attribute_%02d,", a)...)
+			}
+			g.buf = append(g.buf, "class\n"...)
+		} else {
+			for a := 0; a < g.attrs; a++ {
+				g.buf = append(g.buf, fmt.Sprintf("a%02d_value_%02d,", a, g.next()%8)...)
+			}
+			g.buf = append(g.buf, 'c', byte('0'+g.next()%2), '\n')
+		}
+		g.row++
+	}
+	n := copy(p, g.buf[g.off:])
+	g.off += n
+	return n, nil
+}
+
+// TestServerUploadStreamingAllocs is the regression guard for the
+// streaming upload path: handleUpload must encode the CSV row by row,
+// never holding the raw string table and the cell matrix at once. It
+// asserts two bounds on a ~12 MB upload: total allocation well below the
+// historical ReadTable → DiscretizeTable → ToDataset path measured on
+// the identical stream (that path's floor is one string table plus one
+// matrix, ~2.5-3x the CSV size), and a live-heap ceiling of a fraction
+// of the input (the registered session retains only the encoded cells).
+func TestServerUploadStreamingAllocs(t *testing.T) {
+	const attrs, rows = 20, 48000
+	csvBytes, err := io.Copy(io.Discard, newCSVGen(attrs, rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csvBytes < 10<<20 {
+		t.Fatalf("generator produced only %d bytes; the bounds below assume a multi-MB upload", csvBytes)
+	}
+
+	measure := func(f func()) (total, live uint64) {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		f()
+		runtime.GC()
+		runtime.ReadMemStats(&m1)
+		total = m1.TotalAlloc - m0.TotalAlloc
+		if m1.HeapAlloc > m0.HeapAlloc {
+			live = m1.HeapAlloc - m0.HeapAlloc
+		}
+		return total, live
+	}
+
+	s := New(NewRegistry(2, core.CacheLimits{}), Options{Log: log.New(io.Discard, "", 0)})
+	h := s.Handler()
+	var status int
+	streamTotal, streamLive := measure(func() {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/v1/datasets?name=big", newCSVGen(attrs, rows))
+		h.ServeHTTP(rec, req)
+		status = rec.Code
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("upload status %d", status)
+	}
+
+	// The pre-streaming path over the identical stream, as the comparison
+	// baseline (comparative, so value- and row-size drift in the
+	// generator cannot silently relax the bound).
+	var tableTotal uint64
+	tableTotal, _ = measure(func() {
+		tab, err := dataset.ReadTable(newCSVGen(attrs, rows))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		dt, err := disc.DiscretizeTable(tab, attrs)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := dt.ToDataset(attrs); err != nil {
+			t.Error(err)
+		}
+	})
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	t.Logf("csv=%d bytes, streaming total=%d live=%d, table-path total=%d",
+		csvBytes, streamTotal, streamLive, tableTotal)
+	if streamTotal >= tableTotal*3/4 {
+		t.Errorf("streaming upload allocated %d bytes total, not clearly below the table path's %d — did the upload stop streaming?",
+			streamTotal, tableTotal)
+	}
+	if streamLive > uint64(csvBytes)*3/4 {
+		t.Errorf("streaming upload retains %d live bytes for a %d-byte CSV", streamLive, csvBytes)
+	}
+}
